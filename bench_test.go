@@ -1,0 +1,342 @@
+// Benchmarks: one testing.B entry per evaluation figure of the paper
+// (§7), plus ablations for the design choices DESIGN.md calls out. Each
+// benchmark op is one full query analysis (TA + region computation) at a
+// representative parameter point of the corresponding figure; the
+// cmd/irbench tool regenerates the full series.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fixture"
+	"repro/internal/geom"
+	"repro/internal/lists"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// benchEnv lazily builds the benchmark datasets once per process.
+type benchEnv struct {
+	once sync.Once
+	wsj  *dataset.Dataset
+	kb   *dataset.Dataset
+	st   *dataset.Dataset
+	wsjI *lists.MemIndex
+	kbI  *lists.MemIndex
+	stI  *lists.MemIndex
+}
+
+var env benchEnv
+
+func (e *benchEnv) init() {
+	e.once.Do(func() {
+		e.wsj = dataset.GenerateWSJ(dataset.WSJConfig{Docs: 3000, Vocab: 4500, MeanTerms: 22, Seed: 101})
+		e.kb = dataset.GenerateKB(dataset.KBConfig{Images: 3000, Features: 600, Seed: 102})
+		e.st = dataset.GenerateST(dataset.STConfig{N: 20000, Seed: 103})
+		e.wsjI = e.wsj.Index()
+		e.kbI = e.kb.Index()
+		e.stI = e.st.Index()
+	})
+}
+
+// queriesFor pre-samples a deterministic workload.
+func queriesFor(d *dataset.Dataset, qlen, k, n int, seed int64) []vec.Query {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vec.Query, 0, n)
+	minDF := 3*k + 20
+	for len(out) < n {
+		q, err := d.SampleQuery(rng, qlen, minDF)
+		if err != nil {
+			minDF /= 2
+			if minDF == 0 {
+				panic(err)
+			}
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// benchCompute runs one figure point: per op, a fresh TA run plus the
+// region computation with the given options.
+func benchCompute(b *testing.B, ix lists.Index, queries []vec.Query, k int, opts core.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	evaluated := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		ta := topk.New(ix, q, k, topk.BestList)
+		ta.Run()
+		out, err := core.Compute(ta, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evaluated += out.Metrics.Evaluated
+	}
+	b.ReportMetric(float64(evaluated)/float64(b.N), "evaluated/op")
+}
+
+func perMethod(b *testing.B, run func(b *testing.B, opts core.Options)) {
+	for _, m := range core.Methods {
+		b.Run(m.String(), func(b *testing.B) {
+			run(b, core.Options{Method: m})
+		})
+	}
+}
+
+// BenchmarkFig10 — WSJ, k=10, qlen=4 (the paper's Fig. 10 midpoint).
+func BenchmarkFig10(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 16, 201)
+	perMethod(b, func(b *testing.B, opts core.Options) {
+		benchCompute(b, env.wsjI, qs, 10, opts)
+	})
+}
+
+// BenchmarkFig11 — ST correlated data, k=10, qlen=4 (Fig. 11).
+func BenchmarkFig11(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.st, 4, 10, 16, 202)
+	perMethod(b, func(b *testing.B, opts core.Options) {
+		benchCompute(b, env.stI, qs, 10, opts)
+	})
+}
+
+// BenchmarkFig12 — KB features, k=10, qlen=16 (Fig. 12 midpoint).
+func BenchmarkFig12(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.kb, 16, 10, 16, 203)
+	perMethod(b, func(b *testing.B, opts core.Options) {
+		benchCompute(b, env.kbI, qs, 10, opts)
+	})
+}
+
+// BenchmarkFig13 — k sweep at qlen=4 (Fig. 13): k=40 on both datasets.
+func BenchmarkFig13(b *testing.B) {
+	env.init()
+	for _, ds := range []struct {
+		name string
+		d    *dataset.Dataset
+		ix   *lists.MemIndex
+	}{{"WSJ", env.wsj, env.wsjI}, {"ST", env.st, env.stI}} {
+		qs := queriesFor(ds.d, 4, 40, 8, 204)
+		for _, m := range core.Methods {
+			b.Run(fmt.Sprintf("%s/%s", ds.name, m), func(b *testing.B) {
+				benchCompute(b, ds.ix, qs, 40, core.Options{Method: m})
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 — φ=20 on WSJ, k=10, qlen=4 (Fig. 14 midpoint).
+func BenchmarkFig14(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 8, 205)
+	perMethod(b, func(b *testing.B, opts core.Options) {
+		opts.Phi = 20
+		benchCompute(b, env.wsjI, qs, 10, opts)
+	})
+}
+
+// BenchmarkFig15 — one-off vs iterative at φ=10 for Prune and CPT.
+func BenchmarkFig15(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 8, 206)
+	for _, m := range []core.Method{core.MethodPrune, core.MethodCPT} {
+		for _, iter := range []bool{false, true} {
+			name := m.String() + "/oneoff"
+			if iter {
+				name = m.String() + "/iterative"
+			}
+			b.Run(name, func(b *testing.B) {
+				benchCompute(b, env.wsjI, qs, 10, core.Options{Method: m, Phi: 10, Iterative: iter})
+			})
+		}
+	}
+}
+
+// BenchmarkFig16 — composition-only perturbations, WSJ, k=10, qlen=4.
+func BenchmarkFig16(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 16, 207)
+	perMethod(b, func(b *testing.B, opts core.Options) {
+		opts.CompositionOnly = true
+		benchCompute(b, env.wsjI, qs, 10, opts)
+	})
+}
+
+// BenchmarkTA — the substrate alone: TA cost per query under both
+// probing policies (ablation 1 of DESIGN.md).
+func BenchmarkTA(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 16, 208)
+	for _, policy := range []topk.ProbePolicy{topk.RoundRobin, topk.BestList} {
+		b.Run(policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			accesses := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ta := topk.New(env.wsjI, qs[i%len(qs)], 10, policy)
+				ta.Run()
+				accesses += ta.SortedAccesses()
+			}
+			b.ReportMetric(float64(accesses)/float64(b.N), "sorted-accesses/op")
+		})
+	}
+}
+
+// BenchmarkAblationProbing — end-to-end CPT cost under the two TA
+// probing policies.
+func BenchmarkAblationProbing(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 16, 209)
+	for _, policy := range []topk.ProbePolicy{topk.RoundRobin, topk.BestList} {
+		b.Run(policy.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ta := topk.New(env.wsjI, qs[i%len(qs)], 10, policy)
+				ta.Run()
+				if _, err := core.Compute(ta, core.Options{Method: core.MethodCPT}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSchedule — thresholding probe schedule (ablation 2 of
+// DESIGN.md): round-robin vs score-biased list pulls in Thres/CPT.
+func BenchmarkAblationSchedule(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.kb, 8, 10, 16, 214)
+	for _, sched := range []core.Schedule{core.ScheduleRoundRobin, core.ScheduleScoreBiased} {
+		b.Run(sched.String(), func(b *testing.B) {
+			benchCompute(b, env.kbI, qs, 10, core.Options{Method: core.MethodCPT, Schedule: sched})
+		})
+	}
+}
+
+// BenchmarkAblationBufferPool — disk-index scan cost versus buffer-pool
+// size (ablation 4 of DESIGN.md).
+func BenchmarkAblationBufferPool(b *testing.B) {
+	env.init()
+	dir := b.TempDir()
+	tp, lp := filepath.Join(dir, "t.dat"), filepath.Join(dir, "l.dat")
+	small := dataset.GenerateWSJ(dataset.WSJConfig{Docs: 1500, Vocab: 2000, MeanTerms: 15, Seed: 110})
+	if err := small.Save(tp, lp); err != nil {
+		b.Fatal(err)
+	}
+	qs := queriesFor(small, 4, 10, 8, 210)
+	for _, pool := range []int{0, 64, 4096} {
+		b.Run(fmt.Sprintf("pool%d", pool), func(b *testing.B) {
+			ix, err := lists.OpenDiskIndex(tp, lp, pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ta := topk.New(ix, qs[i%len(qs)], 10, topk.BestList)
+				ta.Run()
+				if _, err := core.Compute(ta, core.Options{Method: core.MethodCPT}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			seq, rnd, _ := ix.Stats().Snapshot()
+			b.ReportMetric(float64(seq)/float64(b.N), "seq-pages/op")
+			b.ReportMetric(float64(rnd)/float64(b.N), "rand-reads/op")
+		})
+	}
+}
+
+// BenchmarkCandidateStore — on-the-fly pruning store throughput
+// (ablation 3: the §5.1 memory optimization).
+func BenchmarkCandidateStore(b *testing.B) {
+	rng := rand.New(rand.NewSource(111))
+	cands := make([]topk.Scored, 4096)
+	for i := range cands {
+		proj := []float64{0, 0, 0, 0}
+		mask := uint64(0)
+		for d := 0; d < 4; d++ {
+			if rng.Float64() < 0.4 {
+				proj[d] = rng.Float64()
+				mask |= 1 << uint(d)
+			}
+		}
+		if mask == 0 {
+			proj[0] = rng.Float64()
+			mask = 1
+		}
+		cands[i] = topk.Scored{ID: i, Score: rng.Float64(), Proj: proj, NZMask: mask}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := core.NewCandidateStore(4, 2)
+		for _, cd := range cands {
+			store.Add(cd)
+		}
+		if store.Size() == 0 {
+			b.Fatal("empty store")
+		}
+	}
+}
+
+// BenchmarkSweep — the arrangement sweep over k result lines (the φ>0
+// Phase-1 primitive).
+func BenchmarkSweep(b *testing.B) {
+	rng := rand.New(rand.NewSource(112))
+	lines := make([]geom.Line, 80)
+	for i := range lines {
+		lines[i] = geom.Line{A: rng.Float64(), B: rng.Float64(), ID: i}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := geom.FirstCrossings(lines, 0, 1, 41); len(got) == 0 {
+			b.Fatal("no crossings")
+		}
+	}
+}
+
+// BenchmarkKthEnvelope — boundary recomputation cost (φ>0 Phase 2).
+func BenchmarkKthEnvelope(b *testing.B) {
+	rng := rand.New(rand.NewSource(113))
+	lines := make([]geom.Line, 60)
+	for i := range lines {
+		lines[i] = geom.Line{A: rng.Float64(), B: rng.Float64(), ID: i}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := geom.KthEnvelope(lines, 10, 0, 1)
+		if len(env.Lines) == 0 {
+			b.Fatal("empty envelope")
+		}
+	}
+}
+
+// BenchmarkRunningExample — end-to-end on the paper's 4-tuple example;
+// a floor measurement for per-query overhead.
+func BenchmarkRunningExample(b *testing.B) {
+	tuples, q, k := fixture.RunningExample()
+	ix := lists.NewMemIndex(tuples, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ta := topk.New(ix, q, k, topk.RoundRobin)
+		ta.Run()
+		if _, err := core.Compute(ta, core.Options{Method: core.MethodCPT}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command irserver serves a persisted dataset over the JSON HTTP API
+// (see internal/server): POST /topk, POST /analyze, GET /stats,
+// GET /healthz.
+//
+// Usage:
+//
+//	irgen -dataset kb -out /tmp/kb
+//	irserver -data /tmp/kb -addr :8080
+//	curl -s localhost:8080/analyze -d '{"dims":[3,17],"weights":[0.8,0.5],"k":10,"phi":1}'
+//
+// With -demo it serves the paper's running example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"path/filepath"
+
+	"repro/internal/fixture"
+	"repro/internal/lists"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		data = flag.String("data", "", "directory containing tuples.dat and lists.dat")
+		demo = flag.Bool("demo", false, "serve the paper's running example")
+		addr = flag.String("addr", ":8080", "listen address")
+		pool = flag.Int("pool", 1024, "buffer pool pages for the disk index")
+	)
+	flag.Parse()
+
+	var ix lists.Index
+	switch {
+	case *demo:
+		tuples, _, _ := fixture.RunningExample()
+		ix = lists.NewMemIndex(tuples, 2)
+	case *data != "":
+		disk, err := lists.OpenDiskIndex(
+			filepath.Join(*data, "tuples.dat"),
+			filepath.Join(*data, "lists.dat"),
+			*pool,
+		)
+		if err != nil {
+			log.Fatalf("irserver: %v", err)
+		}
+		defer disk.Close()
+		ix = disk
+	default:
+		log.Fatal("irserver: need -data DIR or -demo")
+	}
+
+	srv := server.New(ix)
+	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s\n", ix.NumTuples(), ix.Dim(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

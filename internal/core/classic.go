@@ -1,0 +1,373 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/topk"
+)
+
+// lemma1 returns the critical deviation at which `below` catches up with
+// `above` when the weight of the inspected dimension changes (Lemma 1),
+// along with which bound it constrains: +1 the upper (Formula 2), -1 the
+// lower (Formula 3), 0 neither (parallel score lines).
+func lemma1(aboveScore, aboveCoord, belowScore, belowCoord float64) (float64, int) {
+	diff := belowCoord - aboveCoord
+	switch {
+	case diff > 0:
+		return (aboveScore - belowScore) / diff, +1
+	case diff < 0:
+		return (aboveScore - belowScore) / diff, -1
+	default:
+		return 0, 0
+	}
+}
+
+// boundState accumulates the φ=0 immutable region of one dimension.
+type boundState struct {
+	lo, hi float64
+	leftP  *Perturbation
+	rightP *Perturbation
+}
+
+// applyUpper tightens the upper bound to crit if smaller, recording the
+// perturbation that materializes there.
+func (b *boundState) applyUpper(crit float64, p Perturbation) {
+	if crit < b.hi {
+		b.hi = crit
+		p.Delta = crit
+		b.rightP = &p
+	}
+}
+
+// applyLower tightens the lower bound to crit if larger.
+func (b *boundState) applyLower(crit float64, p Perturbation) {
+	if crit > b.lo {
+		b.lo = crit
+		p.Delta = crit
+		b.leftP = &p
+	}
+}
+
+// apply dispatches a Lemma-1 outcome to the matching bound.
+func (b *boundState) apply(crit float64, kind int, p Perturbation) {
+	switch kind {
+	case +1:
+		b.applyUpper(crit, p)
+	case -1:
+		b.applyLower(crit, p)
+	}
+}
+
+// regions materializes the boundState into the reported Regions.
+func (b *boundState) regions(dim, qpos int) Regions {
+	r := Regions{Dim: dim, QPos: qpos, Lo: b.lo, Hi: b.hi}
+	if b.rightP != nil {
+		r.Right = []Perturbation{*b.rightP}
+	}
+	if b.leftP != nil {
+		r.Left = []Perturbation{*b.leftP}
+	}
+	return r
+}
+
+// classicDim runs the three-phase φ=0 pipeline (§4, §5) on one dimension.
+func (c *computer) classicDim(jx int) Regions {
+	qj := c.q.Weights[jx]
+	b := &boundState{lo: -qj, hi: 1 - qj}
+
+	t0 := time.Now()
+	c.phase1(jx, b)
+	c.met.Phase1 += time.Since(t0)
+
+	t1 := time.Now()
+	switch c.opts.Method {
+	case MethodScan:
+		c.phase2Evaluate(jx, c.fullSet(), b)
+	case MethodPrune:
+		c.phase2Evaluate(jx, c.prunedSet(jx, 0), b)
+	case MethodThres:
+		c.phase2Threshold(jx, c.fullSet(), b)
+	case MethodCPT:
+		c.phase2Threshold(jx, c.prunedSet(jx, 0), b)
+	}
+	c.met.Phase2 += time.Since(t1)
+
+	t2 := time.Now()
+	c.phase3(jx, b)
+	c.met.Phase3 += time.Since(t2)
+
+	return b.regions(c.q.Dims[jx], jx)
+}
+
+// phase1 (Algorithm 1) derives the interim region from reorderings among
+// consecutive result tuples. (The published pseudo-code's line 5 carries
+// a typo, dα−1,j for dα+1,j; the intended comparison is implemented.)
+func (c *computer) phase1(jx int, b *boundState) {
+	if c.opts.CompositionOnly {
+		return
+	}
+	for a := 0; a+1 < len(c.res); a++ {
+		above, below := c.res[a], c.res[a+1]
+		crit, kind := lemma1(above.Score, above.Proj[jx], below.Score, below.Proj[jx])
+		b.apply(crit, kind, Perturbation{Above: above.ID, Below: below.ID})
+	}
+}
+
+// fullSet returns all current candidates in decreasing score order (the
+// order C(q) is maintained in).
+func (c *computer) fullSet() []topk.Scored {
+	return sortScoreDesc(c.ta.Candidates())
+}
+
+// classify partitions the candidates for dimension jx into the three
+// classes of §5.1, each in decreasing score order: C0 (zero on jx), CH
+// (non-zero only on jx), CL (non-zero on jx and elsewhere).
+func (c *computer) classify(jx int) (c0, ch, cl []topk.Scored) {
+	bit := uint64(1) << uint(jx)
+	for _, cd := range c.fullSet() {
+		switch {
+		case cd.NZMask&bit == 0:
+			c0 = append(c0, cd)
+		case cd.NZMask == bit:
+			ch = append(ch, cd)
+		default:
+			cl = append(cl, cd)
+		}
+	}
+	return c0, ch, cl
+}
+
+// prunedSet applies Lemmas 2–4: all CL candidates, the φ+1 top-scoring
+// C0 candidates (they alone can affect the lower bounds) and the φ+1 CH
+// candidates with the highest jx-coordinate (they alone can affect the
+// upper bounds). For CH singletons score order equals coordinate order,
+// so both representative picks are prefixes of the score-ordered class.
+func (c *computer) prunedSet(jx, phi int) []topk.Scored {
+	c0, ch, cl := c.classify(jx)
+	keep := phi + 1
+	out := append([]topk.Scored(nil), cl...)
+	out = append(out, prefix(c0, keep)...)
+	out = append(out, prefix(ch, keep)...)
+	return sortScoreDesc(out)
+}
+
+func prefix(s []topk.Scored, n int) []topk.Scored {
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}
+
+// phase2Evaluate checks every candidate in set against the k-th result
+// tuple (Scan's Phase 2; also Prune's, on the reduced set).
+func (c *computer) phase2Evaluate(jx int, set []topk.Scored, b *boundState) {
+	dk := c.dk()
+	dkj := dk.Proj[jx]
+	for _, cd := range set {
+		proj := c.evaluate(jx, cd.ID)
+		crit, kind := lemma1(dk.Score, dkj, cd.Score, proj[jx])
+		b.apply(crit, kind, Perturbation{Above: dk.ID, Below: cd.ID, Entry: true})
+	}
+}
+
+// phase2Threshold is Algorithm 3: the 3-list round-robin probe of SLS
+// (score-descending), SLj↑ (coordinates below dkj, ascending) and SLj↓
+// (coordinates above dkj, descending) with the dual termination test per
+// bound. Entries already evaluated in this dimension are skipped both
+// when pulling and when reading thresholds (a strictly tighter, still
+// safe threshold).
+func (c *computer) phase2Threshold(jx int, set []topk.Scored, b *boundState) {
+	dk := c.dk()
+	dkj := dk.Proj[jx]
+	sk := dk.Score
+
+	sls := set // already score-descending
+	var up, down []topk.Scored
+	for _, cd := range set {
+		cj := cd.Proj[jx]
+		switch {
+		case cj < dkj:
+			up = append(up, cd)
+		case cj > dkj:
+			down = append(down, cd)
+		}
+	}
+	sort.Slice(up, func(i, j int) bool {
+		if up[i].Proj[jx] != up[j].Proj[jx] {
+			return up[i].Proj[jx] < up[j].Proj[jx]
+		}
+		return up[i].ID < up[j].ID
+	})
+	sort.Slice(down, func(i, j int) bool {
+		if down[i].Proj[jx] != down[j].Proj[jx] {
+			return down[i].Proj[jx] > down[j].Proj[jx]
+		}
+		return down[i].ID < down[j].ID
+	})
+
+	iS, iUp, iDown := 0, 0, 0
+	activeL, activeU := true, true
+
+	evalPull := func(cd topk.Scored) (coord float64) {
+		proj := c.evaluate(jx, cd.ID)
+		return proj[jx]
+	}
+	update := func(cd topk.Scored, coord float64, side int) {
+		crit, kind := lemma1(sk, dkj, cd.Score, coord)
+		if side != 0 && kind != side {
+			return
+		}
+		b.apply(crit, kind, Perturbation{Above: dk.ID, Below: cd.ID, Entry: true})
+	}
+
+	slsPulls := 1
+	if c.opts.Schedule == ScheduleScoreBiased {
+		slsPulls = 2
+	}
+	for activeL || activeU {
+		// Pull the top unevaluated candidate(s) from SLS (Alg. 3 lines
+		// 4–8; the score-biased schedule draws twice since SLS feeds
+		// both searches).
+		for p := 0; p < slsPulls; p++ {
+			sc, ok := c.nextUneval(sls, &iS)
+			if !ok {
+				return // every candidate evaluated: both searches complete
+			}
+			coord := evalPull(sc)
+			if coord < dkj && activeL {
+				update(sc, coord, -1)
+			} else if coord > dkj && activeU {
+				update(sc, coord, +1)
+			}
+		}
+
+		if activeL {
+			activeL = c.stepLower(sls, up, &iS, &iUp, jx, sk, dkj, b, update, evalPull)
+		}
+		if activeU {
+			activeU = c.stepUpper(sls, down, &iS, &iDown, jx, sk, dkj, b, update, evalPull)
+		}
+	}
+}
+
+// stepLower performs the lj-side termination test and, if still active,
+// one pull from SLj↑ (Alg. 3 lines 9–14). It returns the updated flag.
+func (c *computer) stepLower(sls, up []topk.Scored, iS, iUp *int, jx int, sk, dkj float64, b *boundState, update func(topk.Scored, float64, int), evalPull func(topk.Scored) float64) bool {
+	next, okJ := c.peekUneval(up, *iUp)
+	if !okJ || next.Proj[jx] >= dkj {
+		return false // candidates left of dk exhausted
+	}
+	tS, okS := c.peekUneval(sls, *iS)
+	if !okS {
+		return false
+	}
+	if (sk-tS.Score)/(next.Proj[jx]-dkj) <= b.lo {
+		return false // no unseen candidate can raise lj
+	}
+	sc, ok := c.nextUneval(up, iUp)
+	if !ok {
+		return false
+	}
+	coord := evalPull(sc)
+	update(sc, coord, -1)
+	return true
+}
+
+// stepUpper is the symmetric uj-side step on SLj↓ (Alg. 3 lines 15–20).
+func (c *computer) stepUpper(sls, down []topk.Scored, iS, iDown *int, jx int, sk, dkj float64, b *boundState, update func(topk.Scored, float64, int), evalPull func(topk.Scored) float64) bool {
+	next, okJ := c.peekUneval(down, *iDown)
+	if !okJ || next.Proj[jx] <= dkj {
+		return false
+	}
+	tS, okS := c.peekUneval(sls, *iS)
+	if !okS {
+		return false
+	}
+	if (sk-tS.Score)/(next.Proj[jx]-dkj) >= b.hi {
+		return false // no unseen candidate can lower uj
+	}
+	sc, ok := c.nextUneval(down, iDown)
+	if !ok {
+		return false
+	}
+	coord := evalPull(sc)
+	update(sc, coord, +1)
+	return true
+}
+
+// peekUneval returns the first not-yet-evaluated entry at or after *i.
+func (c *computer) peekUneval(list []topk.Scored, i int) (topk.Scored, bool) {
+	for ; i < len(list); i++ {
+		if _, seen := c.evalSeen[list[i].ID]; !seen {
+			return list[i], true
+		}
+	}
+	return topk.Scored{}, false
+}
+
+// nextUneval consumes and returns the first not-yet-evaluated entry.
+func (c *computer) nextUneval(list []topk.Scored, i *int) (topk.Scored, bool) {
+	for ; *i < len(list); *i++ {
+		if _, seen := c.evalSeen[list[*i].ID]; !seen {
+			sc := list[*i]
+			*i++
+			return sc, true
+		}
+	}
+	return topk.Scored{}, false
+}
+
+// phase3 (Algorithm 2) resumes the TA scan to rule out — or account for —
+// tuples never encountered. The upper side is skipped when dk's posting
+// in list jx was consumed by sorted access (§4: all higher-coordinate
+// tuples were then already encountered).
+func (c *computer) phase3(jx int, b *boundState) {
+	dk := c.dk()
+	dkj := dk.Proj[jx]
+	sk := dk.Score
+	qj := c.q.Weights[jx]
+	needUpper := !c.ta.WasSortedAccessed(jx, dk.ID, dkj)
+
+	sBar := sk + b.hi*dkj
+	sUnd := sk + b.lo*dkj
+	for {
+		t := c.ta.Thresholds()
+		sumOther := 0.0
+		for i, ti := range t {
+			if i != jx {
+				sumOther += c.q.Weights[i] * ti
+			}
+		}
+		tj := t[jx]
+		condL := sumOther+(qj+b.lo)*tj > sUnd
+		condU := needUpper && sumOther+(qj+b.hi)*tj > sBar
+		if !condL && !condU {
+			return
+		}
+		sc, ok := c.ta.Resume()
+		if !ok {
+			return
+		}
+		c.met.Phase3Pulled++
+		proj := c.noteEvaluated(jx, sc)
+		crit, kind := lemma1(sk, dkj, sc.Score, proj[jx])
+		b.apply(crit, kind, Perturbation{Above: dk.ID, Below: sc.ID, Entry: true})
+		sBar = sk + b.hi*dkj
+		sUnd = sk + b.lo*dkj
+	}
+}
+
+// sortScoreDesc returns a copy ordered by decreasing score (ties by
+// ascending id), the canonical C(q) order.
+func sortScoreDesc(s []topk.Scored) []topk.Scored {
+	out := make([]topk.Scored, len(s))
+	copy(out, s)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,356 @@
+// Package core implements the paper's contribution: immutable-region
+// computation for subspace top-k queries. Given a completed TA run
+// (result R(q) and candidate list C(q)), it derives for every query
+// dimension j the widest weight-deviation interval (lj, uj) that
+// preserves the ranked result, optionally generalized to up to φ
+// tolerated perturbations per side, and reports the perturbation (which
+// tuple overtakes which) at every region bound.
+//
+// Four algorithm variants are provided, matching the paper's §7.1:
+//
+//   - Scan  — the baseline of §4: every candidate is evaluated.
+//   - Prune — Scan plus candidate pruning (§5.1, Lemmas 2–4).
+//   - Thres — Scan plus candidate thresholding (§5.2, Algorithm 3).
+//   - CPT   — pruning followed by thresholding (§5, §6).
+//
+// φ = 0 runs the paper's three-phase pipeline literally (Algorithms
+// 1–3); φ > 0 runs the score–deviation envelope machinery of §6. An
+// exact brute-force oracle (oracle.go) independent of TA validates both.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lists"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Method selects the candidate-processing strategy of Phase 2.
+type Method int
+
+const (
+	// MethodScan evaluates every candidate (baseline, §4).
+	MethodScan Method = iota
+	// MethodPrune evaluates only candidates surviving Lemmas 2–4 (§5.1).
+	MethodPrune
+	// MethodThres thresholds all candidates (§5.2).
+	MethodThres
+	// MethodCPT prunes then thresholds (§5): the paper's full algorithm.
+	MethodCPT
+)
+
+// Methods lists all variants in the paper's presentation order.
+var Methods = []Method{MethodScan, MethodThres, MethodPrune, MethodCPT}
+
+func (m Method) String() string {
+	switch m {
+	case MethodScan:
+		return "Scan"
+	case MethodPrune:
+		return "Prune"
+	case MethodThres:
+		return "Thres"
+	case MethodCPT:
+		return "CPT"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a region computation.
+type Options struct {
+	Method Method
+	// Phi is the number of tolerable result perturbations per side
+	// (φ ≥ 0). Phi+1 region bounds are produced on each side of qj.
+	Phi int
+	// CompositionOnly ignores reorderings within R(q): only inclusions
+	// of new tuples count as perturbations (§7.4).
+	CompositionOnly bool
+	// Iterative answers φ > 0 by repeated one-region requests instead of
+	// the one-off computation of §6 — the wasteful strategy Fig. 15
+	// compares against.
+	Iterative bool
+	// ForceEnvelope routes φ = 0 through the §6 envelope path instead of
+	// Algorithms 1–3; used for cross-validation.
+	ForceEnvelope bool
+	// Schedule selects the probing schedule of the thresholding lists.
+	Schedule Schedule
+}
+
+// Schedule is the probing schedule of Thres/CPT. §5.2 reports having
+// tried alternatives to plain round-robin, such as drawing from the
+// score list twice as often (it feeds both bound searches); round-robin
+// won on robustness. Both are implemented for the ablation benchmark.
+type Schedule int
+
+const (
+	// ScheduleRoundRobin probes SLS, SLj↑ and SLj↓ in strict turn.
+	ScheduleRoundRobin Schedule = iota
+	// ScheduleScoreBiased pulls two SLS candidates per round.
+	ScheduleScoreBiased
+)
+
+func (s Schedule) String() string {
+	if s == ScheduleScoreBiased {
+		return "score-biased"
+	}
+	return "round-robin"
+}
+
+// Perturbation is a result change at a region bound: at deviation Delta,
+// tuple Below overtakes tuple Above. Entry is true when Below was outside
+// the result (composition change) and false for a reordering within it.
+type Perturbation struct {
+	Delta float64
+	Above int
+	Below int
+	Entry bool
+}
+
+// Regions holds the immutable regions of one query dimension. Lo/Hi is
+// the innermost (φ=0) region as deviations of the weight (Lo ≤ 0 ≤ Hi).
+// Right lists the successive perturbations at deviations > 0 in
+// ascending order (up to Phi+1 of them), Left the ones at deviations < 0
+// in order of increasing |delta|. The r-th immutable region on the right
+// is (Right[r-1].Delta, Right[r].Delta); a missing entry means the
+// region extends to the weight-domain edge.
+type Regions struct {
+	Dim   int // dataset dimension id
+	QPos  int // index within Query().Dims
+	Lo    float64
+	Hi    float64
+	Right []Perturbation
+	Left  []Perturbation
+}
+
+// ResultAfter replays perturbations on the ranked base result and returns
+// the ranked result valid in the region immediately past the i-th bound
+// (0-based) on the chosen side. base is a ranked id list (R(q)).
+func (r Regions) ResultAfter(base []int, right bool, i int) ([]int, error) {
+	perts := r.Left
+	if right {
+		perts = r.Right
+	}
+	if i >= len(perts) {
+		return nil, fmt.Errorf("core: only %d perturbations on that side", len(perts))
+	}
+	out := append([]int(nil), base...)
+	for _, p := range perts[:i+1] {
+		if err := applyPerturbation(out, p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// applyPerturbation mutates the ranked list in place.
+func applyPerturbation(ranked []int, p Perturbation) error {
+	if p.Entry {
+		if len(ranked) == 0 || ranked[len(ranked)-1] != p.Above {
+			return fmt.Errorf("core: entry perturbation expects %d at rank k", p.Above)
+		}
+		ranked[len(ranked)-1] = p.Below
+		return nil
+	}
+	for i := 0; i+1 < len(ranked); i++ {
+		if ranked[i] == p.Above && ranked[i+1] == p.Below {
+			ranked[i], ranked[i+1] = ranked[i+1], ranked[i]
+			return nil
+		}
+	}
+	return fmt.Errorf("core: reorder perturbation %d/%d not adjacent", p.Above, p.Below)
+}
+
+// Metrics meters one Compute call. Evaluated counts candidates checked
+// against the result boundary (the paper's "# evaluated candidates";
+// fetching each costs one random I/O). Phase durations cover all query
+// dimensions; I/O counters are deltas against the index's meter.
+type Metrics struct {
+	Evaluated       int
+	EvaluatedPerDim []int
+	Phase1          time.Duration
+	Phase2          time.Duration
+	Phase3          time.Duration
+	Phase3Pulled    int
+	SeqPages        int64
+	RandReads       int64
+	MemBytes        int64
+}
+
+// EvaluatedPerDimAvg is Evaluated averaged over the query dimensions.
+func (m Metrics) EvaluatedPerDimAvg() float64 {
+	if len(m.EvaluatedPerDim) == 0 {
+		return 0
+	}
+	return float64(m.Evaluated) / float64(len(m.EvaluatedPerDim))
+}
+
+// CPU returns the total processing time across phases.
+func (m Metrics) CPU() time.Duration { return m.Phase1 + m.Phase2 + m.Phase3 }
+
+// Output is the full product of a region computation.
+type Output struct {
+	Query   vec.Query
+	K       int
+	Result  []topk.Scored
+	Regions []Regions
+	Metrics Metrics
+}
+
+// RankedIDs returns the ranked tuple ids of the base result.
+func (o *Output) RankedIDs() []int {
+	ids := make([]int, len(o.Result))
+	for i, r := range o.Result {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// computer carries the state of one Compute call.
+type computer struct {
+	ta   *topk.TA
+	ix   lists.Index
+	q    vec.Query
+	k    int
+	opts Options
+
+	res []topk.Scored
+	met Metrics
+
+	// per-dimension evaluation bookkeeping
+	evalSeen map[int][]float64 // id → projected coords of evaluated candidates
+}
+
+// Compute derives the immutable regions of every query dimension from a
+// completed TA run. The TA's candidate list grows as Phase 3 resumes the
+// scan, exactly as in the paper (later dimensions see earlier additions).
+func Compute(ta *topk.TA, opts Options) (*Output, error) {
+	if opts.Phi < 0 {
+		return nil, fmt.Errorf("core: negative phi %d", opts.Phi)
+	}
+	c := &computer{
+		ta:   ta,
+		ix:   ta.Index(),
+		q:    ta.Query(),
+		k:    ta.K(),
+		opts: opts,
+	}
+	ta.Run()
+	c.res = ta.Result()
+	out := &Output{Query: c.q, K: c.k, Result: c.res}
+	c.met.EvaluatedPerDim = make([]int, c.q.Len())
+
+	seq0, rnd0, _ := c.ix.Stats().Snapshot()
+	for jx := range c.q.Dims {
+		c.evalSeen = make(map[int][]float64)
+		var reg Regions
+		if len(c.res) < c.k {
+			// Fewer tuples than k: no tuple can displace anything.
+			reg = c.fullDomainRegions(jx)
+		} else if opts.Iterative && opts.Phi > 0 {
+			reg = c.iterativeDim(jx)
+		} else if opts.Phi > 0 || opts.ForceEnvelope || opts.CompositionOnly {
+			// Composition-only always takes the envelope path: a tuple
+			// enters the result set when it crosses the k-th score
+			// envelope, which is below dk's own line once result tuples
+			// reorder — the classic dk-only comparison of Phase 2 would
+			// miss such entries.
+			reg = c.envelopeDim(jx, opts.Phi)
+		} else {
+			reg = c.classicDim(jx)
+		}
+		out.Regions = append(out.Regions, reg)
+	}
+	seq1, rnd1, _ := c.ix.Stats().Snapshot()
+	c.met.SeqPages = seq1 - seq0
+	c.met.RandReads = rnd1 - rnd0
+	c.met.MemBytes = c.memFootprint()
+	out.Metrics = c.met
+	return out, nil
+}
+
+// fullDomainRegions covers the degenerate |R| < k case.
+func (c *computer) fullDomainRegions(jx int) Regions {
+	qj := c.q.Weights[jx]
+	return Regions{Dim: c.q.Dims[jx], QPos: jx, Lo: -qj, Hi: 1 - qj}
+}
+
+// evaluate fetches candidate id's full tuple (one random I/O — the
+// paper's accounting unit for Phase 2) and returns its projection onto
+// the query dimensions. Repeat evaluations within one dimension are
+// served from the per-dimension memo without re-charging.
+func (c *computer) evaluate(jx, id int) []float64 {
+	if p, ok := c.evalSeen[id]; ok {
+		return p
+	}
+	d := c.ix.Tuple(id)
+	p := c.q.Project(d)
+	c.evalSeen[id] = p
+	c.met.Evaluated++
+	c.met.EvaluatedPerDim[jx]++
+	return p
+}
+
+// noteEvaluated records an evaluation whose fetch was already charged
+// elsewhere (Phase 3 resume pulls).
+func (c *computer) noteEvaluated(jx int, sc topk.Scored) []float64 {
+	if p, ok := c.evalSeen[sc.ID]; ok {
+		return p
+	}
+	c.evalSeen[sc.ID] = sc.Proj
+	c.met.Evaluated++
+	c.met.EvaluatedPerDim[jx]++
+	return sc.Proj
+}
+
+// dk returns the k-th (last) result tuple.
+func (c *computer) dk() topk.Scored { return c.res[c.k-1] }
+
+// memFootprint models each method's working-set size in bytes, after the
+// paper's Fig. 10(d): a candidate-list entry is a pointer+score (16 B), a
+// sorted-list entry a pointer+key (16 B). Prune and CPT use the
+// CandidateStore optimization of §5.1 (only CL tuples plus φ+1 singleton
+// representatives per dimension are retained).
+func (c *computer) memFootprint() int64 {
+	const entry = 16
+	cands := c.ta.Candidates()
+	total := int64(len(cands)) * entry
+	switch c.opts.Method {
+	case MethodScan:
+		return total
+	case MethodThres:
+		// candidate list + the SLj sorted list built on all candidates
+		return total + int64(len(cands))*entry
+	case MethodPrune, MethodCPT:
+		multi := 0
+		maxPruned := 0
+		for jx := range c.q.Dims {
+			pruned := 0
+			for _, cd := range cands {
+				bit := uint64(1) << uint(jx)
+				if cd.NZMask&bit != 0 && cd.NZMask != bit {
+					pruned++
+				}
+			}
+			if pruned > maxPruned {
+				maxPruned = pruned
+			}
+		}
+		for _, cd := range cands {
+			if cd.NonZero() >= 2 {
+				multi++
+			}
+		}
+		reps := (c.opts.Phi + 1) * c.q.Len() * 2
+		store := int64(multi+reps) * entry
+		if c.opts.Method == MethodPrune {
+			return store
+		}
+		// CPT additionally builds SLj over the pruned per-dim set.
+		return store + int64(maxPruned+2*(c.opts.Phi+1))*entry
+	default:
+		return total
+	}
+}

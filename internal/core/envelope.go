@@ -1,0 +1,302 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/topk"
+)
+
+// boundary tracks the evolving result boundary of §6 on one side of the
+// current weight: every relevant tuple is a line y = score + x·coord in
+// score–deviation space (x mirrored for negative deviations), the
+// boundary is the k-th–highest envelope of the accepted lines, and the
+// perturbation events are the line crossings that touch the top-k. The
+// horizon is the (φ+1)-th event — deviations past it are irrelevant.
+type boundary struct {
+	k, phi    int
+	compOnly  bool
+	domainEnd float64
+	lines     []geom.Line
+	events    []Perturbation // ascending x (pre-mirror deltas)
+	horizon   float64
+	env       geom.PiecewiseLinear
+}
+
+// newBoundary seeds a boundary with the k result lines. mirror=true
+// builds the negative-deviation side: slopes are negated so that the
+// sweep always advances in +x.
+func newBoundary(res []topk.Scored, jx, phi int, domainEnd float64, mirror, compOnly bool) *boundary {
+	b := &boundary{k: len(res), phi: phi, compOnly: compOnly, domainEnd: domainEnd}
+	for _, r := range res {
+		coord := r.Proj[jx]
+		if mirror {
+			coord = -coord
+		}
+		b.lines = append(b.lines, geom.Line{A: r.Score, B: coord, ID: r.ID})
+	}
+	b.rebuild()
+	return b
+}
+
+// rebuild recomputes the perturbation events and the k-th envelope after
+// a membership change. Crossings strictly below the top-k are ignored;
+// a crossing at ranks (k-1, k) is an entry (composition change).
+func (b *boundary) rebuild() {
+	sw := geom.NewSweep(b.lines, 0, b.domainEnd)
+	b.events = b.events[:0]
+	b.horizon = b.domainEnd
+	for {
+		cr, ok := sw.Next()
+		if !ok {
+			break
+		}
+		if cr.RankAbove > b.k-1 {
+			continue
+		}
+		entry := cr.RankAbove == b.k-1
+		if b.compOnly && !entry {
+			continue
+		}
+		b.events = append(b.events, Perturbation{
+			Delta: cr.X,
+			Above: b.lines[cr.I].ID,
+			Below: b.lines[cr.J].ID,
+			Entry: entry,
+		})
+		if len(b.events) == b.phi+1 {
+			b.horizon = cr.X
+			break
+		}
+	}
+	b.env = geom.KthEnvelope(b.lines, b.k, 0, b.horizon)
+}
+
+// consider tests whether a candidate line can climb above the boundary
+// within the horizon; if so it joins the tracked set (coord pre-mirrored
+// by the caller). Because the k-th envelope only rises as lines are
+// added, a rejected candidate stays rejected forever.
+func (b *boundary) consider(id int, score, coord float64) bool {
+	ln := geom.Line{A: score, B: coord, ID: id}
+	x, ok := b.env.FirstCrossingAbove(ln)
+	if !ok || x >= b.horizon {
+		return false
+	}
+	b.lines = append(b.lines, ln)
+	b.rebuild()
+	return true
+}
+
+// innerBound returns the first perturbation position, or the domain end.
+func (b *boundary) innerBound() float64 {
+	if len(b.events) > 0 {
+		return b.events[0].Delta
+	}
+	return b.domainEnd
+}
+
+// envelopeDim computes up to phi+1 immutable regions per side of
+// dimension jx via the §6 machinery.
+func (c *computer) envelopeDim(jx, phi int) Regions {
+	qj := c.q.Weights[jx]
+
+	// Phase 1: plane-sweep the k result lines for the interim events.
+	t0 := time.Now()
+	right := newBoundary(c.res, jx, phi, 1-qj, false, c.opts.CompositionOnly)
+	left := newBoundary(c.res, jx, phi, qj, true, c.opts.CompositionOnly)
+	c.met.Phase1 += time.Since(t0)
+
+	// Phase 2: per-side pruning (Lemma 4) and thresholding.
+	t1 := time.Now()
+	c.envelopeSide(jx, phi, right, false)
+	c.envelopeSide(jx, phi, left, true)
+	c.met.Phase2 += time.Since(t1)
+
+	// Phase 3: resume TA until the unseen-tuple cap line clears both
+	// envelopes.
+	t2 := time.Now()
+	c.envelopePhase3(jx, right, left)
+	c.met.Phase3 += time.Since(t2)
+
+	return assembleRegions(c.q.Dims[jx], jx, qj, right, left)
+}
+
+// assembleRegions converts the two boundaries into the reported Regions
+// (left-side deltas un-mirrored to negative values).
+func assembleRegions(dim, jx int, qj float64, right, left *boundary) Regions {
+	reg := Regions{Dim: dim, QPos: jx, Hi: right.innerBound(), Lo: -left.innerBound()}
+	reg.Right = append(reg.Right, right.events...)
+	for _, p := range left.events {
+		p.Delta = -p.Delta
+		reg.Left = append(reg.Left, p)
+	}
+	return reg
+}
+
+// sideSet selects the candidates Phase 2 examines on one side: Lemma 4
+// keeps, besides all of CL, only the φ+1 highest-coordinate CH tuples on
+// the positive side and the φ+1 best-scoring C0 tuples on the negative
+// side. Scan/Thres take everything.
+func (c *computer) sideSet(jx, phi int, mirror bool) []topk.Scored {
+	switch c.opts.Method {
+	case MethodScan, MethodThres:
+		return c.fullSet()
+	}
+	c0, ch, cl := c.classify(jx)
+	keep := phi + 1
+	out := append([]topk.Scored(nil), cl...)
+	if mirror {
+		out = append(out, prefix(c0, keep)...)
+	} else {
+		out = append(out, prefix(ch, keep)...)
+	}
+	return sortScoreDesc(out)
+}
+
+// envelopeSide runs Phase 2 on one boundary. Scan/Prune evaluate their
+// whole set; Thres/CPT probe the score list and the coordinate list
+// round-robin and stop once the unseen-candidate cap line lies below the
+// envelope everywhere within the horizon.
+func (c *computer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
+	set := c.sideSet(jx, phi, mirror)
+	sgn := 1.0
+	if mirror {
+		sgn = -1
+	}
+	switch c.opts.Method {
+	case MethodScan, MethodPrune:
+		for _, cd := range set {
+			proj := c.evaluate(jx, cd.ID)
+			bd.consider(cd.ID, cd.Score, sgn*proj[jx])
+		}
+		return
+	}
+
+	dkj := c.dk().Proj[jx]
+	sls := set // score-descending
+	var slj []topk.Scored
+	for _, cd := range set {
+		cj := cd.Proj[jx]
+		if (!mirror && cj > dkj) || (mirror && cj < dkj) {
+			slj = append(slj, cd)
+		}
+	}
+	sort.Slice(slj, func(i, j int) bool {
+		a, b := slj[i].Proj[jx], slj[j].Proj[jx]
+		if a != b {
+			if mirror {
+				return a < b // SLj↑: ascending coordinate
+			}
+			return a > b // SLj↓: descending coordinate
+		}
+		return slj[i].ID < slj[j].ID
+	})
+
+	// processed tracks candidates already offered to THIS boundary; the
+	// fetch memo (evalSeen) is shared across sides so a tuple's random
+	// read is charged once per dimension, but each side must still offer
+	// its own view of the tuple to its own boundary.
+	processed := make(map[int]bool)
+	peek := func(list []topk.Scored, i int) (topk.Scored, bool) {
+		for ; i < len(list); i++ {
+			if !processed[list[i].ID] {
+				return list[i], true
+			}
+		}
+		return topk.Scored{}, false
+	}
+	next := func(list []topk.Scored, i *int) (topk.Scored, bool) {
+		for ; *i < len(list); *i++ {
+			if !processed[list[*i].ID] {
+				sc := list[*i]
+				*i++
+				return sc, true
+			}
+		}
+		return topk.Scored{}, false
+	}
+
+	iS, iJ := 0, 0
+	done := func() bool {
+		top, okS := peek(sls, iS)
+		if !okS {
+			return true // every candidate on this side processed
+		}
+		// Cap slope: the next coordinate key while the coordinate list
+		// has unprocessed entries, then dkj (all remaining coordinates
+		// are on dk's other side and bounded by it).
+		slope := dkj
+		if nxt, okJ := peek(slj, iJ); okJ {
+			slope = nxt.Proj[jx]
+		}
+		return bd.env.AboveLine(geom.Line{A: top.Score, B: sgn * slope})
+	}
+	offer := func(sc topk.Scored) {
+		processed[sc.ID] = true
+		proj := c.evaluate(jx, sc.ID)
+		bd.consider(sc.ID, sc.Score, sgn*proj[jx])
+	}
+	slsPulls := 1
+	if c.opts.Schedule == ScheduleScoreBiased {
+		slsPulls = 2
+	}
+	for {
+		for p := 0; p < slsPulls; p++ {
+			if done() {
+				return
+			}
+			sc, ok := next(sls, &iS)
+			if !ok {
+				return
+			}
+			offer(sc)
+		}
+		if done() {
+			return
+		}
+		if sc, ok := next(slj, &iJ); ok {
+			offer(sc)
+		}
+	}
+}
+
+// envelopePhase3 resumes the TA scan until the threshold line
+// y = Σ qi·ti + tj·x (constant on the mirrored side, since coordinates
+// are non-negative) no longer intersects either envelope (§6 Phase 3).
+func (c *computer) envelopePhase3(jx int, right, left *boundary) {
+	for {
+		t := c.ta.Thresholds()
+		base := 0.0
+		for i, ti := range t {
+			base += c.q.Weights[i] * ti
+		}
+		capR := geom.Line{A: base, B: t[jx]}
+		capL := geom.Line{A: base, B: 0}
+		if right.env.AboveLine(capR) && left.env.AboveLine(capL) {
+			return
+		}
+		sc, ok := c.ta.Resume()
+		if !ok {
+			return
+		}
+		c.met.Phase3Pulled++
+		proj := c.noteEvaluated(jx, sc)
+		right.consider(sc.ID, sc.Score, proj[jx])
+		left.consider(sc.ID, sc.Score, -proj[jx])
+	}
+}
+
+// iterativeDim is the Fig. 15 baseline: answer a φ>0 request by φ+1
+// successive single-region computations, re-processing the candidate
+// lists from scratch every round (the "iterative re-processing" cost §4
+// calls out). The final round's answer is complete; the metrics
+// accumulate the waste of all rounds.
+func (c *computer) iterativeDim(jx int) Regions {
+	var reg Regions
+	for r := 0; r <= c.opts.Phi; r++ {
+		c.evalSeen = make(map[int][]float64) // refetch everything
+		reg = c.envelopeDim(jx, r)
+	}
+	return reg
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// ExactRegions is the brute-force ground truth: it sweeps the score lines
+// of every tuple in the dataset (no index, no pruning, no thresholding)
+// and reports, per query dimension, the first phi+1 perturbations of the
+// ranked top-k on each side. It is O(qlen · n² log n) and exists to
+// validate the algorithms; general position (no score ties at rank k) is
+// assumed, which holds almost surely for random real-valued data.
+func ExactRegions(tuples []vec.Sparse, q vec.Query, k, phi int, compOnly bool) []Regions {
+	res := topk.TopKNaive(tuples, q, len(tuples))
+	if k > len(res) {
+		k = len(res)
+	}
+	var out []Regions
+	for jx := range q.Dims {
+		qj := q.Weights[jx]
+		right := exactSide(res, jx, k, phi, 1-qj, false, compOnly)
+		left := exactSide(res, jx, k, phi, qj, true, compOnly)
+		reg := Regions{Dim: q.Dims[jx], QPos: jx, Hi: 1 - qj, Lo: -qj}
+		reg.Right = right
+		if len(right) > 0 {
+			reg.Hi = right[0].Delta
+		}
+		for _, p := range left {
+			p.Delta = -p.Delta
+			reg.Left = append(reg.Left, p)
+		}
+		if len(reg.Left) > 0 {
+			reg.Lo = reg.Left[0].Delta
+		}
+		out = append(out, reg)
+	}
+	return out
+}
+
+// exactSide sweeps all tuple lines on one side and returns the first
+// phi+1 perturbation events.
+func exactSide(ranked []topk.Scored, jx, k, phi int, domainEnd float64, mirror, compOnly bool) []Perturbation {
+	lines := make([]geom.Line, len(ranked))
+	for i, r := range ranked {
+		coord := r.Proj[jx]
+		if mirror {
+			coord = -coord
+		}
+		lines[i] = geom.Line{A: r.Score, B: coord, ID: r.ID}
+	}
+	sw := geom.NewSweep(lines, 0, domainEnd)
+	var events []Perturbation
+	for len(events) < phi+1 {
+		cr, ok := sw.Next()
+		if !ok {
+			break
+		}
+		if cr.RankAbove > k-1 {
+			continue
+		}
+		entry := cr.RankAbove == k-1
+		if compOnly && !entry {
+			continue
+		}
+		events = append(events, Perturbation{
+			Delta: cr.X,
+			Above: lines[cr.I].ID,
+			Below: lines[cr.J].ID,
+			Entry: entry,
+		})
+	}
+	return events
+}
+
+// RankedAt computes the exact ranked top-k at deviation delta of query
+// dimension jx — the direct (re-query) oracle used to verify that
+// results really are preserved inside regions and really change past
+// their bounds.
+func RankedAt(tuples []vec.Sparse, q vec.Query, k, jx int, delta float64) []int {
+	q2 := q.Adjust(q.Dims[jx], delta)
+	res := topk.TopKNaive(tuples, q2, k)
+	ids := make([]int, len(res))
+	for i, r := range res {
+		ids[i] = r.ID
+	}
+	return ids
+}

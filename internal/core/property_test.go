@@ -1,0 +1,228 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/lists"
+	"repro/internal/topk"
+)
+
+// compareRegions asserts that got matches the oracle's regions exactly
+// (identical floating-point inputs make the bound values identical up to
+// a tiny tolerance; perturbation identities must match exactly).
+func compareRegions(t *testing.T, label string, got, want []core.Regions) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d regions, want %d", label, len(got), len(want))
+	}
+	const tol = 1e-9
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Dim != w.Dim {
+			t.Fatalf("%s dim %d: dim id %d, want %d", label, i, g.Dim, w.Dim)
+		}
+		if math.Abs(g.Lo-w.Lo) > tol || math.Abs(g.Hi-w.Hi) > tol {
+			t.Errorf("%s dim %d: region (%.12g, %.12g), want (%.12g, %.12g)", label, g.Dim, g.Lo, g.Hi, w.Lo, w.Hi)
+		}
+		comparePerts(t, fmt.Sprintf("%s dim %d right", label, g.Dim), g.Right, w.Right)
+		comparePerts(t, fmt.Sprintf("%s dim %d left", label, g.Dim), g.Left, w.Left)
+	}
+}
+
+func comparePerts(t *testing.T, label string, got, want []core.Perturbation) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d perturbations, want %d (%+v vs %+v)", label, len(got), len(want), got, want)
+		return
+	}
+	const tol = 1e-9
+	for i := range want {
+		g, w := got[i], want[i]
+		if math.Abs(g.Delta-w.Delta) > tol || g.Above != w.Above || g.Below != w.Below || g.Entry != w.Entry {
+			t.Errorf("%s[%d]: %+v, want %+v", label, i, g, w)
+		}
+	}
+}
+
+// TestMethodsMatchOracle is the central cross-validation: on randomized
+// general-position datasets, every method (Scan/Prune/Thres/CPT), both
+// algorithm paths (classic φ=0 and envelope), the iterative mode and the
+// composition-only variant must reproduce the brute-force ground truth
+// exactly — bounds and perturbation identities alike.
+func TestMethodsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 30 + rng.Intn(60)
+		m := 4 + rng.Intn(5)
+		qlen := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(5)
+		cs := fixture.RandCase(rng, n, m, qlen, k)
+		for phi := 0; phi <= 3; phi++ {
+			for _, compOnly := range []bool{false, true} {
+				want := core.ExactRegions(cs.Tuples, cs.Q, cs.K, phi, compOnly)
+				for _, method := range core.Methods {
+					variants := []core.Options{
+						{Method: method, Phi: phi, CompositionOnly: compOnly},
+					}
+					if phi == 0 {
+						variants = append(variants, core.Options{Method: method, Phi: phi, CompositionOnly: compOnly, ForceEnvelope: true})
+					} else {
+						variants = append(variants, core.Options{Method: method, Phi: phi, CompositionOnly: compOnly, Iterative: true})
+					}
+					for _, opts := range variants {
+						ix := lists.NewMemIndex(cs.Tuples, cs.M)
+						ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
+						out, err := core.Compute(ta, opts)
+						if err != nil {
+							t.Fatalf("trial %d: Compute: %v", trial, err)
+						}
+						label := fmt.Sprintf("trial=%d n=%d qlen=%d k=%d phi=%d comp=%v %v force=%v iter=%v",
+							trial, n, qlen, k, phi, compOnly, method, opts.ForceEnvelope, opts.Iterative)
+						compareRegions(t, label, out.Regions, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRegionsPreserveResult samples deviations strictly inside each φ=0
+// region and verifies by direct re-querying that the ranked result is
+// unchanged, and that it does change just past each perturbation bound.
+func TestRegionsPreserveResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		cs := fixture.RandCase(rng, 40+rng.Intn(40), 5, 3, 1+rng.Intn(4))
+		ix := lists.NewMemIndex(cs.Tuples, cs.M)
+		ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
+		out, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := out.RankedIDs()
+		for _, reg := range out.Regions {
+			jx := reg.QPos
+			for _, frac := range []float64{0.05, 0.5, 0.95} {
+				for _, delta := range []float64{reg.Lo * frac, reg.Hi * frac} {
+					got := core.RankedAt(cs.Tuples, cs.Q, cs.K, jx, delta)
+					if !equalIDs(got, base) {
+						t.Errorf("trial %d dim %d: result at δ=%v is %v, want preserved %v (region %v..%v)",
+							trial, reg.Dim, delta, got, base, reg.Lo, reg.Hi)
+					}
+				}
+			}
+			// Just past a perturbation bound the result must differ.
+			const step = 1e-7
+			if len(reg.Right) > 0 && reg.Hi+step < 1-cs.Q.Weights[jx] {
+				got := core.RankedAt(cs.Tuples, cs.Q, cs.K, jx, reg.Hi+step)
+				if equalIDs(got, base) {
+					t.Errorf("trial %d dim %d: result unchanged past upper bound %v", trial, reg.Dim, reg.Hi)
+				}
+			}
+			if len(reg.Left) > 0 && reg.Lo-step > -cs.Q.Weights[jx] {
+				got := core.RankedAt(cs.Tuples, cs.Q, cs.K, jx, reg.Lo-step)
+				if equalIDs(got, base) {
+					t.Errorf("trial %d dim %d: result unchanged past lower bound %v", trial, reg.Dim, reg.Lo)
+				}
+			}
+		}
+	}
+}
+
+// TestResultAfterMatchesRequery replays the reported perturbations region
+// by region (φ=2) and checks each reconstructed ranked list against a
+// direct re-query at a deviation inside that region.
+func TestResultAfterMatchesRequery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 15; trial++ {
+		cs := fixture.RandCase(rng, 50+rng.Intn(30), 5, 3, 2+rng.Intn(3))
+		ix := lists.NewMemIndex(cs.Tuples, cs.M)
+		ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
+		out, err := core.Compute(ta, core.Options{Method: core.MethodCPT, Phi: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := out.RankedIDs()
+		for _, reg := range out.Regions {
+			jx := reg.QPos
+			checkSide := func(side []core.Perturbation, right bool, domainEnd float64) {
+				for i := range side {
+					lo := side[i].Delta
+					hi := domainEnd
+					if i+1 < len(side) {
+						hi = side[i+1].Delta
+					} else if len(side) == 3 {
+						// φ+1 events found: the region past the last one
+						// may contain further, untracked perturbations.
+						continue
+					}
+					mid := (lo + hi) / 2
+					if math.Abs(hi-lo) < 1e-9 {
+						continue // degenerate sliver; midpoint unreliable
+					}
+					want := core.RankedAt(cs.Tuples, cs.Q, cs.K, jx, mid)
+					got, err := reg.ResultAfter(base, right, i)
+					if err != nil {
+						t.Errorf("trial %d dim %d side right=%v i=%d: %v", trial, reg.Dim, right, i, err)
+						continue
+					}
+					if !equalIDs(got, want) {
+						t.Errorf("trial %d dim %d right=%v region %d: replay %v, requery %v", trial, reg.Dim, right, i, got, want)
+					}
+				}
+			}
+			checkSide(reg.Right, true, 1-cs.Q.Weights[jx])
+			checkSide(reg.Left, false, -cs.Q.Weights[jx])
+		}
+	}
+}
+
+// TestEvaluationOrdering confirms the paper's efficiency claims hold as
+// invariants: pruning and thresholding never evaluate more candidates
+// than the baseline, and CPT never more than Prune or Thres alone.
+func TestEvaluationOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 10; trial++ {
+		cs := fixture.RandCase(rng, 80, 6, 3, 5)
+		counts := map[core.Method]int{}
+		for _, method := range core.Methods {
+			ix := lists.NewMemIndex(cs.Tuples, cs.M)
+			ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
+			out, err := core.Compute(ta, core.Options{Method: method})
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[method] = out.Metrics.Evaluated
+		}
+		if counts[core.MethodPrune] > counts[core.MethodScan] {
+			t.Errorf("trial %d: Prune evaluated %d > Scan %d", trial, counts[core.MethodPrune], counts[core.MethodScan])
+		}
+		if counts[core.MethodThres] > counts[core.MethodScan] {
+			t.Errorf("trial %d: Thres evaluated %d > Scan %d", trial, counts[core.MethodThres], counts[core.MethodScan])
+		}
+		if counts[core.MethodCPT] > counts[core.MethodPrune] {
+			t.Errorf("trial %d: CPT evaluated %d > Prune %d", trial, counts[core.MethodCPT], counts[core.MethodPrune])
+		}
+	}
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

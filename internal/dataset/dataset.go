@@ -1,0 +1,489 @@
+// Package dataset provides the three evaluation datasets of §7.1 as
+// synthetic equivalents (the originals are not redistributable; see
+// DESIGN.md for the substitution rationale):
+//
+//   - WSJ: a sparse text corpus with Zipf-distributed document
+//     frequencies and TF-IDF values — most tuples touch exactly one of a
+//     random query's dimensions, which is what makes candidate pruning
+//     shine (Fig. 6a, Fig. 10).
+//   - KB: image-like feature vectors with moderate block correlation and
+//     medium sparsity, so all three candidate classes are sizable
+//     (Fig. 12).
+//   - ST: dense multivariate-normal tuples with pairwise correlation 0.5
+//     (the Matlab mvnrnd benchmark), where CL dominates and thresholding
+//     carries CPT (Fig. 6b, Fig. 11).
+//
+// All generators are deterministic in their seed and emit tuples in
+// [0,1]^m with per-dimension maxima normalized, matching the paper's
+// data model.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/lists"
+	"repro/internal/vec"
+)
+
+// Dataset is a generated collection plus the metadata query sampling
+// needs (document frequencies per dimension).
+type Dataset struct {
+	Name   string
+	Tuples []vec.Sparse
+	M      int
+
+	df []int // per-dimension document frequency
+}
+
+// New wraps raw tuples as a Dataset.
+func New(name string, tuples []vec.Sparse, m int) *Dataset {
+	d := &Dataset{Name: name, Tuples: tuples, M: m, df: make([]int, m)}
+	for _, t := range tuples {
+		for _, e := range t {
+			d.df[e.Dim]++
+		}
+	}
+	return d
+}
+
+// N returns the dataset cardinality.
+func (d *Dataset) N() int { return len(d.Tuples) }
+
+// DF returns the document frequency (inverted-list length) of dim.
+func (d *Dataset) DF(dim int) int { return d.df[dim] }
+
+// Index builds an in-memory inverted-list index over the dataset.
+func (d *Dataset) Index() *lists.MemIndex { return lists.NewMemIndex(d.Tuples, d.M) }
+
+// Save persists the dataset in the on-disk storage formats.
+func (d *Dataset) Save(tuplePath, listPath string) error {
+	return lists.SaveDataset(tuplePath, listPath, d.Tuples, d.M)
+}
+
+// SampleQuery draws a query over qlen distinct dimensions whose inverted
+// lists have at least minDF entries (so top-k is well-populated), with
+// weights uniform in [0.2, 1] — the paper's random query formation.
+func (d *Dataset) SampleQuery(rng *rand.Rand, qlen, minDF int) (vec.Query, error) {
+	var eligible []int
+	for dim, f := range d.df {
+		if f >= minDF {
+			eligible = append(eligible, dim)
+		}
+	}
+	if len(eligible) < qlen {
+		return vec.Query{}, fmt.Errorf("dataset %s: only %d dimensions with df >= %d, need %d",
+			d.Name, len(eligible), minDF, qlen)
+	}
+	perm := rng.Perm(len(eligible))[:qlen]
+	dims := make([]int, qlen)
+	weights := make([]float64, qlen)
+	for i, p := range perm {
+		dims[i] = eligible[p]
+		weights[i] = 0.2 + 0.8*rng.Float64()
+	}
+	return vec.NewQuery(dims, weights)
+}
+
+// WSJConfig parameterizes the text-corpus generator. Zero fields take the
+// scaled-down defaults; the paper-scale corpus is Docs=172891,
+// Vocab=181978.
+type WSJConfig struct {
+	Docs      int     // number of documents (default 8000)
+	Vocab     int     // vocabulary size (default 12000)
+	MeanTerms int     // mean distinct terms per document (default 60)
+	ZipfS     float64 // Zipf skew of term popularity (default 1.1)
+	Seed      int64
+}
+
+func (c *WSJConfig) defaults() {
+	if c.Docs == 0 {
+		c.Docs = 8000
+	}
+	if c.Vocab == 0 {
+		c.Vocab = 12000
+	}
+	if c.MeanTerms == 0 {
+		c.MeanTerms = 60
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+}
+
+// GenerateWSJ builds the synthetic WSJ-like corpus: Zipfian term
+// popularity gives uneven inverted-list lengths, values are
+// TF·IDF normalized per dimension, and term co-occurrence for randomly
+// chosen query terms is low.
+func GenerateWSJ(cfg WSJConfig) *Dataset {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Vocab-1))
+
+	type posting struct {
+		doc int
+		tf  float64
+	}
+	byTerm := make(map[int][]posting, cfg.Vocab)
+	for doc := 0; doc < cfg.Docs; doc++ {
+		// Log-normal distinct-term count, clamped.
+		nTerms := int(math.Exp(math.Log(float64(cfg.MeanTerms)) + 0.5*rng.NormFloat64()))
+		if nTerms < 5 {
+			nTerms = 5
+		}
+		if nTerms > cfg.Vocab/2 {
+			nTerms = cfg.Vocab / 2
+		}
+		seen := make(map[int]bool, nTerms)
+		for len(seen) < nTerms {
+			term := int(zipf.Uint64())
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			tf := 1 + rng.ExpFloat64()*2 // term frequency, heavy-tailed
+			byTerm[term] = append(byTerm[term], posting{doc: doc, tf: tf})
+		}
+	}
+
+	// TF-IDF values, normalized to (0,1] per dimension. Terms appearing
+	// in a single document are dropped, as in the paper's preprocessing.
+	entriesByDoc := make([][]vec.Entry, cfg.Docs)
+	for term, ps := range byTerm {
+		df := len(ps)
+		if df < 2 {
+			continue
+		}
+		idf := math.Log(float64(cfg.Docs) / float64(df))
+		maxV := 0.0
+		for _, p := range ps {
+			if v := p.tf * idf; v > maxV {
+				maxV = v
+			}
+		}
+		if maxV == 0 {
+			continue
+		}
+		for _, p := range ps {
+			entriesByDoc[p.doc] = append(entriesByDoc[p.doc], vec.Entry{Dim: term, Val: p.tf * idf / maxV})
+		}
+	}
+	tuples := make([]vec.Sparse, cfg.Docs)
+	for doc, entries := range entriesByDoc {
+		t, err := vec.NewSparse(entries)
+		if err != nil {
+			panic(err)
+		}
+		tuples[doc] = t
+	}
+	return New("WSJ", tuples, cfg.Vocab)
+}
+
+// KBConfig parameterizes the image-feature generator. The paper-scale
+// dataset is Images=28452, Features=9693.
+type KBConfig struct {
+	Images    int     // default 8000
+	Features  int     // default 1200
+	BlockSize int     // correlated feature block width (default 20)
+	Rho       float64 // intra-block correlation (default 0.55)
+	Seed      int64
+}
+
+func (c *KBConfig) defaults() {
+	if c.Images == 0 {
+		c.Images = 8000
+	}
+	if c.Features == 0 {
+		c.Features = 1200
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 20
+	}
+	if c.Rho == 0 {
+		c.Rho = 0.55
+	}
+}
+
+// GenerateKB builds the synthetic KB-like feature set: features come in
+// correlated blocks; each image activates a subset of blocks, so tuples
+// have medium sparsity and random queries see all of C0/CH/CL.
+func GenerateKB(cfg KBConfig) *Dataset {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nBlocks := (cfg.Features + cfg.BlockSize - 1) / cfg.BlockSize
+	rootRho := math.Sqrt(cfg.Rho)
+	rootRest := math.Sqrt(1 - cfg.Rho)
+
+	tuples := make([]vec.Sparse, cfg.Images)
+	for img := 0; img < cfg.Images; img++ {
+		var entries []vec.Entry
+		for b := 0; b < nBlocks; b++ {
+			if rng.Float64() > 0.35 {
+				continue // block inactive for this image
+			}
+			z := rng.NormFloat64() // shared block factor
+			lo := b * cfg.BlockSize
+			hi := lo + cfg.BlockSize
+			if hi > cfg.Features {
+				hi = cfg.Features
+			}
+			for f := lo; f < hi; f++ {
+				if rng.Float64() > 0.7 {
+					continue
+				}
+				v := 0.5 + 0.22*(rootRho*z+rootRest*rng.NormFloat64())
+				if v <= 0 {
+					continue
+				}
+				if v > 1 {
+					v = 1
+				}
+				entries = append(entries, vec.Entry{Dim: f, Val: v})
+			}
+		}
+		if len(entries) == 0 {
+			f := rng.Intn(cfg.Features)
+			entries = append(entries, vec.Entry{Dim: f, Val: 0.1 + 0.9*rng.Float64()})
+		}
+		t, err := vec.NewSparse(entries)
+		if err != nil {
+			panic(err)
+		}
+		tuples[img] = t
+	}
+	return New("KB", tuples, cfg.Features)
+}
+
+// STConfig parameterizes the correlated synthetic generator. The paper
+// uses N=1e6, M=20, Rho=0.5 (Matlab mvnrnd).
+type STConfig struct {
+	N     int     // default 50000
+	M     int     // default 20
+	Rho   float64 // pairwise correlation (default 0.5)
+	Seed  int64
+	Mu    float64 // mean (default 0.5)
+	Sigma float64 // marginal std dev (default 0.15)
+}
+
+func (c *STConfig) defaults() {
+	if c.N == 0 {
+		c.N = 50000
+	}
+	if c.M == 0 {
+		c.M = 20
+	}
+	if c.Rho == 0 {
+		c.Rho = 0.5
+	}
+	if c.Mu == 0 {
+		c.Mu = 0.5
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.15
+	}
+}
+
+// GenerateST draws N tuples from a multivariate normal with constant
+// pairwise correlation Rho via the Cholesky factor of the correlation
+// matrix (our stand-in for mvnrnd), clipped to [0,1]^M. Tuples cluster
+// along the [0,…,0]–[1,…,1] diagonal exactly as the paper describes.
+func GenerateST(cfg STConfig) *Dataset {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	corr := constantCorrelation(cfg.M, cfg.Rho)
+	L, err := Cholesky(corr)
+	if err != nil {
+		panic(err)
+	}
+	tuples := make([]vec.Sparse, cfg.N)
+	z := make([]float64, cfg.M)
+	x := make([]float64, cfg.M)
+	for i := 0; i < cfg.N; i++ {
+		for j := range z {
+			z[j] = rng.NormFloat64()
+		}
+		// x = mu + sigma * L z
+		for r := 0; r < cfg.M; r++ {
+			s := 0.0
+			for c := 0; c <= r; c++ {
+				s += L[r][c] * z[c]
+			}
+			v := cfg.Mu + cfg.Sigma*s
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			x[r] = v
+		}
+		tuples[i] = vec.FromDense(x)
+	}
+	return New("ST", tuples, cfg.M)
+}
+
+// constantCorrelation builds (1-rho)·I + rho·J.
+func constantCorrelation(m int, rho float64) [][]float64 {
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+		for j := range a[i] {
+			if i == j {
+				a[i][j] = 1
+			} else {
+				a[i][j] = rho
+			}
+		}
+	}
+	return a
+}
+
+// Cholesky returns the lower-triangular L with L·Lᵀ = a, or an error if
+// a is not positive definite.
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	L := make([][]float64, n)
+	for i := range L {
+		L[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("dataset: matrix not positive definite at %d (pivot %v)", i, s)
+				}
+				L[i][i] = math.Sqrt(s)
+			} else {
+				L[i][j] = s / L[j][j]
+			}
+		}
+	}
+	return L, nil
+}
+
+// Stats summarizes structural properties of a dataset; the generators'
+// tests pin these to the regimes the figures depend on.
+type Stats struct {
+	N, M         int
+	Postings     int
+	MeanNNZ      float64
+	MaxListLen   int
+	MedListLen   int
+	GiniListLen  float64 // inequality of list lengths (Zipf signature)
+	MeanPairCorr float64 // average pairwise correlation over sampled dims
+}
+
+// ComputeStats derives Stats, sampling up to sampleDims dimensions for
+// the correlation estimate.
+func ComputeStats(d *Dataset, rng *rand.Rand, sampleDims int) Stats {
+	st := Stats{N: d.N(), M: d.M}
+	nnz := 0
+	var lens []int
+	for _, f := range d.df {
+		if f > 0 {
+			lens = append(lens, f)
+			nnz += f
+		}
+	}
+	st.Postings = nnz
+	st.MeanNNZ = float64(nnz) / float64(max(1, d.N()))
+	sort.Ints(lens)
+	if len(lens) > 0 {
+		st.MaxListLen = lens[len(lens)-1]
+		st.MedListLen = lens[len(lens)/2]
+		st.GiniListLen = gini(lens)
+	}
+	st.MeanPairCorr = meanPairwiseCorrelation(d, rng, sampleDims)
+	return st
+}
+
+// gini computes the Gini coefficient of sorted positive values.
+func gini(sorted []int) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	var cum, total float64
+	for i, v := range sorted {
+		cum += float64(v) * float64(2*(i+1)-n-1)
+		total += float64(v)
+	}
+	if total == 0 {
+		return 0
+	}
+	return cum / (float64(n) * total)
+}
+
+// meanPairwiseCorrelation estimates the average Pearson correlation
+// between sampled pairs of populated dimensions.
+func meanPairwiseCorrelation(d *Dataset, rng *rand.Rand, sampleDims int) float64 {
+	var dims []int
+	for dim, f := range d.df {
+		if f >= d.N()/20 && f >= 2 {
+			dims = append(dims, dim)
+		}
+	}
+	if len(dims) < 2 {
+		return 0
+	}
+	if sampleDims > len(dims) {
+		sampleDims = len(dims)
+	}
+	perm := rng.Perm(len(dims))[:sampleDims]
+	cols := make([][]float64, sampleDims)
+	for i, p := range perm {
+		col := make([]float64, d.N())
+		dim := dims[p]
+		for id, t := range d.Tuples {
+			col[id] = t.Get(dim)
+		}
+		cols[i] = col
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			sum += pearson(cols[i], cols[j])
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topk"
+)
+
+// AblationRow is one line of the design-choice comparison tables.
+type AblationRow struct {
+	Name           string
+	SortedAccesses float64
+	RandReads      float64
+	CPU            time.Duration
+	Evaluated      float64
+}
+
+// AblationProbing compares TA under round-robin vs Persin best-list
+// probing, and the no-random-access variant (NRA), on the same WSJ
+// workload — the substrate choices §2 and §7.1 discuss.
+func (r *Runner) AblationProbing() []AblationRow {
+	d, ix := r.WSJ()
+	queries := r.sampleQueries(d, 4, 10)
+	var rows []AblationRow
+
+	for _, policy := range []topk.ProbePolicy{topk.RoundRobin, topk.BestList} {
+		row := AblationRow{Name: "TA/" + policy.String()}
+		for _, q := range queries {
+			r0 := ix.Stats().RandReads()
+			t0 := time.Now()
+			ta := topk.New(ix, q, 10, policy)
+			ta.Run()
+			row.CPU += time.Since(t0)
+			row.SortedAccesses += float64(ta.SortedAccesses())
+			row.RandReads += float64(ix.Stats().RandReads() - r0)
+		}
+		n := float64(len(queries))
+		row.SortedAccesses /= n
+		row.RandReads /= n
+		row.CPU = time.Duration(float64(row.CPU) / n)
+		rows = append(rows, row)
+	}
+
+	nraRow := AblationRow{Name: "NRA"}
+	for _, q := range queries {
+		t0 := time.Now()
+		nra := topk.NewNRA(ix, q, 10)
+		nra.Run()
+		nraRow.CPU += time.Since(t0)
+		nraRow.SortedAccesses += float64(nra.SortedAccesses())
+	}
+	n := float64(len(queries))
+	nraRow.SortedAccesses /= n
+	nraRow.CPU = time.Duration(float64(nraRow.CPU) / n)
+	rows = append(rows, nraRow)
+	return rows
+}
+
+// AblationSchedule compares the thresholding probe schedules of §5.2
+// (round-robin won in the paper; both are measured here) under CPT on
+// the KB workload where thresholding does the heavy lifting.
+func (r *Runner) AblationSchedule() []AblationRow {
+	d, ix := r.KB()
+	queries := r.sampleQueries(d, 8, 10)
+	var rows []AblationRow
+	for _, sched := range []core.Schedule{core.ScheduleRoundRobin, core.ScheduleScoreBiased} {
+		pt := r.measure(ix, queries, 10, core.Options{Method: core.MethodCPT, Schedule: sched})
+		rows = append(rows, AblationRow{
+			Name:      "CPT/" + sched.String(),
+			Evaluated: pt.Evaluated,
+			RandReads: pt.RandReads,
+			CPU:       pt.CPU,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,221 @@
+// Package exp is the benchmark harness: one runner per table/figure of
+// the paper's evaluation (§7), each printing the same series the paper
+// plots. Absolute numbers differ from the 2012 testbed (see DESIGN.md);
+// the shapes — which method wins, by what factor, where trends bend —
+// are the reproduction target recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/lists"
+	"repro/internal/storage"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Config controls harness-wide parameters.
+type Config struct {
+	// Queries per measurement point (the paper averages 100).
+	Queries int
+	// Scale multiplies dataset cardinalities; 1.0 is the laptop default,
+	// ≈20 approaches paper scale.
+	Scale float64
+	// Seed makes query sampling and generators deterministic.
+	Seed int64
+	// Disk is the I/O cost model used to convert counted I/Os to time.
+	Disk storage.DiskModel
+}
+
+// Defaults fills zero fields.
+func (c Config) Defaults() Config {
+	if c.Queries == 0 {
+		c.Queries = 20
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Disk == (storage.DiskModel{}) {
+		c.Disk = storage.DefaultDiskModel
+	}
+	return c
+}
+
+// Point is one measurement: the method's averages at one x position.
+type Point struct {
+	X         float64
+	Evaluated float64 // evaluated candidates per query dimension
+	IO        time.Duration
+	CPU       time.Duration
+	MemBytes  float64
+	SeqPages  float64
+	RandReads float64
+}
+
+// Series is one method's line across the x axis.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is one reproduced chart.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []Series
+	// Notes carries reproduction caveats shown alongside the data.
+	Notes string
+}
+
+// Runner caches generated datasets across figures.
+type Runner struct {
+	Cfg Config
+
+	wsj, kb, st *dataset.Dataset
+	wsjIx       *lists.MemIndex
+	kbIx        *lists.MemIndex
+	stIx        *lists.MemIndex
+}
+
+// NewRunner prepares a harness with the given config.
+func NewRunner(cfg Config) *Runner { return &Runner{Cfg: cfg.Defaults()} }
+
+func scale(base int, s float64) int {
+	n := int(float64(base) * s)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// WSJ returns the (cached) WSJ-like corpus and its index. Terms per
+// document scale with the vocabulary so that term co-occurrence stays in
+// the sparse regime of the real corpus at every Scale (the property the
+// pruning results depend on).
+func (r *Runner) WSJ() (*dataset.Dataset, *lists.MemIndex) {
+	if r.wsj == nil {
+		vocab := scale(12000, r.Cfg.Scale)
+		meanTerms := vocab / 200
+		if meanTerms < 6 {
+			meanTerms = 6
+		}
+		if meanTerms > 60 {
+			meanTerms = 60
+		}
+		r.wsj = dataset.GenerateWSJ(dataset.WSJConfig{
+			Docs:      scale(8000, r.Cfg.Scale),
+			Vocab:     vocab,
+			MeanTerms: meanTerms,
+			Seed:      r.Cfg.Seed + 1,
+		})
+		r.wsjIx = r.wsj.Index()
+	}
+	return r.wsj, r.wsjIx
+}
+
+// KB returns the (cached) KB-like feature set and its index.
+func (r *Runner) KB() (*dataset.Dataset, *lists.MemIndex) {
+	if r.kb == nil {
+		r.kb = dataset.GenerateKB(dataset.KBConfig{
+			Images:   scale(8000, r.Cfg.Scale),
+			Features: scale(1200, r.Cfg.Scale),
+			Seed:     r.Cfg.Seed + 2,
+		})
+		r.kbIx = r.kb.Index()
+	}
+	return r.kb, r.kbIx
+}
+
+// ST returns the (cached) correlated synthetic dataset and its index.
+func (r *Runner) ST() (*dataset.Dataset, *lists.MemIndex) {
+	if r.st == nil {
+		r.st = dataset.GenerateST(dataset.STConfig{
+			N:    scale(50000, r.Cfg.Scale),
+			Seed: r.Cfg.Seed + 3,
+		})
+		r.stIx = r.st.Index()
+	}
+	return r.st, r.stIx
+}
+
+// sampleQueries draws the per-point query workload; the same workload is
+// replayed for every method so comparisons are paired.
+func (r *Runner) sampleQueries(d *dataset.Dataset, qlen, k int) []vec.Query {
+	return r.sampleQueriesDF(d, qlen, k, 3*k+20)
+}
+
+// sampleQueriesDF is sampleQueries with an explicit document-frequency
+// floor. Fig. 13 keeps the floor constant while k grows: rare terms must
+// stay eligible for the paper's "Prune improves with k" effect (a larger
+// result absorbs a rare term's entire list, emptying CH_j).
+func (r *Runner) sampleQueriesDF(d *dataset.Dataset, qlen, k, minDF int) []vec.Query {
+	rng := rand.New(rand.NewSource(r.Cfg.Seed + int64(qlen)*1009 + int64(k)*9176))
+	queries := make([]vec.Query, 0, r.Cfg.Queries)
+	for len(queries) < r.Cfg.Queries {
+		q, err := d.SampleQuery(rng, qlen, minDF)
+		if err != nil {
+			// Degrade the df requirement rather than fail on tiny scales.
+			minDF /= 2
+			if minDF == 0 {
+				panic(fmt.Sprintf("exp: cannot sample qlen=%d queries on %s", qlen, d.Name))
+			}
+			continue
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// measure runs one method over the query workload and averages metrics.
+// Each query gets a fresh TA run (its cost is common to all methods and
+// excluded, as the paper's Phase-2-centric charts do).
+func (r *Runner) measure(ix lists.Index, queries []vec.Query, k int, opts core.Options) Point {
+	var p Point
+	for _, q := range queries {
+		ta := topk.New(ix, q, k, topk.BestList)
+		ta.Run()
+		out, err := core.Compute(ta, opts)
+		if err != nil {
+			panic(fmt.Sprintf("exp: compute: %v", err))
+		}
+		m := out.Metrics
+		p.Evaluated += m.EvaluatedPerDimAvg()
+		p.CPU += m.CPU()
+		p.IO += r.Cfg.Disk.Time(m.SeqPages, m.RandReads)
+		p.MemBytes += float64(m.MemBytes)
+		p.SeqPages += float64(m.SeqPages)
+		p.RandReads += float64(m.RandReads)
+	}
+	n := float64(len(queries))
+	p.Evaluated /= n
+	p.CPU = time.Duration(float64(p.CPU) / n)
+	p.IO = time.Duration(float64(p.IO) / n)
+	p.MemBytes /= n
+	p.SeqPages /= n
+	p.RandReads /= n
+	return p
+}
+
+// sweep runs all four methods across xs, building one Series per method.
+func (r *Runner) sweep(ix lists.Index, xs []float64, mk func(x float64) ([]vec.Query, int, core.Options)) []Series {
+	series := make([]Series, len(core.Methods))
+	for mi, method := range core.Methods {
+		series[mi].Label = method.String()
+	}
+	for _, x := range xs {
+		queries, k, opts := mk(x)
+		for mi, method := range core.Methods {
+			o := opts
+			o.Method = method
+			pt := r.measure(ix, queries, k, o)
+			pt.X = x
+			series[mi].Points = append(series[mi].Points, pt)
+		}
+	}
+	return series
+}

@@ -1,0 +1,283 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// tinyRunner keeps smoke tests fast: small datasets, 2 queries. The
+// scale stays above the point where the WSJ corpus would leave its
+// sparse co-occurrence regime.
+func tinyRunner() *Runner {
+	return NewRunner(Config{Queries: 2, Scale: 0.15, Seed: 1})
+}
+
+func checkFigure(t *testing.T, f Figure, wantSeries int) {
+	t.Helper()
+	if len(f.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", f.ID, len(f.Series), wantSeries)
+	}
+	for _, s := range f.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("%s/%s: no points", f.ID, s.Label)
+		}
+		for _, p := range s.Points {
+			if p.Evaluated < 0 || p.CPU < 0 || p.IO < 0 {
+				t.Fatalf("%s/%s: negative metric %+v", f.ID, s.Label, p)
+			}
+		}
+	}
+}
+
+// seriesByLabel returns the series with the given label.
+func seriesByLabel(t *testing.T, f Figure, label string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("%s: no series %q", f.ID, label)
+	return Series{}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	f := tinyRunner().Fig10()
+	checkFigure(t, f, 4)
+	scan := seriesByLabel(t, f, "Scan")
+	cpt := seriesByLabel(t, f, "CPT")
+	for i := range scan.Points {
+		if cpt.Points[i].Evaluated > scan.Points[i].Evaluated {
+			t.Errorf("qlen=%v: CPT evaluated %v > Scan %v",
+				scan.Points[i].X, cpt.Points[i].Evaluated, scan.Points[i].Evaluated)
+		}
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	r := NewRunner(Config{Queries: 2, Scale: 0.05, Seed: 3})
+	d, ix := r.ST()
+	queries := r.sampleQueries(d, 3, 5)
+	scan := r.measure(ix, queries, 5, core.Options{Method: core.MethodScan})
+	prune := r.measure(ix, queries, 5, core.Options{Method: core.MethodPrune})
+	// On fully correlated dense data C0/CH are empty: pruning must be a
+	// no-op, evaluating exactly what Scan evaluates (paper Fig. 11).
+	if prune.Evaluated != scan.Evaluated {
+		t.Errorf("ST: Prune evaluated %v != Scan %v; pruning should be inert", prune.Evaluated, scan.Evaluated)
+	}
+	thres := r.measure(ix, queries, 5, core.Options{Method: core.MethodThres})
+	if thres.Evaluated >= scan.Evaluated {
+		t.Errorf("ST: Thres evaluated %v >= Scan %v; thresholding should bite", thres.Evaluated, scan.Evaluated)
+	}
+}
+
+func TestFig12Smoke(t *testing.T) {
+	r := tinyRunner()
+	d, ix := r.KB()
+	queries := r.sampleQueries(d, 6, 5)
+	scan := r.measure(ix, queries, 5, core.Options{Method: core.MethodScan})
+	cpt := r.measure(ix, queries, 5, core.Options{Method: core.MethodCPT})
+	if cpt.Evaluated > scan.Evaluated {
+		t.Errorf("KB: CPT evaluated %v > Scan %v", cpt.Evaluated, scan.Evaluated)
+	}
+}
+
+func TestFig16Smoke(t *testing.T) {
+	r := tinyRunner()
+	d, ix := r.WSJ()
+	queries := r.sampleQueries(d, 3, 5)
+	for _, method := range core.Methods {
+		normal := r.measure(ix, queries, 5, core.Options{Method: method})
+		comp := r.measure(ix, queries, 5, core.Options{Method: method, CompositionOnly: true})
+		// Composition-only regions are at least as wide, so the work can
+		// only grow or stay similar; the key invariant is that both
+		// complete and meter sanely.
+		if comp.Evaluated < 0 || normal.Evaluated < 0 {
+			t.Fatalf("%v: negative evaluation counts", method)
+		}
+	}
+}
+
+func TestFig14Smoke(t *testing.T) {
+	r := tinyRunner()
+	d, ix := r.WSJ()
+	queries := r.sampleQueries(d, 3, 5)
+	for _, phi := range []int{0, 3} {
+		scan := r.measure(ix, queries, 5, core.Options{Method: core.MethodScan, Phi: phi})
+		cpt := r.measure(ix, queries, 5, core.Options{Method: core.MethodCPT, Phi: phi})
+		if cpt.Evaluated > scan.Evaluated {
+			t.Errorf("phi=%d: CPT evaluated %v > Scan %v", phi, cpt.Evaluated, scan.Evaluated)
+		}
+	}
+}
+
+func TestFig15Smoke(t *testing.T) {
+	r := NewRunner(Config{Queries: 1, Scale: 0.05, Seed: 2})
+	d, ix := r.WSJ()
+	queries := r.sampleQueries(d, 3, 5)
+	oneoff := r.measure(ix, queries, 5, core.Options{Method: core.MethodCPT, Phi: 4})
+	iter := r.measure(ix, queries, 5, core.Options{Method: core.MethodCPT, Phi: 4, Iterative: true})
+	if iter.Evaluated < oneoff.Evaluated {
+		t.Errorf("iterative evaluated %v < one-off %v; iteration should cost more", iter.Evaluated, oneoff.Evaluated)
+	}
+}
+
+func TestFig6Scatter(t *testing.T) {
+	r := tinyRunner()
+	for _, useST := range []bool{false, true} {
+		rows := r.Fig6(useST)
+		results, cands := 0, 0
+		for _, row := range rows {
+			switch row.Class {
+			case "result":
+				results++
+			case "candidate":
+				cands++
+			default:
+				t.Fatalf("unknown class %q", row.Class)
+			}
+			if row.Score < 0 || row.Coord < 0 || row.Coord > 1 {
+				t.Fatalf("implausible row %+v", row)
+			}
+		}
+		if results == 0 || cands == 0 {
+			t.Fatalf("useST=%v: %d results, %d candidates", useST, results, cands)
+		}
+	}
+}
+
+func TestFig7Partitions(t *testing.T) {
+	stats := tinyRunner().Fig7()
+	if len(stats) != 3 {
+		t.Fatalf("%d partition rows", len(stats))
+	}
+	for _, ps := range stats {
+		total := ps.C0 + ps.CH + ps.CL
+		if ps.CandidateTotal > 0 && total == 0 {
+			t.Errorf("%s: candidates exist but partitions empty", ps.Dataset)
+		}
+		// Every candidate falls in exactly one class per dimension.
+		if ps.CandidateTotal > 0 && (total < ps.CandidateTotal*0.99 || total > ps.CandidateTotal*1.01) {
+			t.Errorf("%s: classes sum to %v per dim, want ≈ total %v", ps.Dataset, total, ps.CandidateTotal)
+		}
+	}
+	// The structural contrast the paper draws: singles dominate WSJ,
+	// multis dominate ST.
+	var wsj, st PartitionStats
+	for _, ps := range stats {
+		if ps.Dataset == "WSJ" {
+			wsj = ps
+		}
+		if ps.Dataset == "ST" {
+			st = ps
+		}
+	}
+	if wsj.CL > wsj.C0+wsj.CH {
+		t.Errorf("WSJ: CL=%v dominates C0+CH=%v; want the opposite", wsj.CL, wsj.C0+wsj.CH)
+	}
+	if st.CandidateTotal > 0 && st.CL < st.CH {
+		t.Errorf("ST: CL=%v < CH=%v; want CL to dominate", st.CL, st.CH)
+	}
+}
+
+func TestPhaseBreakdown(t *testing.T) {
+	rows := tinyRunner().PhaseBreakdown()
+	if len(rows) != 4 {
+		t.Fatalf("%d phase rows", len(rows))
+	}
+	for _, pc := range rows {
+		if pc.Phase1 < 0 || pc.Phase2 < 0 || pc.Phase3 < 0 {
+			t.Errorf("%s: negative phase time", pc.Method)
+		}
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	rows := tinyRunner().Headline()
+	if len(rows) == 0 {
+		t.Fatal("no headline rows")
+	}
+	for _, row := range rows {
+		if row.CPT > row.Scan {
+			t.Errorf("%s: CPT %v > Scan %v", row.Workload, row.CPT, row.Scan)
+		}
+		if row.Scan > 0 && row.Ratio < 1 {
+			t.Errorf("%s: ratio %v < 1", row.Workload, row.Ratio)
+		}
+	}
+}
+
+func TestSTBComparison(t *testing.T) {
+	r := tinyRunner()
+	cmp := r.STB()
+	if cmp.Queries == 0 {
+		t.Fatal("no queries")
+	}
+	d, _ := r.WSJ()
+	wantScan := float64(d.N() - 10)
+	if cmp.STBScanned != wantScan {
+		t.Errorf("STB scanned %v, want all %v non-result tuples", cmp.STBScanned, wantScan)
+	}
+	if cmp.CPTEvaluated >= cmp.STBScanned {
+		t.Errorf("CPT evaluated %v >= STB scan %v", cmp.CPTEvaluated, cmp.STBScanned)
+	}
+	// ρ must not exceed the smallest axis-parallel region extent: the
+	// region endpoints lie on constraint hyperplanes, so the minimal
+	// hyperplane distance is a lower bound on neither — but the minimal
+	// axis extent is an upper bound on ρ along that axis direction.
+	if cmp.MeanRho > cmp.MeanMinIRExtent+1e-9 {
+		t.Errorf("mean rho %v exceeds mean min IR extent %v", cmp.MeanRho, cmp.MeanMinIRExtent)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r := tinyRunner()
+	probing := r.AblationProbing()
+	if len(probing) != 3 {
+		t.Fatalf("%d probing rows", len(probing))
+	}
+	var ta, nra AblationRow
+	for _, row := range probing {
+		if row.Name == "TA/best-list" {
+			ta = row
+		}
+		if row.Name == "NRA" {
+			nra = row
+		}
+	}
+	if nra.RandReads != 0 {
+		t.Errorf("NRA performed %v random reads", nra.RandReads)
+	}
+	if nra.SortedAccesses < ta.SortedAccesses {
+		t.Errorf("NRA sorted accesses %v < TA %v", nra.SortedAccesses, ta.SortedAccesses)
+	}
+	sched := r.AblationSchedule()
+	if len(sched) != 2 {
+		t.Fatalf("%d schedule rows", len(sched))
+	}
+	for _, row := range sched {
+		if row.Evaluated <= 0 {
+			t.Errorf("%s evaluated %v", row.Name, row.Evaluated)
+		}
+	}
+}
+
+func TestFigureWriters(t *testing.T) {
+	f := tinyRunner().Fig10()
+	var tbl, csv bytes.Buffer
+	f.WriteTable(&tbl)
+	f.WriteCSV(&csv)
+	if !strings.Contains(tbl.String(), "evaluated candidates / dimension") {
+		t.Error("table missing metric header")
+	}
+	if !strings.Contains(csv.String(), "method,qlen") {
+		t.Error("csv missing header")
+	}
+	lines := strings.Count(csv.String(), "\n")
+	if lines < 4*5 {
+		t.Errorf("csv has %d lines, want >= 20", lines)
+	}
+}

@@ -1,0 +1,445 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/lists"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Fig10 — WSJ, k=10, qlen 2..10: evaluated candidates/dim, I/O, CPU and
+// memory footprint for Scan/Thres/Prune/CPT (paper Fig. 10a–d).
+func (r *Runner) Fig10() Figure {
+	d, ix := r.WSJ()
+	xs := []float64{2, 4, 6, 8, 10}
+	series := r.sweep(ix, xs, func(x float64) ([]vec.Query, int, core.Options) {
+		return r.sampleQueries(d, int(x), 10), 10, core.Options{}
+	})
+	return Figure{
+		ID: "fig10", Title: "WSJ corpus, k=10, varying query length",
+		XLabel: "qlen", Series: series,
+		Notes: "expect: Prune ≪ Scan (singleton candidates dominate); CPT best overall",
+	}
+}
+
+// Fig11 — ST (correlated), k=10, qlen 2..10: evaluated candidates and
+// CPU (paper Fig. 11a–b). Pruning is expected to be ineffective here.
+func (r *Runner) Fig11() Figure {
+	d, ix := r.ST()
+	xs := []float64{2, 4, 6, 8, 10}
+	series := r.sweep(ix, xs, func(x float64) ([]vec.Query, int, core.Options) {
+		return r.sampleQueries(d, int(x), 10), 10, core.Options{}
+	})
+	return Figure{
+		ID: "fig11", Title: "Synthetic correlated data, k=10, varying query length",
+		XLabel: "qlen", Series: series,
+		Notes: "expect: Prune ≈ Scan (CL dominates); Thres carries CPT",
+	}
+}
+
+// Fig12 — KB, k=10, qlen 2..48: evaluated candidates and CPU (paper
+// Fig. 12a–b). All three candidate classes are sizable.
+func (r *Runner) Fig12() Figure {
+	d, ix := r.KB()
+	xs := []float64{2, 8, 16, 32, 48}
+	series := r.sweep(ix, xs, func(x float64) ([]vec.Query, int, core.Options) {
+		return r.sampleQueries(d, int(x), 10), 10, core.Options{}
+	})
+	return Figure{
+		ID: "fig12", Title: "KB image features, k=10, varying query length",
+		XLabel: "qlen", Series: series,
+		Notes: "expect: both pruning and thresholding effective; CPT best",
+	}
+}
+
+// Fig13 — WSJ and ST, qlen=4, k 10..80 (paper Fig. 13a–d). Scan degrades
+// with k; Prune/Thres/CPT improve or stay flat on WSJ.
+func (r *Runner) Fig13() (wsj, st Figure) {
+	dw, ixw := r.WSJ()
+	xs := []float64{10, 20, 40, 80}
+	mkw := func(x float64) ([]vec.Query, int, core.Options) {
+		// Constant df floor: rare query terms must stay eligible as k
+		// grows, or the Fig. 13 pruning effect disappears (see
+		// sampleQueriesDF).
+		return r.sampleQueriesDF(dw, 4, int(x), 50), int(x), core.Options{}
+	}
+	wsj = Figure{
+		ID: "fig13-wsj", Title: "WSJ corpus, qlen=4, varying k",
+		XLabel: "k", Series: r.sweep(ixw, xs, mkw),
+		Notes: "expect: Scan grows with k; Prune/Thres/CPT flat or improving",
+	}
+	ds, ixs := r.ST()
+	mks := func(x float64) ([]vec.Query, int, core.Options) {
+		return r.sampleQueries(ds, 4, int(x)), int(x), core.Options{}
+	}
+	st = Figure{
+		ID: "fig13-st", Title: "Synthetic correlated data, qlen=4, varying k",
+		XLabel: "k", Series: r.sweep(ixs, xs, mks),
+		Notes: "expect: Prune tracks Scan; CPT relies on thresholding",
+	}
+	return wsj, st
+}
+
+// Fig14 — WSJ, k=10, qlen=4, φ 0..40: evaluated candidates, I/O and CPU
+// (paper Fig. 14a–c). Scan/Thres degrade with φ much faster than
+// Prune/CPT.
+func (r *Runner) Fig14() Figure {
+	d, ix := r.WSJ()
+	xs := []float64{0, 10, 20, 40}
+	queries := r.sampleQueries(d, 4, 10)
+	series := r.sweep(ix, xs, func(x float64) ([]vec.Query, int, core.Options) {
+		return queries, 10, core.Options{Phi: int(x)}
+	})
+	return Figure{
+		ID: "fig14", Title: "WSJ corpus, k=10, qlen=4, varying φ",
+		XLabel: "phi", Series: series,
+		Notes: "expect: Scan/Thres grow sharply with φ; Prune/CPT nearly flat",
+	}
+}
+
+// Fig15 — one-off versus iterative processing for φ>0, Prune and CPT
+// (paper Fig. 15a–b).
+func (r *Runner) Fig15() Figure {
+	d, ix := r.WSJ()
+	xs := []float64{1, 5, 10, 20, 40}
+	queries := r.sampleQueries(d, 4, 10)
+	var series []Series
+	for _, method := range []core.Method{core.MethodPrune, core.MethodCPT} {
+		for _, iterative := range []bool{false, true} {
+			label := method.String()
+			if iterative {
+				label += "-iterative"
+			} else {
+				label += "-oneoff"
+			}
+			s := Series{Label: label}
+			for _, x := range xs {
+				pt := r.measure(ix, queries, 10, core.Options{Method: method, Phi: int(x), Iterative: iterative})
+				pt.X = x
+				s.Points = append(s.Points, pt)
+			}
+			series = append(series, s)
+		}
+	}
+	return Figure{
+		ID: "fig15", Title: "One-off vs iterative processing, WSJ, k=10, qlen=4",
+		XLabel: "phi", Series: series,
+		Notes: "expect: iterative cost grows ~linearly in φ relative to one-off",
+	}
+}
+
+// Fig16 — WSJ, composition-only perturbations (reorderings ignored),
+// φ=0, k=10, qlen 2..10 (paper Fig. 16a–c).
+func (r *Runner) Fig16() Figure {
+	d, ix := r.WSJ()
+	xs := []float64{2, 4, 6, 8, 10}
+	series := r.sweep(ix, xs, func(x float64) ([]vec.Query, int, core.Options) {
+		return r.sampleQueries(d, int(x), 10), 10, core.Options{CompositionOnly: true}
+	})
+	return Figure{
+		ID: "fig16", Title: "WSJ corpus, composition-only perturbations, k=10",
+		XLabel: "qlen", Series: series,
+		Notes: "expect: same ordering as Fig. 10 with Thres less effective",
+	}
+}
+
+// ScatterRow is one tuple in the Fig. 6/7 score–coordinate scatter.
+type ScatterRow struct {
+	Class string  // "result" or "candidate"
+	Coord float64 // coordinate on the first query dimension
+	Score float64
+	NZ    int // non-zero query dimensions (class partition of Fig. 7)
+}
+
+// Fig6 — the score-vs-coordinate scatter of result and candidate tuples
+// for one qlen=4, k=10 query (paper Fig. 6a on WSJ, 6b on ST).
+func (r *Runner) Fig6(useST bool) []ScatterRow {
+	var d *dataset.Dataset
+	var ix *lists.MemIndex
+	if useST {
+		d, ix = r.ST()
+	} else {
+		d, ix = r.WSJ()
+	}
+	rng := rand.New(rand.NewSource(r.Cfg.Seed + 66))
+	q, err := d.SampleQuery(rng, 4, 50)
+	if err != nil {
+		panic(err)
+	}
+	// Equal weights, as in the paper's illustration.
+	for i := range q.Weights {
+		q.Weights[i] = 0.5
+	}
+	ta := topk.New(ix, q, 10, topk.BestList)
+	ta.Run()
+	var rows []ScatterRow
+	for _, sc := range ta.Result() {
+		rows = append(rows, ScatterRow{Class: "result", Coord: sc.Proj[0], Score: sc.Score, NZ: sc.NonZero()})
+	}
+	for _, sc := range ta.Candidates() {
+		rows = append(rows, ScatterRow{Class: "candidate", Coord: sc.Proj[0], Score: sc.Score, NZ: sc.NonZero()})
+	}
+	return rows
+}
+
+// PartitionStats are the per-dimension candidate-class sizes of Fig. 7.
+type PartitionStats struct {
+	Dataset        string
+	C0, CH, CL     float64 // mean class sizes over queries and dimensions
+	CandidateTotal float64
+}
+
+// Fig7 measures the average candidate partition sizes per query
+// dimension on all three datasets (the structure behind Fig. 6/7).
+func (r *Runner) Fig7() []PartitionStats {
+	var out []PartitionStats
+	for _, pick := range []string{"WSJ", "KB", "ST"} {
+		var d *dataset.Dataset
+		var ix *lists.MemIndex
+		switch pick {
+		case "WSJ":
+			d, ix = r.WSJ()
+		case "KB":
+			d, ix = r.KB()
+		default:
+			d, ix = r.ST()
+		}
+		queries := r.sampleQueries(d, 4, 50)
+		ps := PartitionStats{Dataset: pick}
+		var dims float64
+		for _, q := range queries {
+			ta := topk.New(ix, q, 10, topk.BestList)
+			ta.Run()
+			cands := ta.Candidates()
+			ps.CandidateTotal += float64(len(cands))
+			for jx := range q.Dims {
+				bit := uint64(1) << uint(jx)
+				for _, cd := range cands {
+					switch {
+					case cd.NZMask&bit == 0:
+						ps.C0++
+					case cd.NZMask == bit:
+						ps.CH++
+					default:
+						ps.CL++
+					}
+				}
+				dims++
+			}
+		}
+		ps.C0 /= dims
+		ps.CH /= dims
+		ps.CL /= dims
+		ps.CandidateTotal /= float64(len(queries))
+		out = append(out, ps)
+	}
+	return out
+}
+
+// PhaseCost is one row of the §7.2 phase-cost breakdown.
+type PhaseCost struct {
+	Method                 string
+	Phase1, Phase2, Phase3 time.Duration
+	Phase3Pulled           float64
+}
+
+// PhaseBreakdown reproduces the §7.2 observation that Phase 2 dominates:
+// per-method CPU split across the three phases (WSJ, k=10, qlen=4).
+func (r *Runner) PhaseBreakdown() []PhaseCost {
+	d, ix := r.WSJ()
+	queries := r.sampleQueries(d, 4, 10)
+	var out []PhaseCost
+	for _, method := range core.Methods {
+		pc := PhaseCost{Method: method.String()}
+		for _, q := range queries {
+			ta := topk.New(ix, q, 10, topk.BestList)
+			ta.Run()
+			res, err := core.Compute(ta, core.Options{Method: method})
+			if err != nil {
+				panic(err)
+			}
+			pc.Phase1 += res.Metrics.Phase1
+			pc.Phase2 += res.Metrics.Phase2
+			pc.Phase3 += res.Metrics.Phase3
+			pc.Phase3Pulled += float64(res.Metrics.Phase3Pulled)
+		}
+		n := time.Duration(len(queries))
+		pc.Phase1 /= n
+		pc.Phase2 /= n
+		pc.Phase3 /= n
+		pc.Phase3Pulled /= float64(len(queries))
+		out = append(out, pc)
+	}
+	return out
+}
+
+// HeadlineRow is the Scan/CPT evaluated-candidate ratio on one workload —
+// the paper's abstract claims 2× to >500×.
+type HeadlineRow struct {
+	Workload string
+	Scan     float64
+	CPT      float64
+	Ratio    float64
+}
+
+// Headline computes the Scan-vs-CPT reduction across representative
+// workloads (one per dataset plus a large-φ one).
+func (r *Runner) Headline() []HeadlineRow {
+	type workload struct {
+		name string
+		ix   lists.Index
+		qs   []vec.Query
+		k    int
+		opts core.Options
+	}
+	dw, ixw := r.WSJ()
+	dk, ixk := r.KB()
+	ds, ixs := r.ST()
+	wls := []workload{
+		{"WSJ qlen=4 k=10", ixw, r.sampleQueries(dw, 4, 10), 10, core.Options{}},
+		{"WSJ qlen=10 k=10", ixw, r.sampleQueries(dw, 10, 10), 10, core.Options{}},
+		{"WSJ qlen=4 k=10 phi=40", ixw, r.sampleQueries(dw, 4, 10), 10, core.Options{Phi: 40}},
+		{"KB qlen=16 k=10", ixk, r.sampleQueries(dk, 16, 10), 10, core.Options{}},
+		{"ST qlen=4 k=10", ixs, r.sampleQueries(ds, 4, 10), 10, core.Options{}},
+	}
+	var out []HeadlineRow
+	for _, wl := range wls {
+		scanOpts := wl.opts
+		scanOpts.Method = core.MethodScan
+		cptOpts := wl.opts
+		cptOpts.Method = core.MethodCPT
+		scan := r.measure(wl.ix, wl.qs, wl.k, scanOpts)
+		cpt := r.measure(wl.ix, wl.qs, wl.k, cptOpts)
+		row := HeadlineRow{Workload: wl.name, Scan: scan.Evaluated, CPT: cpt.Evaluated}
+		if cpt.Evaluated > 0 {
+			row.Ratio = scan.Evaluated / cpt.Evaluated
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// STBComparison contrasts immutable regions with the STB radius on one
+// workload: candidates examined and what each output offers (§2).
+type STBComparison struct {
+	Queries         int
+	STBScanned      float64 // tuples STB examines (all non-result)
+	CPTEvaluated    float64 // candidates CPT evaluates per query
+	MeanRho         float64
+	MeanMinIRExtent float64 // min axis bound magnitude, comparable to rho
+}
+
+// STB runs the Soliman-et-al. sensitivity radius next to CPT on a small
+// WSJ workload. STB must scan every non-result tuple; CPT touches a
+// handful — the §2 positioning, quantified. (Uses the raw tuple set: STB
+// has no index support.)
+func (r *Runner) STB() STBComparison {
+	d, ix := r.WSJ()
+	queries := r.sampleQueries(d, 4, 10)
+	if len(queries) > 10 {
+		queries = queries[:10] // STB is O(n) per query; keep this modest
+	}
+	out := STBComparison{Queries: len(queries)}
+	for _, q := range queries {
+		res := stbRadius(d, q, 10)
+		out.STBScanned += float64(res.scanned)
+		out.MeanRho += res.rho
+
+		ta := topk.New(ix, q, 10, topk.BestList)
+		ta.Run()
+		cptOut, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+		if err != nil {
+			panic(err)
+		}
+		out.CPTEvaluated += float64(cptOut.Metrics.Evaluated)
+		// Minimal perturbation-backed extent; domain-edge bounds are
+		// excluded (ρ ignores the [0,1] weight domain, so only bounds
+		// caused by an actual perturbation are comparable to it).
+		minExtent := 1.0
+		for _, reg := range cptOut.Regions {
+			if len(reg.Left) > 0 && -reg.Lo < minExtent {
+				minExtent = -reg.Lo
+			}
+			if len(reg.Right) > 0 && reg.Hi < minExtent {
+				minExtent = reg.Hi
+			}
+		}
+		out.MeanMinIRExtent += minExtent
+	}
+	n := float64(len(queries))
+	out.STBScanned /= n
+	out.CPTEvaluated /= n
+	out.MeanRho /= n
+	out.MeanMinIRExtent /= n
+	return out
+}
+
+// WriteCSV emits the figure's series as CSV.
+func (f Figure) WriteCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "method,%s,evaluated_per_dim,io_ms,cpu_ms,mem_bytes,seq_pages,rand_reads\n", f.XLabel)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%s,%g,%.2f,%.3f,%.3f,%.0f,%.1f,%.1f\n",
+				s.Label, p.X, p.Evaluated,
+				float64(p.IO)/1e6, float64(p.CPU)/1e6, p.MemBytes, p.SeqPages, p.RandReads)
+		}
+	}
+}
+
+// WriteTable renders the figure as aligned text, one block per metric,
+// mirroring the paper's chart panels.
+func (f Figure) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(w, "   (%s)\n", f.Notes)
+	}
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	metric := func(name string, get func(Point) float64, format string) {
+		fmt.Fprintf(w, "-- %s --\n", name)
+		fmt.Fprintf(w, "%-16s", f.XLabel+" \\ method")
+		for _, s := range f.Series {
+			fmt.Fprintf(w, "%14s", s.Label)
+		}
+		fmt.Fprintln(w)
+		for _, x := range xs {
+			fmt.Fprintf(w, "%-16g", x)
+			for _, s := range f.Series {
+				found := false
+				for _, p := range s.Points {
+					if p.X == x {
+						fmt.Fprintf(w, format, get(p))
+						found = true
+						break
+					}
+				}
+				if !found {
+					fmt.Fprintf(w, "%14s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	metric("evaluated candidates / dimension", func(p Point) float64 { return p.Evaluated }, "%14.1f")
+	metric("modeled I/O time (ms)", func(p Point) float64 { return float64(p.IO) / 1e6 }, "%14.2f")
+	metric("CPU time (ms)", func(p Point) float64 { return float64(p.CPU) / 1e6 }, "%14.3f")
+	metric("memory footprint (KiB)", func(p Point) float64 { return p.MemBytes / 1024 }, "%14.1f")
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,18 @@
+package exp
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/stb"
+	"repro/internal/vec"
+)
+
+type stbResult struct {
+	rho     float64
+	scanned int
+}
+
+// stbRadius adapts the stb package to the harness types.
+func stbRadius(d *dataset.Dataset, q vec.Query, k int) stbResult {
+	res := stb.Radius(d.Tuples, q, k)
+	return stbResult{rho: res.Rho, scanned: res.Scanned}
+}

@@ -1,0 +1,188 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PiecewiseLinear is a continuous piecewise-linear function over a closed
+// domain [Breaks[0], Breaks[len-1]]. Segment i covers
+// [Breaks[i], Breaks[i+1]] and evaluates Lines[i]. The φ>0 machinery uses
+// it to represent the score of the k-th ranked tuple as the weight
+// deviation x varies (the "lower envelope" of §6, Fig. 9).
+type PiecewiseLinear struct {
+	Breaks []float64
+	Lines  []Line
+}
+
+// Domain returns the function's domain endpoints.
+func (p PiecewiseLinear) Domain() (lo, hi float64) {
+	return p.Breaks[0], p.Breaks[len(p.Breaks)-1]
+}
+
+// Eval evaluates the function at x, clamped to the domain.
+func (p PiecewiseLinear) Eval(x float64) float64 {
+	return p.segmentAt(x).Eval(x)
+}
+
+// segmentAt returns the line active at x (clamped to the domain).
+func (p PiecewiseLinear) segmentAt(x float64) Line {
+	n := len(p.Lines)
+	if n == 0 {
+		panic("geom: empty PiecewiseLinear")
+	}
+	i := sort.SearchFloat64s(p.Breaks, x) // first break >= x
+	switch {
+	case i <= 0:
+		return p.Lines[0]
+	case i >= len(p.Breaks):
+		return p.Lines[n-1]
+	default:
+		return p.Lines[i-1]
+	}
+}
+
+// SegmentIDAt returns the ID of the line active at x — for the envelope,
+// the identity of the k-th ranked tuple at deviation x.
+func (p PiecewiseLinear) SegmentIDAt(x float64) int { return p.segmentAt(x).ID }
+
+// Truncate restricts the domain to [lo, hi] ⊆ current domain.
+func (p PiecewiseLinear) Truncate(lo, hi float64) PiecewiseLinear {
+	curLo, curHi := p.Domain()
+	lo = math.Max(lo, curLo)
+	hi = math.Min(hi, curHi)
+	if lo > hi {
+		lo = hi
+	}
+	var breaks []float64
+	var lines []Line
+	breaks = append(breaks, lo)
+	for i := 0; i < len(p.Lines); i++ {
+		segLo, segHi := p.Breaks[i], p.Breaks[i+1]
+		if segHi <= lo || segLo >= hi {
+			continue
+		}
+		lines = append(lines, p.Lines[i])
+		breaks = append(breaks, math.Min(segHi, hi))
+	}
+	if len(lines) == 0 {
+		lines = []Line{p.segmentAt(lo)}
+		breaks = []float64{lo, hi}
+	}
+	breaks[len(breaks)-1] = hi
+	return PiecewiseLinear{Breaks: breaks, Lines: lines}
+}
+
+// MinDiff returns the minimum of p(x) - l(x) over the domain. Because
+// both functions are piecewise linear, the minimum is attained at a
+// breakpoint or a domain endpoint.
+func (p PiecewiseLinear) MinDiff(l Line) float64 {
+	min := math.Inf(1)
+	for _, x := range p.Breaks {
+		if d := p.Eval(x) - l.Eval(x); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// AboveLine reports whether p(x) >= l(x) over the entire domain; the
+// termination test "threshold line does not intersect the lower
+// envelope" of §6.
+func (p PiecewiseLinear) AboveLine(l Line) bool { return p.MinDiff(l) >= 0 }
+
+// FirstCrossingAbove returns the smallest x in the domain where
+// l(x) > p(x), i.e. where the line climbs strictly above the envelope,
+// and ok=false if it never does. This is the entry point of a candidate
+// into the top-k result.
+func (p PiecewiseLinear) FirstCrossingAbove(l Line) (float64, bool) {
+	for i := 0; i < len(p.Lines); i++ {
+		lo, hi := p.Breaks[i], p.Breaks[i+1]
+		seg := p.Lines[i]
+		dLo := l.Eval(lo) - seg.Eval(lo)
+		dHi := l.Eval(hi) - seg.Eval(hi)
+		if dLo > 0 {
+			return lo, true
+		}
+		if dHi <= 0 {
+			continue
+		}
+		// crosses inside (lo, hi]
+		x, ok := l.IntersectX(seg)
+		if !ok {
+			continue
+		}
+		if x < lo {
+			x = lo
+		}
+		if x > hi {
+			x = hi
+		}
+		return x, true
+	}
+	return 0, false
+}
+
+func (p PiecewiseLinear) String() string {
+	return fmt.Sprintf("pwl{breaks=%v}", p.Breaks)
+}
+
+// validate checks structural invariants; used by tests.
+func (p PiecewiseLinear) validate() error {
+	if len(p.Breaks) != len(p.Lines)+1 {
+		return fmt.Errorf("geom: %d breaks for %d lines", len(p.Breaks), len(p.Lines))
+	}
+	for i := 1; i < len(p.Breaks); i++ {
+		if p.Breaks[i] < p.Breaks[i-1] {
+			return fmt.Errorf("geom: breaks out of order at %d", i)
+		}
+	}
+	return nil
+}
+
+// LowerEnvelope computes the pointwise minimum of lines over [xmin, xmax].
+// With exactly k result tuples this is the score of the k-th ranked one —
+// the initial result boundary of §6.
+func LowerEnvelope(lines []Line, xmin, xmax float64) PiecewiseLinear {
+	return KthEnvelope(lines, len(lines), xmin, xmax)
+}
+
+// UpperEnvelope computes the pointwise maximum of lines over [xmin, xmax].
+func UpperEnvelope(lines []Line, xmin, xmax float64) PiecewiseLinear {
+	return KthEnvelope(lines, 1, xmin, xmax)
+}
+
+// KthEnvelope computes the piecewise-linear function giving the k-th
+// highest of lines (k=1 is the upper envelope, k=len(lines) the lower).
+// It runs the arrangement sweep and records every x where the identity of
+// the rank-k line changes. Complexity O((n + I) log n) with I the number
+// of crossings in the window — ample for the k + O(φ) lines the
+// immutable-region boundary tracks.
+func KthEnvelope(lines []Line, k int, xmin, xmax float64) PiecewiseLinear {
+	if len(lines) == 0 {
+		panic("geom: KthEnvelope of no lines")
+	}
+	if k < 1 || k > len(lines) {
+		panic(fmt.Sprintf("geom: rank %d out of range [1,%d]", k, len(lines)))
+	}
+	sw := NewSweep(lines, xmin, xmax)
+	cur := lines[sw.Order()[k-1]]
+	breaks := []float64{xmin}
+	var segs []Line
+	for {
+		c, ok := sw.Next()
+		if !ok {
+			break
+		}
+		next := lines[sw.Order()[k-1]]
+		if next != cur {
+			breaks = append(breaks, c.X)
+			segs = append(segs, cur)
+			cur = next
+		}
+	}
+	breaks = append(breaks, xmax)
+	segs = append(segs, cur)
+	return PiecewiseLinear{Breaks: breaks, Lines: segs}
+}

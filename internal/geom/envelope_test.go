@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// kthHighestAt computes the rank-k value among lines at x by sorting.
+func kthHighestAt(lines []Line, k int, x float64) float64 {
+	vals := make([]float64, len(lines))
+	for i, l := range lines {
+		vals[i] = l.Eval(x)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	return vals[k-1]
+}
+
+// TestKthEnvelopeMatchesPointwise samples the envelope across its domain
+// and compares with direct rank computation.
+func TestKthEnvelopeMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(n)
+		lines := randLines(rng, n)
+		xmax := 0.5 + rng.Float64()
+		env := KthEnvelope(lines, k, 0, xmax)
+		if err := env.validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if lo, hi := env.Domain(); lo != 0 || hi != xmax {
+			t.Fatalf("trial %d: domain (%v,%v), want (0,%v)", trial, lo, hi, xmax)
+		}
+		for s := 0; s <= 40; s++ {
+			x := xmax * float64(s) / 40
+			want := kthHighestAt(lines, k, x)
+			if got := env.Eval(x); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d k=%d: env(%v)=%v, want %v", trial, k, x, got, want)
+			}
+		}
+	}
+}
+
+func TestLowerUpperEnvelope(t *testing.T) {
+	lines := []Line{{A: 0, B: 2, ID: 0}, {A: 1, B: 0, ID: 1}}
+	lower := LowerEnvelope(lines, 0, 2)
+	upper := UpperEnvelope(lines, 0, 2)
+	// cross at x=0.5: below it line0 is lower, above it line1.
+	if lower.SegmentIDAt(0.25) != 0 || lower.SegmentIDAt(1.0) != 1 {
+		t.Fatalf("lower envelope segments wrong: %v", lower)
+	}
+	if upper.SegmentIDAt(0.25) != 1 || upper.SegmentIDAt(1.0) != 0 {
+		t.Fatalf("upper envelope segments wrong: %v", upper)
+	}
+}
+
+// TestFirstCrossingAbove compares against dense sampling.
+func TestFirstCrossingAbove(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		lines := randLines(rng, n)
+		k := 1 + rng.Intn(n)
+		env := KthEnvelope(lines, k, 0, 1)
+		probe := Line{A: rng.Float64() - 0.5, B: 2 * (rng.Float64() - 0.25)}
+		x, ok := env.FirstCrossingAbove(probe)
+		// sample
+		firstSample, found := 0.0, false
+		for s := 0; s <= 2000; s++ {
+			xx := float64(s) / 2000
+			if probe.Eval(xx) > env.Eval(xx)+1e-12 {
+				firstSample, found = xx, true
+				break
+			}
+		}
+		if ok != found {
+			// Tolerate a hairline disagreement only when the crossing
+			// grazes the domain edge.
+			if found && firstSample > 0.999 {
+				continue
+			}
+			t.Fatalf("trial %d: ok=%v but sampling found=%v (first=%v)", trial, ok, found, firstSample)
+		}
+		if ok && math.Abs(x-firstSample) > 1e-3+1e-9 {
+			t.Fatalf("trial %d: crossing at %v, sampling says ~%v", trial, x, firstSample)
+		}
+	}
+}
+
+func TestAboveLineAndMinDiff(t *testing.T) {
+	env := KthEnvelope([]Line{{A: 1, B: 1, ID: 0}}, 1, 0, 1)
+	if !env.AboveLine(Line{A: 0.5, B: 1}) {
+		t.Fatal("parallel lower line should be below")
+	}
+	if env.AboveLine(Line{A: 0.5, B: 2}) {
+		t.Fatal("steeper line crosses inside the domain")
+	}
+	if d := env.MinDiff(Line{A: 0.5, B: 1}); math.Abs(d-0.5) > 1e-15 {
+		t.Fatalf("MinDiff = %v, want 0.5", d)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	lines := []Line{{A: 0, B: 2, ID: 0}, {A: 1, B: 0, ID: 1}}
+	env := LowerEnvelope(lines, 0, 2) // break at 0.5
+	tr := env.Truncate(0.25, 0.75)
+	if lo, hi := tr.Domain(); lo != 0.25 || hi != 0.75 {
+		t.Fatalf("Truncate domain (%v,%v)", lo, hi)
+	}
+	for s := 0; s <= 10; s++ {
+		x := 0.25 + 0.5*float64(s)/10
+		if math.Abs(tr.Eval(x)-env.Eval(x)) > 1e-15 {
+			t.Fatalf("Truncate changed values at %v", x)
+		}
+	}
+	// Truncating to a degenerate window still yields a usable function.
+	point := env.Truncate(0.5, 0.5)
+	if err := point.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKthEnvelopePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for rank out of range")
+		}
+	}()
+	KthEnvelope([]Line{{A: 1, B: 1}}, 2, 0, 1)
+}

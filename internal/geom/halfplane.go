@@ -1,0 +1,125 @@
+package geom
+
+import "math"
+
+// Halfplane is {(x,y) : A·x + B·y ≤ C}.
+type Halfplane struct {
+	A, B, C float64
+}
+
+// Contains reports whether p satisfies the halfplane (with tolerance).
+func (h Halfplane) Contains(p Point) bool {
+	return h.A*p.X+h.B*p.Y <= h.C+1e-12
+}
+
+// ClipPolygon intersects a convex polygon (counter-clockwise vertex
+// list) with a halfplane using the Sutherland–Hodgman rule. The result
+// is again convex and counter-clockwise; it may be empty.
+func ClipPolygon(poly []Point, h Halfplane) []Point {
+	if len(poly) == 0 {
+		return nil
+	}
+	side := func(p Point) float64 { return h.A*p.X + h.B*p.Y - h.C }
+	var out []Point
+	for i := range poly {
+		cur, nxt := poly[i], poly[(i+1)%len(poly)]
+		sc, sn := side(cur), side(nxt)
+		if sc <= 0 {
+			out = append(out, cur)
+		}
+		if (sc < 0 && sn > 0) || (sc > 0 && sn < 0) {
+			// edge crosses the boundary: add the intersection point
+			t := sc / (sc - sn)
+			out = append(out, Point{
+				X: cur.X + t*(nxt.X-cur.X),
+				Y: cur.Y + t*(nxt.Y-cur.Y),
+			})
+		}
+	}
+	return dedupePoints(out)
+}
+
+// IntersectHalfplanes clips the axis-aligned box [x0,x1]×[y0,y1] by every
+// halfplane, yielding the (possibly empty) convex intersection polygon in
+// counter-clockwise order. This is the 2-D validity-polygon construction
+// the paper's Fig. 3 depicts — feasible exactly because qlen = 2 (§2
+// notes the polyhedron complexity explodes with dimensionality).
+func IntersectHalfplanes(hs []Halfplane, x0, y0, x1, y1 float64) []Point {
+	poly := []Point{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}
+	for _, h := range hs {
+		poly = ClipPolygon(poly, h)
+		if len(poly) == 0 {
+			return nil
+		}
+	}
+	return poly
+}
+
+// dedupePoints removes consecutive (near-)duplicate vertices produced by
+// clipping through a vertex.
+func dedupePoints(poly []Point) []Point {
+	if len(poly) < 2 {
+		return poly
+	}
+	const eps = 1e-12
+	var out []Point
+	for _, p := range poly {
+		if len(out) > 0 {
+			q := out[len(out)-1]
+			if math.Abs(p.X-q.X) < eps && math.Abs(p.Y-q.Y) < eps {
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	if len(out) > 1 {
+		f, l := out[0], out[len(out)-1]
+		if math.Abs(f.X-l.X) < eps && math.Abs(f.Y-l.Y) < eps {
+			out = out[:len(out)-1]
+		}
+	}
+	return out
+}
+
+// PolygonArea returns the signed area of a polygon (positive for
+// counter-clockwise orientation).
+func PolygonArea(poly []Point) float64 {
+	s := 0.0
+	for i := range poly {
+		a, b := poly[i], poly[(i+1)%len(poly)]
+		s += a.X*b.Y - b.X*a.Y
+	}
+	return s / 2
+}
+
+// DistanceToBoundary returns the minimum distance from an interior point
+// p to the polygon's edges (0 if the polygon is degenerate).
+func DistanceToBoundary(p Point, poly []Point) float64 {
+	min := math.Inf(1)
+	for i := range poly {
+		a, b := poly[i], poly[(i+1)%len(poly)]
+		if d := pointSegmentDistance(p, a, b); d < min {
+			min = d
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+func pointSegmentDistance(p, a, b Point) float64 {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return math.Hypot(p.X-a.X, p.Y-a.Y)
+	}
+	t := ((p.X-a.X)*dx + (p.Y-a.Y)*dy) / l2
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return math.Hypot(p.X-(a.X+t*dx), p.Y-(a.Y+t*dy))
+}

@@ -1,0 +1,222 @@
+// Package lists provides the per-dimension inverted-list index of the
+// paper's system model (§3): for each dimension j an inverted list Lj of
+// 〈tuple, coordinate〉 entries sorted by descending coordinate, plus
+// random access to full tuples through an external file. Two
+// implementations share one interface: MemIndex keeps everything in
+// memory while still metering logical I/O (the paper's CPU charts stand
+// in for the memory-resident setting, §7.1), and DiskIndex reads the
+// storage package's on-disk formats.
+package lists
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+// Cursor provides sorted access to one inverted list, top (highest
+// coordinate) downward.
+type Cursor interface {
+	// Peek returns the next posting without consuming it.
+	Peek() (storage.Posting, bool)
+	// Next consumes and returns the next posting.
+	Next() (storage.Posting, bool)
+	// Consumed reports how many postings have been consumed.
+	Consumed() int
+}
+
+// Index is the query-facing view of a dataset: sorted access per
+// dimension and counted random access to tuples.
+type Index interface {
+	// NumTuples returns the dataset cardinality n.
+	NumTuples() int
+	// Dim returns the dimensionality m.
+	Dim() int
+	// ListLen returns the length of dimension dim's inverted list.
+	ListLen(dim int) int
+	// Cursor opens a fresh sorted-access cursor on dimension dim.
+	Cursor(dim int) Cursor
+	// Tuple fetches the full vector of tuple id (one random I/O).
+	Tuple(id int) vec.Sparse
+	// Stats exposes the I/O meter all accesses are charged to.
+	Stats() *storage.IOStats
+}
+
+// postingsPerPage is how many inverted-list entries fit in one I/O page.
+const postingsPerPage = storage.PageSize / 12
+
+// BuildPostings constructs the per-dimension inverted lists for tuples:
+// every non-zero coordinate yields a posting; lists are sorted by
+// descending value with ties broken by ascending tuple id (deterministic
+// TA traces).
+func BuildPostings(tuples []vec.Sparse) map[int][]storage.Posting {
+	lists := make(map[int][]storage.Posting)
+	for id, t := range tuples {
+		for _, e := range t {
+			lists[e.Dim] = append(lists[e.Dim], storage.Posting{ID: id, Val: e.Val})
+		}
+	}
+	for d := range lists {
+		l := lists[d]
+		sort.Slice(l, func(i, j int) bool {
+			if l[i].Val != l[j].Val {
+				return l[i].Val > l[j].Val
+			}
+			return l[i].ID < l[j].ID
+		})
+	}
+	return lists
+}
+
+// MemIndex is an in-memory Index. Logical I/O is still metered: cursors
+// charge one sequential page per postingsPerPage entries consumed, and
+// Tuple charges one random read — so experiment I/O counts are identical
+// to the disk-backed path.
+type MemIndex struct {
+	tuples []vec.Sparse
+	lists  map[int][]storage.Posting
+	m      int
+	stats  *storage.IOStats
+}
+
+// NewMemIndex builds an in-memory index over tuples in [0,1]^m.
+func NewMemIndex(tuples []vec.Sparse, m int) *MemIndex {
+	return &MemIndex{
+		tuples: tuples,
+		lists:  BuildPostings(tuples),
+		m:      m,
+		stats:  &storage.IOStats{},
+	}
+}
+
+// NumTuples returns the dataset cardinality.
+func (ix *MemIndex) NumTuples() int { return len(ix.tuples) }
+
+// Dim returns the dimensionality m.
+func (ix *MemIndex) Dim() int { return ix.m }
+
+// ListLen returns the length of dim's inverted list.
+func (ix *MemIndex) ListLen(dim int) int { return len(ix.lists[dim]) }
+
+// Stats returns the I/O meter.
+func (ix *MemIndex) Stats() *storage.IOStats { return ix.stats }
+
+// Cursor opens a sorted-access cursor on dim.
+func (ix *MemIndex) Cursor(dim int) Cursor {
+	return &memCursor{list: ix.lists[dim], stats: ix.stats}
+}
+
+// Tuple fetches a tuple, charging one random read.
+func (ix *MemIndex) Tuple(id int) vec.Sparse {
+	t := ix.tuples[id]
+	ix.stats.AddRandRead(4 + 12*len(t))
+	return t
+}
+
+// Postings exposes the raw list of a dimension (read-only); used by
+// dataset statistics and tests.
+func (ix *MemIndex) Postings(dim int) []storage.Posting { return ix.lists[dim] }
+
+type memCursor struct {
+	list  []storage.Posting
+	stats *storage.IOStats
+	pos   int
+}
+
+func (c *memCursor) Peek() (storage.Posting, bool) {
+	if c.pos >= len(c.list) {
+		return storage.Posting{}, false
+	}
+	return c.list[c.pos], true
+}
+
+func (c *memCursor) Next() (storage.Posting, bool) {
+	p, ok := c.Peek()
+	if !ok {
+		return storage.Posting{}, false
+	}
+	if c.pos%postingsPerPage == 0 {
+		c.stats.AddSeqPage(1)
+	}
+	c.pos++
+	return p, true
+}
+
+func (c *memCursor) Consumed() int { return c.pos }
+
+// DiskIndex is the disk-backed Index over the storage package's tuple and
+// list files.
+type DiskIndex struct {
+	tf    *storage.TupleFile
+	lf    *storage.ListFile
+	stats *storage.IOStats
+}
+
+// OpenDiskIndex opens tuplePath and listPath with a shared I/O meter and
+// buffer pool size (pages; 0 disables pooling).
+func OpenDiskIndex(tuplePath, listPath string, poolPages int) (*DiskIndex, error) {
+	stats := &storage.IOStats{}
+	tf, err := storage.OpenTupleFile(tuplePath, stats, poolPages)
+	if err != nil {
+		return nil, fmt.Errorf("lists: open tuples: %w", err)
+	}
+	lf, err := storage.OpenListFile(listPath, stats, poolPages)
+	if err != nil {
+		tf.Close()
+		return nil, fmt.Errorf("lists: open lists: %w", err)
+	}
+	if tf.Dim() != lf.Dim() {
+		tf.Close()
+		lf.Close()
+		return nil, fmt.Errorf("lists: dimensionality mismatch: tuples m=%d lists m=%d", tf.Dim(), lf.Dim())
+	}
+	return &DiskIndex{tf: tf, lf: lf, stats: stats}, nil
+}
+
+// Close releases both underlying files.
+func (ix *DiskIndex) Close() error {
+	err1 := ix.tf.Close()
+	err2 := ix.lf.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// NumTuples returns the dataset cardinality.
+func (ix *DiskIndex) NumTuples() int { return ix.tf.NumTuples() }
+
+// Dim returns the dimensionality m.
+func (ix *DiskIndex) Dim() int { return ix.tf.Dim() }
+
+// ListLen returns the length of dim's inverted list.
+func (ix *DiskIndex) ListLen(dim int) int { return ix.lf.ListLen(dim) }
+
+// Stats returns the I/O meter.
+func (ix *DiskIndex) Stats() *storage.IOStats { return ix.stats }
+
+// Cursor opens a sorted-access cursor on dim.
+func (ix *DiskIndex) Cursor(dim int) Cursor { return ix.lf.Cursor(dim) }
+
+// Tuple fetches a tuple, charging one random read.
+func (ix *DiskIndex) Tuple(id int) vec.Sparse {
+	t, err := ix.tf.Get(id)
+	if err != nil {
+		panic(fmt.Sprintf("lists: tuple %d: %v", id, err))
+	}
+	return t
+}
+
+// SaveDataset writes tuples and their inverted lists to tuplePath and
+// listPath in the storage formats.
+func SaveDataset(tuplePath, listPath string, tuples []vec.Sparse, m int) error {
+	if err := storage.WriteTupleFile(tuplePath, tuples, m); err != nil {
+		return fmt.Errorf("lists: write tuples: %w", err)
+	}
+	if err := storage.WriteListFile(listPath, BuildPostings(tuples), m); err != nil {
+		return fmt.Errorf("lists: write lists: %w", err)
+	}
+	return nil
+}

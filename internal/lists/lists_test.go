@@ -1,0 +1,158 @@
+package lists
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+func exampleTuples() ([]vec.Sparse, int) {
+	tuples, _, _ := fixture.RunningExample()
+	return tuples, 2
+}
+
+func TestBuildPostingsSorted(t *testing.T) {
+	tuples, m := exampleTuples()
+	lists := BuildPostings(tuples)
+	if len(lists) != m {
+		t.Fatalf("%d lists, want %d", len(lists), m)
+	}
+	// L1 from Fig. 1: d1(0.8), d2(0.7), d3(0.1), d4(0.1) — tie broken by id.
+	want := []storage.Posting{{ID: 0, Val: 0.8}, {ID: 1, Val: 0.7}, {ID: 2, Val: 0.1}, {ID: 3, Val: 0.1}}
+	got := lists[0]
+	if len(got) != len(want) {
+		t.Fatalf("L1 = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("L1[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMemIndexBasics(t *testing.T) {
+	tuples, m := exampleTuples()
+	ix := NewMemIndex(tuples, m)
+	if ix.NumTuples() != 4 || ix.Dim() != 2 {
+		t.Fatalf("n=%d m=%d", ix.NumTuples(), ix.Dim())
+	}
+	if ix.ListLen(0) != 4 || ix.ListLen(1) != 4 {
+		t.Fatalf("list lengths %d %d", ix.ListLen(0), ix.ListLen(1))
+	}
+	cur := ix.Cursor(1)
+	p, ok := cur.Next()
+	if !ok || p.ID != 2 || p.Val != 0.8 {
+		t.Fatalf("L2 head = %v", p)
+	}
+	if ix.Stats().SeqPages() != 1 {
+		t.Fatalf("seq pages = %d, want 1", ix.Stats().SeqPages())
+	}
+	d := ix.Tuple(0)
+	if d.Get(0) != 0.8 || d.Get(1) != 0.32 {
+		t.Fatalf("tuple 0 = %v", d)
+	}
+	if ix.Stats().RandReads() != 1 {
+		t.Fatalf("rand reads = %d, want 1", ix.Stats().RandReads())
+	}
+}
+
+// TestDiskIndexMatchesMemIndex: the two implementations must agree on
+// every list and every tuple.
+func TestDiskIndexMatchesMemIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cs := fixture.RandCase(rng, 300, 10, 4, 5)
+	mem := NewMemIndex(cs.Tuples, cs.M)
+
+	dir := t.TempDir()
+	tp, lp := filepath.Join(dir, "tuples.dat"), filepath.Join(dir, "lists.dat")
+	if err := SaveDataset(tp, lp, cs.Tuples, cs.M); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenDiskIndex(tp, lp, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	if disk.NumTuples() != mem.NumTuples() || disk.Dim() != mem.Dim() {
+		t.Fatalf("disk n=%d m=%d, mem n=%d m=%d", disk.NumTuples(), disk.Dim(), mem.NumTuples(), mem.Dim())
+	}
+	for d := 0; d < cs.M; d++ {
+		if disk.ListLen(d) != mem.ListLen(d) {
+			t.Fatalf("dim %d: disk len %d, mem len %d", d, disk.ListLen(d), mem.ListLen(d))
+		}
+		dc, mc := disk.Cursor(d), mem.Cursor(d)
+		for {
+			dp, dok := dc.Next()
+			mp, mok := mc.Next()
+			if dok != mok {
+				t.Fatalf("dim %d: cursor length mismatch", d)
+			}
+			if !dok {
+				break
+			}
+			if dp != mp {
+				t.Fatalf("dim %d: %v vs %v", d, dp, mp)
+			}
+		}
+	}
+	for id := 0; id < disk.NumTuples(); id++ {
+		dt, mt := disk.Tuple(id), mem.Tuple(id)
+		if len(dt) != len(mt) {
+			t.Fatalf("tuple %d nnz mismatch", id)
+		}
+		for i := range mt {
+			if dt[i] != mt[i] {
+				t.Fatalf("tuple %d entry %d: %v vs %v", id, i, dt[i], mt[i])
+			}
+		}
+	}
+	// Both meters must have counted comparable logical work.
+	if disk.Stats().RandReads() != mem.Stats().RandReads() {
+		t.Fatalf("random reads: disk %d, mem %d", disk.Stats().RandReads(), mem.Stats().RandReads())
+	}
+	if disk.Stats().SeqPages() == 0 || mem.Stats().SeqPages() == 0 {
+		t.Fatal("sequential pages not counted")
+	}
+}
+
+func TestOpenDiskIndexErrors(t *testing.T) {
+	dir := t.TempDir()
+	tp, lp := filepath.Join(dir, "t.dat"), filepath.Join(dir, "l.dat")
+	if _, err := OpenDiskIndex(tp, lp, 0); err == nil {
+		t.Fatal("missing files accepted")
+	}
+	tuples, m := exampleTuples()
+	if err := SaveDataset(tp, lp, tuples, m); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched dimensionality between the two files must be rejected.
+	if err := storage.WriteListFile(lp, BuildPostings(tuples), m+3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskIndex(tp, lp, 0); err == nil {
+		t.Fatal("dimensionality mismatch accepted")
+	}
+}
+
+func TestMemCursorPageAccounting(t *testing.T) {
+	// 700 postings in one list: ceil(700/341) = 3 pages.
+	var tuples []vec.Sparse
+	for i := 0; i < 700; i++ {
+		tuples = append(tuples, vec.MustSparse(vec.Entry{Dim: 0, Val: float64(i+1) / 701}))
+	}
+	ix := NewMemIndex(tuples, 1)
+	cur := ix.Cursor(0)
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+	}
+	if got := ix.Stats().SeqPages(); got != 3 {
+		t.Fatalf("seq pages = %d, want 3", got)
+	}
+}

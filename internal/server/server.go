@@ -1,0 +1,242 @@
+// Package server exposes the query engine over HTTP with a small JSON
+// API, turning the library into the system-model deployment of §3: a
+// server holding the inverted lists and tuple file, answering subspace
+// top-k queries and immutable-region analyses for remote clients.
+//
+// Endpoints:
+//
+//	POST /topk     {dims, weights, k}                        → ranked result
+//	POST /analyze  {dims, weights, k, phi, method, composition_only}
+//	               → result + per-dimension regions + metering
+//	GET  /stats    → cumulative I/O counters
+//	GET  /healthz  → 200 ok
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lists"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Server handles the HTTP API over one index.
+type Server struct {
+	ix lists.Index
+	// mu serializes query execution: the engine meters I/O through a
+	// shared counter and TA cursors are per-query anyway; a production
+	// deployment would pool indexes instead.
+	mu sync.Mutex
+}
+
+// New builds a Server over an index.
+func New(ix lists.Index) *Server { return &Server{ix: ix} }
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// QueryRequest is the body of /topk and /analyze.
+type QueryRequest struct {
+	Dims    []int     `json:"dims"`
+	Weights []float64 `json:"weights"`
+	K       int       `json:"k"`
+	// analyze-only fields
+	Phi             int    `json:"phi"`
+	Method          string `json:"method"` // scan|prune|thres|cpt (default cpt)
+	CompositionOnly bool   `json:"composition_only"`
+}
+
+// ResultEntry is one ranked answer.
+type ResultEntry struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// PerturbationJSON mirrors core.Perturbation.
+type PerturbationJSON struct {
+	Delta float64 `json:"delta"`
+	Above int     `json:"above"`
+	Below int     `json:"below"`
+	Entry bool    `json:"entry"`
+}
+
+// RegionJSON is one dimension's immutable regions.
+type RegionJSON struct {
+	Dim   int                `json:"dim"`
+	Lo    float64            `json:"lo"`
+	Hi    float64            `json:"hi"`
+	Left  []PerturbationJSON `json:"left,omitempty"`
+	Right []PerturbationJSON `json:"right,omitempty"`
+}
+
+// AnalyzeResponse is the body of a successful /analyze.
+type AnalyzeResponse struct {
+	Result  []ResultEntry `json:"result"`
+	Regions []RegionJSON  `json:"regions"`
+	Metrics MetricsJSON   `json:"metrics"`
+}
+
+// MetricsJSON carries the metering of one analysis.
+type MetricsJSON struct {
+	Evaluated    int     `json:"evaluated"`
+	EvaluatedAvg float64 `json:"evaluated_per_dim"`
+	SeqPages     int64   `json:"seq_pages"`
+	RandReads    int64   `json:"rand_reads"`
+	CPUMicros    int64   `json:"cpu_us"`
+	MemBytes     int64   `json:"mem_bytes"`
+}
+
+// StatsResponse is the body of /stats.
+type StatsResponse struct {
+	SeqPages  int64 `json:"seq_pages"`
+	RandReads int64 `json:"rand_reads"`
+	BytesRead int64 `json:"bytes_read"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	req, q, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	ta := topk.New(s.ix, q, req.K, topk.BestList)
+	ta.Run()
+	res := ta.Result()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, toEntries(res))
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	req, q, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Phi < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("negative phi"))
+		return
+	}
+	s.mu.Lock()
+	ta := topk.New(s.ix, q, req.K, topk.BestList)
+	out, err := core.Compute(ta, core.Options{
+		Method:          method,
+		Phi:             req.Phi,
+		CompositionOnly: req.CompositionOnly,
+	})
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := AnalyzeResponse{
+		Result: toEntries(out.Result),
+		Metrics: MetricsJSON{
+			Evaluated:    out.Metrics.Evaluated,
+			EvaluatedAvg: out.Metrics.EvaluatedPerDimAvg(),
+			SeqPages:     out.Metrics.SeqPages,
+			RandReads:    out.Metrics.RandReads,
+			CPUMicros:    out.Metrics.CPU().Microseconds(),
+			MemBytes:     out.Metrics.MemBytes,
+		},
+	}
+	for _, reg := range out.Regions {
+		rj := RegionJSON{Dim: reg.Dim, Lo: reg.Lo, Hi: reg.Hi}
+		for _, p := range reg.Left {
+			rj.Left = append(rj.Left, PerturbationJSON(p))
+		}
+		for _, p := range reg.Right {
+			rj.Right = append(rj.Right, PerturbationJSON(p))
+		}
+		resp.Regions = append(resp.Regions, rj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	seq, rnd, bytes := s.ix.Stats().Snapshot()
+	writeJSON(w, http.StatusOK, StatsResponse{SeqPages: seq, RandReads: rnd, BytesRead: bytes})
+}
+
+// decodeQuery parses and validates the request body common to /topk and
+// /analyze.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (QueryRequest, vec.Query, bool) {
+	var req QueryRequest
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return req, vec.Query{}, false
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return req, vec.Query{}, false
+	}
+	if req.K <= 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be positive"))
+		return req, vec.Query{}, false
+	}
+	q, err := vec.NewQuery(req.Dims, req.Weights)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return req, vec.Query{}, false
+	}
+	for _, d := range q.Dims {
+		if d >= s.ix.Dim() {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("dimension %d out of range [0,%d)", d, s.ix.Dim()))
+			return req, vec.Query{}, false
+		}
+	}
+	return req, q, true
+}
+
+func toEntries(res []topk.Scored) []ResultEntry {
+	out := make([]ResultEntry, len(res))
+	for i, sc := range res {
+		out[i] = ResultEntry{ID: sc.ID, Score: sc.Score}
+	}
+	return out
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch s {
+	case "", "cpt":
+		return core.MethodCPT, nil
+	case "scan":
+		return core.MethodScan, nil
+	case "prune":
+		return core.MethodPrune, nil
+	case "thres":
+		return core.MethodThres, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing sensible left to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

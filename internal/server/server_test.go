@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/lists"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	tuples, _, _ := fixture.RunningExample()
+	srv := New(lists.NewMemIndex(tuples, 2))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var got []ResultEntry
+	resp := post(t, ts.URL+"/topk", QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2}, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 0 {
+		t.Fatalf("result %+v, want d2,d1", got)
+	}
+	if math.Abs(got[0].Score-0.81) > 1e-12 {
+		t.Fatalf("score %v", got[0].Score)
+	}
+}
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var got AnalyzeResponse
+	resp := post(t, ts.URL+"/analyze", QueryRequest{
+		Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2, Phi: 1, Method: "cpt",
+	}, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(got.Regions) != 2 {
+		t.Fatalf("%d regions", len(got.Regions))
+	}
+	r1 := got.Regions[0]
+	if math.Abs(r1.Lo-(-16.0/35)) > 1e-12 || math.Abs(r1.Hi-0.1) > 1e-12 {
+		t.Fatalf("IR1 = (%v, %v)", r1.Lo, r1.Hi)
+	}
+	if len(r1.Left) != 2 || !r1.Left[0].Entry {
+		t.Fatalf("left schedule %+v", r1.Left)
+	}
+	if got.Metrics.Evaluated == 0 || got.Metrics.RandReads == 0 {
+		t.Fatalf("metrics empty: %+v", got.Metrics)
+	}
+}
+
+func TestAnalyzeMethodSelection(t *testing.T) {
+	ts := testServer(t)
+	for _, m := range []string{"", "scan", "prune", "thres", "cpt"} {
+		var got AnalyzeResponse
+		resp := post(t, ts.URL+"/analyze", QueryRequest{
+			Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2, Method: m,
+		}, &got)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("method %q: status %d", m, resp.StatusCode)
+		}
+		if math.Abs(got.Regions[0].Hi-0.1) > 1e-12 {
+			t.Fatalf("method %q: IR1 upper %v", m, got.Regions[0].Hi)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name string
+		req  QueryRequest
+	}{
+		{"zero k", QueryRequest{Dims: []int{0}, Weights: []float64{0.5}}},
+		{"bad weights", QueryRequest{Dims: []int{0}, Weights: []float64{2}, K: 1}},
+		{"length mismatch", QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.5}, K: 1}},
+		{"dim out of range", QueryRequest{Dims: []int{9}, Weights: []float64{0.5}, K: 1}},
+		{"negative phi", QueryRequest{Dims: []int{0}, Weights: []float64{0.5}, K: 1, Phi: -1}},
+		{"unknown method", QueryRequest{Dims: []int{0}, Weights: []float64{0.5}, K: 1, Method: "nope"}},
+	}
+	for _, c := range cases {
+		resp := post(t, ts.URL+"/analyze", c.req, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+	// Garbage body.
+	resp, err := http.Post(ts.URL+"/topk", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d", resp.StatusCode)
+	}
+	// Wrong verb.
+	get, err := http.Get(ts.URL + "/topk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /topk: status %d", get.StatusCode)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	ts := testServer(t)
+	post(t, ts.URL+"/topk", QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2}, nil)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RandReads == 0 || st.SeqPages == 0 {
+		t.Fatalf("stats %+v, want non-zero after a query", st)
+	}
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", h.StatusCode)
+	}
+}

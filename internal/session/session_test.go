@@ -1,0 +1,190 @@
+package session
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/lists"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// analyzerFor builds an Analyzer over an in-memory index, counting calls.
+func analyzerFor(tuples []vec.Sparse, m int, calls *int) Analyzer {
+	return func(q vec.Query, k int, opts core.Options) (*core.Output, error) {
+		if calls != nil {
+			*calls++
+		}
+		ix := lists.NewMemIndex(tuples, m)
+		ta := topk.New(ix, q, k, topk.BestList)
+		return core.Compute(ta, opts)
+	}
+}
+
+func TestSessionSafeSkip(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	calls := 0
+	s, err := New(analyzerFor(tuples, 2, &calls), q, k, core.Options{Method: core.MethodCPT, Phi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("initial analysis ran %d times", calls)
+	}
+	// IR1 = (−16/35, +0.1): a +0.05 nudge is provably safe.
+	changed, err := s.AdjustWeight(0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("in-region adjustment reported a change")
+	}
+	if calls != 1 {
+		t.Fatalf("safe adjustment triggered a recompute (%d calls)", calls)
+	}
+	st := s.Stats()
+	if st.SafeSkips != 1 || st.Recomputes != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := s.Result(); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("result %v", got)
+	}
+}
+
+func TestSessionLocalHit(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	calls := 0
+	s, err := New(analyzerFor(tuples, 2, &calls), q, k, core.Options{Method: core.MethodCPT, Phi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +0.15 on dim 0 crosses the reorder at +0.1 (d1 overtakes d2); the
+	// φ=1 schedule knows the outcome, so no recompute is needed.
+	changed, err := s.AdjustWeight(0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("crossing a bound did not change the result")
+	}
+	if calls != 1 {
+		t.Fatalf("local hit still recomputed (%d calls)", calls)
+	}
+	if got := s.Result(); got[0] != 0 || got[1] != 1 {
+		t.Fatalf("result after crossing = %v, want [0 1]", got)
+	}
+	if st := s.Stats(); st.LocalHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSessionRecomputePastHorizon(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	calls := 0
+	s, err := New(analyzerFor(tuples, 2, &calls), q, k, core.Options{Method: core.MethodCPT, Phi: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With φ=0 the schedule has exactly one event per side; moving past
+	// it leaves known territory and must recompute.
+	changed, err := s.AdjustWeight(0, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || calls != 2 {
+		t.Fatalf("changed=%v calls=%d, want true/2", changed, calls)
+	}
+	if st := s.Stats(); st.Recomputes != 2 || st.LocalHits != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSessionMultiDimSafety(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	calls := 0
+	s, err := New(analyzerFor(tuples, 2, &calls), q, k, core.Options{Method: core.MethodCPT, Phi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small moves on BOTH dims: safe only while the cross-polytope test
+	// passes (footnote 1), then the second adjustment on a different
+	// dimension cannot be served locally.
+	if _, err := s.AdjustWeight(0, 0.03); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AdjustWeight(1, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("concurrent small moves recomputed (%d calls)", calls)
+	}
+	// A large move on dim 1 while dim 0 is already displaced cannot be a
+	// local hit (not a pure single-dimension deviation) and the combined
+	// deviation leaves the safe cross-polytope → recompute.
+	if _, err := s.AdjustWeight(1, 0.45); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("mixed-dimension move did not recompute (calls=%d)", calls)
+	}
+}
+
+// TestSessionAgainstRequery drives random adjustment sequences and
+// verifies after every step that the session's claimed result equals a
+// direct re-query — regardless of which mechanism served it.
+func TestSessionAgainstRequery(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 10; trial++ {
+		cs := fixture.RandCase(rng, 40+rng.Intn(40), 5, 3, 1+rng.Intn(4))
+		s, err := New(analyzerFor(cs.Tuples, cs.M, nil), cs.Q, cs.K, core.Options{Method: core.MethodCPT, Phi: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 25; step++ {
+			jx := rng.Intn(cs.Q.Len())
+			dim := s.Query().Dims[jx]
+			cur := s.Query().Weights[jx]
+			delta := (rng.Float64() - 0.5) * 0.2
+			if cur+delta <= 0.01 || cur+delta >= 0.99 {
+				continue
+			}
+			if _, err := s.AdjustWeight(dim, delta); err != nil {
+				t.Fatal(err)
+			}
+			want := topk.TopKNaive(cs.Tuples, s.Query(), cs.K)
+			got := s.Result()
+			if len(got) != len(want) {
+				t.Fatalf("trial %d step %d: %d results, want %d", trial, step, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i].ID {
+					t.Fatalf("trial %d step %d: session result %v, requery %v (stats %+v)",
+						trial, step, got, want, s.Stats())
+				}
+			}
+		}
+		st := s.Stats()
+		if st.SafeSkips == 0 {
+			t.Logf("trial %d: no safe skips (stats %+v)", trial, st)
+		}
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	s, err := New(analyzerFor(tuples, 2, nil), q, k, core.Options{Method: core.MethodCPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AdjustWeight(99, 0.1); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+	if _, err := s.AdjustWeight(0, 0.9); err == nil {
+		t.Error("weight above 1 accepted")
+	}
+	if _, err := s.AdjustWeight(0, -0.9); err == nil {
+		t.Error("weight below 0 accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func writeBoth(t *testing.T) (tuplePath, listPath string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	tuples := randTuples(rng, 120, 8)
+	dir := t.TempDir()
+	tuplePath = filepath.Join(dir, "tuples.dat")
+	listPath = filepath.Join(dir, "lists.dat")
+	if err := WriteTupleFile(tuplePath, tuples, 8); err != nil {
+		t.Fatal(err)
+	}
+	lists := map[int][]Posting{}
+	for id, tp := range tuples {
+		for _, e := range tp {
+			lists[e.Dim] = append(lists[e.Dim], Posting{ID: id, Val: e.Val})
+		}
+	}
+	if err := WriteListFile(listPath, lists, 8); err != nil {
+		t.Fatal(err)
+	}
+	return tuplePath, listPath
+}
+
+func TestVerifyChecksumClean(t *testing.T) {
+	tp, lp := writeBoth(t)
+	if err := VerifyChecksum(tp); err != nil {
+		t.Errorf("clean tuple file: %v", err)
+	}
+	if err := VerifyChecksum(lp); err != nil {
+		t.Errorf("clean list file: %v", err)
+	}
+}
+
+// flipByte corrupts one byte at offset off.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyChecksumDetectsCorruption(t *testing.T) {
+	tp, lp := writeBoth(t)
+	for _, path := range []string{tp, lp} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt a byte in the middle of the payload.
+		flipByte(t, path, st.Size()/2)
+		if err := VerifyChecksum(path); err == nil {
+			t.Errorf("%s: corruption not detected", filepath.Base(path))
+		}
+	}
+}
+
+func TestOpenRejectsTruncatedFiles(t *testing.T) {
+	tp, lp := writeBoth(t)
+	for _, c := range []struct {
+		path string
+		open func(string) error
+	}{
+		{tp, func(p string) error { _, err := OpenTupleFile(p, &IOStats{}, 0); return err }},
+		{lp, func(p string) error { _, err := OpenListFile(p, &IOStats{}, 0); return err }},
+	} {
+		st, err := os.Stat(c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chop off the trailer plus a bit of data.
+		if err := os.Truncate(c.path, st.Size()-trailerSize-5); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.open(c.path); err == nil {
+			t.Errorf("%s: truncated file opened successfully", filepath.Base(c.path))
+		}
+	}
+}
+
+func TestOpenRejectsTinyFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.dat")
+	if err := os.WriteFile(path, []byte("IRTUP001"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTupleFile(path, &IOStats{}, 0); err == nil {
+		t.Error("8-byte file opened as tuple file")
+	}
+	if err := VerifyChecksum(path); err == nil {
+		t.Error("8-byte file passed checksum verification")
+	}
+}
+
+func TestTrailerSurvivesRoundTrip(t *testing.T) {
+	// The trailer must not be readable as payload: the last tuple's
+	// record must end exactly at the trailer.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "one.dat")
+	tuples := []vec.Sparse{vec.MustSparse(vec.Entry{Dim: 3, Val: 0.25})}
+	if err := WriteTupleFile(path, tuples, 4); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := OpenTupleFile(path, &IOStats{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	got, err := tf.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (vec.Entry{Dim: 3, Val: 0.25}) {
+		t.Fatalf("tuple = %v", got)
+	}
+}

@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Posting is one inverted-list entry 〈dα, dαj〉: the tuple id and its
+// coordinate in the list's dimension.
+type Posting struct {
+	ID  int
+	Val float64
+}
+
+const postingBytes = 12 // uint32 id + float64 val
+
+// listMagic identifies the inverted-list file.
+var listMagic = [8]byte{'I', 'R', 'L', 'S', 'T', '0', '1', 0}
+
+// WriteListFile persists per-dimension inverted lists. lists maps a
+// dimension to its postings, which must already be sorted by descending
+// Val (ties by ascending ID). Format:
+//
+//	magic[8] | numLists uint32 | m uint32 |
+//	directory: numLists × (dim uint32, count uint32, offset int64) |
+//	posting data: count × (id uint32, val float64) per list
+func WriteListFile(path string, lists map[int][]Posting, m int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	w := &crcWriter{w: bw}
+
+	dims := make([]int, 0, len(lists))
+	for d := range lists {
+		dims = append(dims, d)
+	}
+	sort.Ints(dims)
+
+	if _, err := w.Write(listMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(dims)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(m))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	off := int64(8+8) + int64(16*len(dims))
+	dirBuf := make([]byte, 16)
+	for _, d := range dims {
+		binary.LittleEndian.PutUint32(dirBuf[0:4], uint32(d))
+		binary.LittleEndian.PutUint32(dirBuf[4:8], uint32(len(lists[d])))
+		binary.LittleEndian.PutUint64(dirBuf[8:16], uint64(off))
+		if _, err := w.Write(dirBuf); err != nil {
+			return err
+		}
+		off += int64(postingBytes * len(lists[d]))
+	}
+	pBuf := make([]byte, postingBytes)
+	for _, d := range dims {
+		for _, p := range lists[d] {
+			binary.LittleEndian.PutUint32(pBuf[0:4], uint32(p.ID))
+			binary.LittleEndian.PutUint64(pBuf[4:12], math.Float64bits(p.Val))
+			if _, err := w.Write(pBuf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.writeTrailer(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ListFile reads inverted lists persisted by WriteListFile. Sorted access
+// proceeds through cursors; each page-boundary crossing during cursor
+// advancement charges one sequential page to stats (pool hits are free —
+// the buffer pool models the list caching of a warm server).
+type ListFile struct {
+	pager *Pager
+	stats *IOStats
+	m     int
+	dir   map[int]listExtent
+}
+
+type listExtent struct {
+	off   int64
+	count int
+}
+
+// OpenListFile opens an inverted-list file with a buffer pool of
+// poolPages pages (0 disables pooling).
+func OpenListFile(path string, stats *IOStats, poolPages int) (*ListFile, error) {
+	pager, err := NewPager(path, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	lf := &ListFile{pager: pager, stats: stats, dir: make(map[int]listExtent)}
+	if _, err := dataEnd(pager, path); err != nil {
+		pager.Close()
+		return nil, err
+	}
+	hdr := make([]byte, 16)
+	if _, err := pager.ReadRange(0, hdr); err != nil {
+		pager.Close()
+		return nil, err
+	}
+	if string(hdr[:8]) != string(listMagic[:]) {
+		pager.Close()
+		return nil, fmt.Errorf("storage: %s is not a list file", path)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	lf.m = int(binary.LittleEndian.Uint32(hdr[12:16]))
+	dirRaw := make([]byte, 16*n)
+	if _, err := pager.ReadRange(16, dirRaw); err != nil {
+		pager.Close()
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		base := 16 * i
+		dim := int(binary.LittleEndian.Uint32(dirRaw[base : base+4]))
+		cnt := int(binary.LittleEndian.Uint32(dirRaw[base+4 : base+8]))
+		off := int64(binary.LittleEndian.Uint64(dirRaw[base+8 : base+16]))
+		lf.dir[dim] = listExtent{off: off, count: cnt}
+	}
+	return lf, nil
+}
+
+// Close releases the file.
+func (lf *ListFile) Close() error { return lf.pager.Close() }
+
+// Dim returns the dimensionality m.
+func (lf *ListFile) Dim() int { return lf.m }
+
+// ListLen returns the number of postings in dimension dim's list (0 when
+// the dimension has no list).
+func (lf *ListFile) ListLen(dim int) int { return lf.dir[dim].count }
+
+// Cursor opens a sorted-access cursor over dimension dim's list.
+func (lf *ListFile) Cursor(dim int) *ListCursor {
+	ext, ok := lf.dir[dim]
+	if !ok {
+		return &ListCursor{} // empty cursor
+	}
+	return &ListCursor{lf: lf, ext: ext}
+}
+
+// ListCursor iterates one inverted list from the top (highest coordinate)
+// downward, fetching a page worth of postings at a time.
+type ListCursor struct {
+	lf   *ListFile
+	ext  listExtent
+	pos  int // postings consumed
+	buf  []Posting
+	bufI int
+}
+
+// fill loads the next batch of postings into the buffer.
+func (c *ListCursor) fill() error {
+	remaining := c.ext.count - c.pos
+	if remaining <= 0 || c.lf == nil {
+		return nil
+	}
+	batch := PageSize / postingBytes
+	if batch > remaining {
+		batch = remaining
+	}
+	raw := make([]byte, batch*postingBytes)
+	misses, err := c.lf.pager.ReadRange(c.ext.off+int64(c.pos*postingBytes), raw)
+	if err != nil {
+		return err
+	}
+	if c.lf.stats != nil && misses > 0 {
+		c.lf.stats.AddSeqPage(misses)
+	}
+	c.buf = c.buf[:0]
+	for i := 0; i < batch; i++ {
+		base := postingBytes * i
+		c.buf = append(c.buf, Posting{
+			ID:  int(binary.LittleEndian.Uint32(raw[base : base+4])),
+			Val: math.Float64frombits(binary.LittleEndian.Uint64(raw[base+4 : base+12])),
+		})
+	}
+	c.bufI = 0
+	return nil
+}
+
+// Peek returns the next posting without consuming it; ok=false at list end.
+func (c *ListCursor) Peek() (Posting, bool) {
+	if c.bufI >= len(c.buf) {
+		if c.lf == nil || c.pos >= c.ext.count {
+			return Posting{}, false
+		}
+		if err := c.fill(); err != nil || len(c.buf) == 0 {
+			return Posting{}, false
+		}
+	}
+	return c.buf[c.bufI], true
+}
+
+// Next consumes and returns the next posting; ok=false at list end.
+func (c *ListCursor) Next() (Posting, bool) {
+	p, ok := c.Peek()
+	if !ok {
+		return Posting{}, false
+	}
+	c.bufI++
+	c.pos++
+	return p, true
+}
+
+// Consumed reports how many postings this cursor has consumed.
+func (c *ListCursor) Consumed() int { return c.pos }

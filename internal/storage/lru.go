@@ -1,0 +1,69 @@
+package storage
+
+import "container/list"
+
+// lruKey identifies a cached object: a page of a file or a tuple record.
+type lruKey struct {
+	file int
+	id   int64
+}
+
+// lruCache is a fixed-capacity least-recently-used cache. It backs both
+// the page-level buffer pool and the tuple cache. Not safe for concurrent
+// use; callers serialize access (the engine is single-threaded per query,
+// like the paper's).
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry
+	items map[lruKey]*list.Element
+}
+
+type lruEntry struct {
+	key lruKey
+	val interface{}
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[lruKey]*list.Element, capacity)}
+}
+
+// get returns the cached value and promotes it, or ok=false on a miss.
+func (c *lruCache) get(k lruKey) (interface{}, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes a value, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) put(k lruKey, v interface{}) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&lruEntry{key: k, val: v})
+	c.items[k] = el
+	if c.order.Len() > c.cap {
+		last := c.order.Back()
+		if last != nil {
+			c.order.Remove(last)
+			delete(c.items, last.Value.(*lruEntry).key)
+		}
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int { return c.order.Len() }
+
+// reset drops all entries.
+func (c *lruCache) reset() {
+	c.order.Init()
+	c.items = make(map[lruKey]*list.Element, c.cap)
+}

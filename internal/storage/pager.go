@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Pager mediates page-granular access to a file through an optional LRU
+// buffer pool. Counting of logical I/O (sequential page vs random tuple
+// fetch) is done by the owning TupleFile/ListFile because the distinction
+// is semantic; the pager only tracks physical page residency.
+type Pager struct {
+	f      *os.File
+	size   int64
+	pool   *lruCache
+	fileID int
+}
+
+var nextFileID int
+
+// NewPager opens path for reading. poolPages > 0 enables a buffer pool of
+// that many pages shared by all reads through this pager.
+func NewPager(path string, poolPages int) (*Pager, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	nextFileID++
+	p := &Pager{f: f, size: st.Size(), fileID: nextFileID}
+	if poolPages > 0 {
+		p.pool = newLRU(poolPages)
+	}
+	return p, nil
+}
+
+// Close releases the underlying file.
+func (p *Pager) Close() error { return p.f.Close() }
+
+// Size returns the file size in bytes.
+func (p *Pager) Size() int64 { return p.size }
+
+// page returns the content of page no (possibly short at EOF), noting
+// whether it was served from the pool.
+func (p *Pager) page(no int64) ([]byte, bool, error) {
+	if p.pool != nil {
+		if v, ok := p.pool.get(lruKey{file: p.fileID, id: no}); ok {
+			return v.([]byte), true, nil
+		}
+	}
+	off := no * PageSize
+	n := int64(PageSize)
+	if off+n > p.size {
+		n = p.size - off
+	}
+	if n <= 0 {
+		return nil, false, io.EOF
+	}
+	buf := make([]byte, n)
+	if _, err := p.f.ReadAt(buf, off); err != nil {
+		return nil, false, err
+	}
+	if p.pool != nil {
+		p.pool.put(lruKey{file: p.fileID, id: no}, buf)
+	}
+	return buf, false, nil
+}
+
+// ReadRange fills dst from the file starting at off. It returns the
+// number of pool misses (pages physically fetched), which the caller
+// converts into logical I/O counts.
+func (p *Pager) ReadRange(off int64, dst []byte) (misses int, err error) {
+	if off < 0 || off+int64(len(dst)) > p.size {
+		return 0, fmt.Errorf("storage: read [%d,%d) beyond file size %d", off, off+int64(len(dst)), p.size)
+	}
+	done := 0
+	for done < len(dst) {
+		pos := off + int64(done)
+		pageNo := pos / PageSize
+		pageOff := int(pos % PageSize)
+		pg, hit, err := p.page(pageNo)
+		if err != nil {
+			return misses, err
+		}
+		if !hit {
+			misses++
+		}
+		n := copy(dst[done:], pg[pageOff:])
+		if n == 0 {
+			return misses, io.ErrUnexpectedEOF
+		}
+		done += n
+	}
+	return misses, nil
+}

@@ -1,0 +1,221 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/vec"
+)
+
+func randTuples(rng *rand.Rand, n, m int) []vec.Sparse {
+	tuples := make([]vec.Sparse, n)
+	for i := range tuples {
+		var entries []vec.Entry
+		for d := 0; d < m; d++ {
+			if rng.Float64() < 0.4 {
+				entries = append(entries, vec.Entry{Dim: d, Val: rng.Float64()})
+			}
+		}
+		if len(entries) == 0 {
+			entries = append(entries, vec.Entry{Dim: rng.Intn(m), Val: rng.Float64() + 0.001})
+		}
+		t, _ := vec.NewSparse(entries)
+		tuples[i] = t
+	}
+	return tuples
+}
+
+func TestTupleFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tuples := randTuples(rng, 200, 12)
+	path := filepath.Join(t.TempDir(), "tuples.dat")
+	if err := WriteTupleFile(path, tuples, 12); err != nil {
+		t.Fatal(err)
+	}
+	stats := &IOStats{}
+	tf, err := OpenTupleFile(path, stats, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if tf.NumTuples() != 200 || tf.Dim() != 12 {
+		t.Fatalf("header: n=%d m=%d", tf.NumTuples(), tf.Dim())
+	}
+	for _, id := range rng.Perm(200) {
+		got, err := tf.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tuples[id]
+		if len(got) != len(want) {
+			t.Fatalf("tuple %d: %v, want %v", id, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tuple %d entry %d: %v, want %v", id, i, got[i], want[i])
+			}
+		}
+	}
+	if stats.RandReads() != 200 {
+		t.Fatalf("rand reads = %d, want 200 (one per Get)", stats.RandReads())
+	}
+	if _, err := tf.Get(200); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if _, err := tf.Get(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestOpenTupleFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lists.dat")
+	if err := WriteListFile(path, map[int][]Posting{0: {{ID: 1, Val: 0.5}}}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTupleFile(path, &IOStats{}, 0); err == nil {
+		t.Fatal("list file accepted as tuple file")
+	}
+}
+
+func TestListFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	lists := map[int][]Posting{}
+	for d := 0; d < 7; d++ {
+		n := rng.Intn(900)
+		l := make([]Posting, n)
+		val := 1.0
+		for i := range l {
+			val -= rng.Float64() / float64(n+1)
+			if val < 0 {
+				val = 0
+			}
+			l[i] = Posting{ID: rng.Intn(10000), Val: val}
+		}
+		lists[d] = l
+	}
+	path := filepath.Join(t.TempDir(), "lists.dat")
+	if err := WriteListFile(path, lists, 7); err != nil {
+		t.Fatal(err)
+	}
+	stats := &IOStats{}
+	lf, err := OpenListFile(path, stats, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	for d, want := range lists {
+		if lf.ListLen(d) != len(want) {
+			t.Fatalf("dim %d: len %d, want %d", d, lf.ListLen(d), len(want))
+		}
+		cur := lf.Cursor(d)
+		if p, ok := cur.Peek(); len(want) > 0 && (!ok || p != want[0]) {
+			t.Fatalf("dim %d: Peek %v,%v", d, p, ok)
+		}
+		for i, w := range want {
+			got, ok := cur.Next()
+			if !ok || got != w {
+				t.Fatalf("dim %d posting %d: %v (ok=%v), want %v", d, i, got, ok, w)
+			}
+		}
+		if _, ok := cur.Next(); ok {
+			t.Fatalf("dim %d: cursor did not end", d)
+		}
+		if cur.Consumed() != len(want) {
+			t.Fatalf("dim %d: consumed %d, want %d", d, cur.Consumed(), len(want))
+		}
+	}
+	if stats.SeqPages() == 0 {
+		t.Fatal("no sequential pages recorded")
+	}
+	// A dimension without a list yields an empty cursor.
+	if _, ok := lf.Cursor(99).Next(); ok {
+		t.Fatal("missing dimension returned postings")
+	}
+}
+
+func TestIOStats(t *testing.T) {
+	s := &IOStats{}
+	s.AddSeqPage(3)
+	s.AddRandRead(100)
+	seq, rnd, bytes := s.Snapshot()
+	if seq != 3 || rnd != 1 || bytes != 3*PageSize+100 {
+		t.Fatalf("snapshot %d %d %d", seq, rnd, bytes)
+	}
+	s.Reset()
+	if s.SeqPages() != 0 || s.RandReads() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestDiskModel(t *testing.T) {
+	m := DiskModel{SeqPage: time.Millisecond, RandRead: 10 * time.Millisecond}
+	if got := m.Time(5, 2); got != 25*time.Millisecond {
+		t.Fatalf("Time = %v", got)
+	}
+	s := &IOStats{}
+	s.AddSeqPage(2)
+	if got := m.TimeOf(s); got != 2*time.Millisecond {
+		t.Fatalf("TimeOf = %v", got)
+	}
+}
+
+func TestLRU(t *testing.T) {
+	c := newLRU(2)
+	c.put(lruKey{1, 1}, "a")
+	c.put(lruKey{1, 2}, "b")
+	if v, ok := c.get(lruKey{1, 1}); !ok || v != "a" {
+		t.Fatal("miss on present key")
+	}
+	c.put(lruKey{1, 3}, "c") // evicts (1,2), the LRU
+	if _, ok := c.get(lruKey{1, 2}); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if _, ok := c.get(lruKey{1, 1}); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+	c.put(lruKey{1, 1}, "a2") // refresh
+	if v, _ := c.get(lruKey{1, 1}); v != "a2" {
+		t.Fatal("refresh failed")
+	}
+	c.reset()
+	if c.len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPagerPoolAvoidsRereads(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tuples := randTuples(rng, 50, 6)
+	path := filepath.Join(t.TempDir(), "tuples.dat")
+	if err := WriteTupleFile(path, tuples, 6); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPager(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	buf := make([]byte, 128)
+	m1, err := p.ReadRange(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == 0 {
+		t.Fatal("first read had no misses")
+	}
+	m2, err := p.ReadRange(0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != 0 {
+		t.Fatalf("second read missed %d pages despite pool", m2)
+	}
+	if _, err := p.ReadRange(p.Size()-10, make([]byte, 20)); err == nil {
+		t.Fatal("read past EOF accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/vec"
+)
+
+// tupleMagic identifies the external tuple file ("external file holding
+// the entire data vectors" in the paper's system model).
+var tupleMagic = [8]byte{'I', 'R', 'T', 'U', 'P', '0', '0', '1'}
+
+// WriteTupleFile persists tuples to path. The format is:
+//
+//	magic[8] | numTuples uint32 | m uint32 | offsets [numTuples]int64 |
+//	records: (nnz uint32, nnz × (dim uint32, val float64))
+//
+// Records are addressed by the offsets table, enabling O(1) random access.
+func WriteTupleFile(path string, tuples []vec.Sparse, m int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	w := &crcWriter{w: bw}
+
+	if _, err := w.Write(tupleMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(tuples)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(m))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	// offsets
+	base := int64(8+8) + int64(8*len(tuples))
+	off := base
+	offBuf := make([]byte, 8)
+	for _, t := range tuples {
+		binary.LittleEndian.PutUint64(offBuf, uint64(off))
+		if _, err := w.Write(offBuf); err != nil {
+			return err
+		}
+		off += int64(4 + 12*len(t))
+	}
+	// records
+	rec := make([]byte, 0, 4+12*64)
+	for _, t := range tuples {
+		rec = rec[:0]
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(len(t)))
+		for _, e := range t {
+			rec = binary.LittleEndian.AppendUint32(rec, uint32(e.Dim))
+			rec = binary.LittleEndian.AppendUint64(rec, math.Float64bits(e.Val))
+		}
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := w.writeTrailer(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// TupleFile provides random access to tuples persisted by WriteTupleFile.
+// Every Get is accounted as one random I/O against the supplied stats,
+// mirroring the paper's accounting where each evaluated candidate costs
+// one random fetch of its full vector.
+type TupleFile struct {
+	pager   *Pager
+	stats   *IOStats
+	offsets []int64
+	sizes   []int32
+	m       int
+}
+
+// OpenTupleFile opens a tuple file. poolPages sizes the buffer pool used
+// for the physical reads (0 disables it); logical random-read counting is
+// unaffected by pool hits.
+func OpenTupleFile(path string, stats *IOStats, poolPages int) (*TupleFile, error) {
+	pager, err := NewPager(path, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	tf := &TupleFile{pager: pager, stats: stats}
+	hdr := make([]byte, 16)
+	if _, err := pager.ReadRange(0, hdr); err != nil {
+		pager.Close()
+		return nil, err
+	}
+	if string(hdr[:8]) != string(tupleMagic[:]) {
+		pager.Close()
+		return nil, fmt.Errorf("storage: %s is not a tuple file", path)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	tf.m = int(binary.LittleEndian.Uint32(hdr[12:16]))
+	offRaw := make([]byte, 8*n)
+	if _, err := pager.ReadRange(16, offRaw); err != nil {
+		pager.Close()
+		return nil, err
+	}
+	tf.offsets = make([]int64, n)
+	for i := 0; i < n; i++ {
+		tf.offsets[i] = int64(binary.LittleEndian.Uint64(offRaw[8*i:]))
+	}
+	payloadEnd, err := dataEnd(pager, path)
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	tf.sizes = make([]int32, n)
+	for i := 0; i < n; i++ {
+		end := payloadEnd
+		if i+1 < n {
+			end = tf.offsets[i+1]
+		}
+		tf.sizes[i] = int32(end - tf.offsets[i])
+	}
+	return tf, nil
+}
+
+// Close releases the file.
+func (tf *TupleFile) Close() error { return tf.pager.Close() }
+
+// NumTuples returns the dataset cardinality.
+func (tf *TupleFile) NumTuples() int { return len(tf.offsets) }
+
+// Dim returns the dimensionality m.
+func (tf *TupleFile) Dim() int { return tf.m }
+
+// Get fetches tuple id. One logical random read is charged per call.
+func (tf *TupleFile) Get(id int) (vec.Sparse, error) {
+	if id < 0 || id >= len(tf.offsets) {
+		return nil, fmt.Errorf("storage: tuple id %d out of range [0,%d)", id, len(tf.offsets))
+	}
+	raw := make([]byte, tf.sizes[id])
+	if _, err := tf.pager.ReadRange(tf.offsets[id], raw); err != nil {
+		return nil, err
+	}
+	if tf.stats != nil {
+		tf.stats.AddRandRead(len(raw))
+	}
+	nnz := int(binary.LittleEndian.Uint32(raw[0:4]))
+	if 4+12*nnz > len(raw) {
+		return nil, fmt.Errorf("storage: tuple %d corrupt (nnz=%d, %d bytes)", id, nnz, len(raw))
+	}
+	t := make(vec.Sparse, nnz)
+	for i := 0; i < nnz; i++ {
+		base := 4 + 12*i
+		t[i] = vec.Entry{
+			Dim: int(binary.LittleEndian.Uint32(raw[base : base+4])),
+			Val: math.Float64frombits(binary.LittleEndian.Uint64(raw[base+4 : base+12])),
+		}
+	}
+	return t, nil
+}

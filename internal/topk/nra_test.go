@@ -1,0 +1,130 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/lists"
+)
+
+// TestNRAMatchesNaive: NRA must return the exact ranked top-k (ids in
+// order) on random general-position data.
+func TestNRAMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 40; trial++ {
+		cs := fixture.RandCase(rng, 20+rng.Intn(80), 3+rng.Intn(6), 2+rng.Intn(3), 1+rng.Intn(8))
+		want := TopKNaive(cs.Tuples, cs.Q, cs.K)
+		ix := lists.NewMemIndex(cs.Tuples, cs.M)
+		nra := NewNRA(ix, cs.Q, cs.K)
+		nra.Run()
+		got := nra.Result()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("trial %d rank %d: id %d, want %d", trial, i, got[i].ID, want[i].ID)
+			}
+			// The certainty interval must bracket the true score.
+			if want[i].Score < got[i].Lower-1e-9 || want[i].Score > got[i].Upper+1e-9 {
+				t.Fatalf("trial %d rank %d: true score %v outside [%v, %v]",
+					trial, i, want[i].Score, got[i].Lower, got[i].Upper)
+			}
+		}
+	}
+}
+
+// TestNRARunningExample: on Fig. 1, NRA finds [d2, d1] like TA.
+func TestNRARunningExample(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	ix := lists.NewMemIndex(tuples, 2)
+	nra := NewNRA(ix, q, k)
+	nra.Run()
+	got := nra.Result()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 0 {
+		t.Fatalf("NRA result %+v, want [d2 d1]", got)
+	}
+}
+
+// TestNRANoRandomAccess: the defining property — NRA must not fetch a
+// single tuple by random access.
+func TestNRANoRandomAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	cs := fixture.RandCase(rng, 100, 5, 3, 5)
+	ix := lists.NewMemIndex(cs.Tuples, cs.M)
+	nra := NewNRA(ix, cs.Q, cs.K)
+	nra.Run()
+	if _, rnd, _ := ix.Stats().Snapshot(); rnd != 0 {
+		t.Fatalf("NRA performed %d random reads", rnd)
+	}
+	if nra.SortedAccesses() == 0 {
+		t.Fatal("no sorted accesses recorded")
+	}
+}
+
+// TestNRAReadsDeeperThanTA quantifies why the paper prefers random-access
+// TA: on sparse text-like data NRA's sorted-access depth must be at
+// least TA's (usually far more), since its upper bounds deflate slowly.
+func TestNRAReadsDeeperThanTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	deeper := 0
+	for trial := 0; trial < 10; trial++ {
+		cs := fixture.RandCase(rng, 150, 6, 3, 5)
+		ixTA := lists.NewMemIndex(cs.Tuples, cs.M)
+		ta := New(ixTA, cs.Q, cs.K, RoundRobin)
+		ta.Run()
+
+		ixNRA := lists.NewMemIndex(cs.Tuples, cs.M)
+		nra := NewNRA(ixNRA, cs.Q, cs.K)
+		nra.Run()
+
+		if nra.SortedAccesses() < ta.SortedAccesses() {
+			t.Errorf("trial %d: NRA read %d postings, TA %d — NRA cannot stop earlier than TA",
+				trial, nra.SortedAccesses(), ta.SortedAccesses())
+		}
+		if nra.SortedAccesses() > ta.SortedAccesses() {
+			deeper++
+		}
+	}
+	if deeper == 0 {
+		t.Error("NRA never read deeper than TA across 10 sparse workloads; comparator not meaningful")
+	}
+}
+
+// TestNRAExhaustion: k equal to the dataset size forces full consumption
+// and exact bounds.
+func TestNRAExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	cs := fixture.RandCase(rng, 25, 4, 2, 25)
+	want := TopKNaive(cs.Tuples, cs.Q, 25)
+	ix := lists.NewMemIndex(cs.Tuples, cs.M)
+	nra := NewNRA(ix, cs.Q, 25)
+	nra.Run()
+	got := nra.Result()
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("rank %d: id %d, want %d", i, got[i].ID, want[i].ID)
+		}
+		if math.Abs(got[i].Lower-want[i].Score) > 1e-9 || math.Abs(got[i].Upper-want[i].Score) > 1e-9 {
+			t.Fatalf("rank %d: bounds [%v,%v] not exact (%v)", i, got[i].Lower, got[i].Upper, want[i].Score)
+		}
+	}
+}
+
+// TestNRAResultBeforeRun covers the guard.
+func TestNRAResultBeforeRun(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	ix := lists.NewMemIndex(tuples, 2)
+	nra := NewNRA(ix, q, k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Result before Run did not panic")
+		}
+	}()
+	nra.Result()
+}

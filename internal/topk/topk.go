@@ -1,0 +1,423 @@
+// Package topk implements the random-access Threshold Algorithm (TA) of
+// Fagin et al. as used by the paper (§2, Fig. 2): inverted lists are
+// probed by sorted access; every newly encountered tuple is fetched in
+// full by random access to compute its score; the search stops when the
+// k-th best score reaches the threshold S(t,q) of the fictitious tuple
+// t = 〈t1,…,tm〉. Unlike textbook TA, the run retains every encountered
+// non-result tuple in the candidate list C(q) (decreasing score order),
+// which is the raw material of immutable-region computation, and the
+// state is resumable — Phase 3 of Scan/CPT continues the very same scan.
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lists"
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+// ProbePolicy selects which inverted list the next sorted access goes to.
+type ProbePolicy int
+
+const (
+	// RoundRobin cycles through the query lists, the textbook strategy.
+	RoundRobin ProbePolicy = iota
+	// BestList probes the list with the largest qj·(next key) — the
+	// Persin heuristic the paper's experiments use (§7.1).
+	BestList
+)
+
+func (p ProbePolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case BestList:
+		return "best-list"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Scored is an encountered tuple with its materialized query-subspace
+// view: Score = S(d,q), Proj[i] = coordinate on q.Dims[i], and NZMask bit
+// i set when Proj[i] > 0. The mask drives the C0/CH/CL partition of §5.1.
+type Scored struct {
+	ID     int
+	Score  float64
+	Proj   []float64
+	NZMask uint64
+}
+
+// NonZero reports how many query dimensions the tuple is non-zero on.
+func (s Scored) NonZero() int {
+	n := 0
+	for m := s.NZMask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// TA is a resumable threshold-algorithm run.
+type TA struct {
+	ix     lists.Index
+	q      vec.Query
+	k      int
+	policy ProbePolicy
+
+	cursors   []lists.Cursor
+	last      []storage.Posting // last consumed posting per query dim
+	consumed  []int
+	exhausted []bool
+	rr        int // round-robin position
+
+	seen        map[int]struct{}
+	encountered []Scored
+	topScores   []float64 // min-heap of the k best scores seen so far
+
+	result []Scored
+	cands  []Scored
+	done   bool
+
+	sortedAccesses int
+	trace          func(TraceStep)
+}
+
+// TraceStep is one sorted access in a TA execution — the rows of the
+// paper's Fig. 2 trace. Snapshot fields are only filled when the access
+// encountered a new tuple.
+type TraceStep struct {
+	Step           int
+	QPos           int // index into Query().Dims of the probed list
+	Dim            int // the probed dimension
+	Tuple          int // tuple id encountered; -1 for an already-seen posting
+	Score          float64
+	Thresholds     []float64
+	ThresholdScore float64
+	ResultIDs      []int // tentative top-k, ranked
+	CandidateIDs   []int // tentative candidates, by decreasing score
+}
+
+// SetTrace installs a per-sorted-access callback. Tracing materializes a
+// ranked snapshot on every new tuple, so it is meant for demonstrations
+// and tests, not benchmarks. Must be called before Run.
+func (ta *TA) SetTrace(fn func(TraceStep)) { ta.trace = fn }
+
+// emitTrace builds and delivers the snapshot after a sorted access.
+func (ta *TA) emitTrace(qpos, tuple int, score float64) {
+	ts := TraceStep{
+		Step:           ta.sortedAccesses,
+		QPos:           qpos,
+		Dim:            ta.q.Dims[qpos],
+		Tuple:          tuple,
+		Score:          score,
+		Thresholds:     ta.Thresholds(),
+		ThresholdScore: ta.ThresholdScore(),
+	}
+	if tuple >= 0 {
+		ranked := make([]Scored, len(ta.encountered))
+		copy(ranked, ta.encountered)
+		sortScored(ranked)
+		cut := ta.k
+		if cut > len(ranked) {
+			cut = len(ranked)
+		}
+		for _, r := range ranked[:cut] {
+			ts.ResultIDs = append(ts.ResultIDs, r.ID)
+		}
+		for _, r := range ranked[cut:] {
+			ts.CandidateIDs = append(ts.CandidateIDs, r.ID)
+		}
+	}
+	ta.trace(ts)
+}
+
+// New prepares a TA run of query q over ix for the top-k result. qlen
+// must not exceed 64 (the partition mask is a uint64).
+func New(ix lists.Index, q vec.Query, k int, policy ProbePolicy) *TA {
+	if q.Len() > 64 {
+		panic(fmt.Sprintf("topk: qlen %d exceeds 64", q.Len()))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("topk: k=%d", k))
+	}
+	ta := &TA{
+		ix:        ix,
+		q:         q,
+		k:         k,
+		policy:    policy,
+		cursors:   make([]lists.Cursor, q.Len()),
+		last:      make([]storage.Posting, q.Len()),
+		consumed:  make([]int, q.Len()),
+		exhausted: make([]bool, q.Len()),
+		seen:      make(map[int]struct{}),
+	}
+	for i, dim := range q.Dims {
+		ta.cursors[i] = ix.Cursor(dim)
+	}
+	return ta
+}
+
+// Query returns the query this run answers.
+func (ta *TA) Query() vec.Query { return ta.q }
+
+// K returns the requested result size.
+func (ta *TA) K() int { return ta.k }
+
+// Index returns the underlying index.
+func (ta *TA) Index() lists.Index { return ta.ix }
+
+// Thresholds returns the current per-query-dimension sorting keys tj (the
+// key of the next unconsumed posting; 0 for an exhausted list), as a
+// slice parallel to Query().Dims.
+func (ta *TA) Thresholds() []float64 {
+	t := make([]float64, len(ta.cursors))
+	for i, c := range ta.cursors {
+		if p, ok := c.Peek(); ok {
+			t[i] = p.Val
+		}
+	}
+	return t
+}
+
+// ThresholdScore returns S(t,q) = Σ qj·tj for the current thresholds.
+func (ta *TA) ThresholdScore() float64 {
+	s := 0.0
+	for i, c := range ta.cursors {
+		if p, ok := c.Peek(); ok {
+			s += ta.q.Weights[i] * p.Val
+		}
+	}
+	return s
+}
+
+// SortedAccesses reports how many sorted accesses have been performed.
+func (ta *TA) SortedAccesses() int { return ta.sortedAccesses }
+
+// Depth reports how many postings have been consumed from the i-th query
+// list.
+func (ta *TA) Depth(i int) int { return ta.consumed[i] }
+
+// pick selects the next list to probe, or -1 when all are exhausted.
+func (ta *TA) pick() int {
+	switch ta.policy {
+	case BestList:
+		best, bestVal := -1, -1.0
+		for i, c := range ta.cursors {
+			if p, ok := c.Peek(); ok {
+				if v := ta.q.Weights[i] * p.Val; v > bestVal {
+					best, bestVal = i, v
+				}
+			}
+		}
+		return best
+	default:
+		for range ta.cursors {
+			i := ta.rr
+			ta.rr = (ta.rr + 1) % len(ta.cursors)
+			if _, ok := ta.cursors[i].Peek(); ok {
+				return i
+			}
+		}
+		return -1
+	}
+}
+
+// step performs one sorted access and, if it encounters a new tuple, the
+// corresponding random access. It returns the new Scored tuple (nil if
+// the tuple was already seen) and ok=false when every list is exhausted.
+func (ta *TA) step() (*Scored, bool) {
+	i := ta.pick()
+	if i < 0 {
+		return nil, false
+	}
+	p, _ := ta.cursors[i].Next()
+	ta.sortedAccesses++
+	ta.last[i] = p
+	ta.consumed[i]++
+	if _, dup := ta.seen[p.ID]; dup {
+		if ta.trace != nil {
+			ta.emitTrace(i, -1, 0)
+		}
+		return nil, true
+	}
+	ta.seen[p.ID] = struct{}{}
+	d := ta.ix.Tuple(p.ID)
+	sc := Scored{ID: p.ID, Score: ta.q.Score(d), Proj: ta.q.Project(d)}
+	for b, v := range sc.Proj {
+		if v > 0 {
+			sc.NZMask |= 1 << uint(b)
+		}
+	}
+	ta.encountered = append(ta.encountered, sc)
+	ta.offerScore(sc.Score)
+	if ta.trace != nil {
+		ta.emitTrace(i, sc.ID, sc.Score)
+	}
+	return &ta.encountered[len(ta.encountered)-1], true
+}
+
+// offerScore maintains the min-heap of the k highest scores seen.
+func (ta *TA) offerScore(s float64) {
+	h := ta.topScores
+	if len(h) < ta.k {
+		h = append(h, s)
+		// sift up
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p] <= h[i] {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+		ta.topScores = h
+		return
+	}
+	if s <= h[0] {
+		return
+	}
+	h[0] = s
+	// sift down
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l] < h[min] {
+			min = l
+		}
+		if r < len(h) && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// Run executes TA to termination and materializes the ranked result R(q)
+// and candidate list C(q).
+func (ta *TA) Run() {
+	if ta.done {
+		return
+	}
+	for {
+		// Termination: k-th tentative score ≥ threshold.
+		if len(ta.encountered) >= ta.k {
+			kth := ta.kthBest()
+			if kth >= ta.ThresholdScore() {
+				break
+			}
+		}
+		if _, ok := ta.step(); !ok {
+			break // dataset exhausted
+		}
+	}
+	ranked := make([]Scored, len(ta.encountered))
+	copy(ranked, ta.encountered)
+	sortScored(ranked)
+	cut := ta.k
+	if cut > len(ranked) {
+		cut = len(ranked)
+	}
+	ta.result = ranked[:cut]
+	ta.cands = ranked[cut:]
+	ta.done = true
+}
+
+// kthBest returns the k-th highest score among encountered tuples,
+// maintained incrementally in the topScores min-heap.
+func (ta *TA) kthBest() float64 { return ta.topScores[0] }
+
+// Result returns the ranked top-k list R(q). Run must have completed.
+func (ta *TA) Result() []Scored {
+	ta.mustBeDone("Result")
+	return ta.result
+}
+
+// Candidates returns C(q), every encountered non-result tuple in
+// decreasing score order.
+func (ta *TA) Candidates() []Scored {
+	ta.mustBeDone("Candidates")
+	return ta.cands
+}
+
+// Resume continues the terminated scan until it encounters one new
+// (previously unseen) tuple, which Phase 3 of the region algorithms
+// evaluates and appends to C(q). ok=false when the lists are exhausted.
+func (ta *TA) Resume() (Scored, bool) {
+	ta.mustBeDone("Resume")
+	for {
+		sc, ok := ta.step()
+		if !ok {
+			return Scored{}, false
+		}
+		if sc != nil {
+			ta.cands = append(ta.cands, *sc)
+			return *sc, true
+		}
+	}
+}
+
+// WasSortedAccessed reports whether tuple id's entry in the i-th query
+// list was consumed by sorted access — the Phase-3 test that decides
+// whether the upper bound needs list resumption at all (§4). val must be
+// the tuple's coordinate on that dimension.
+func (ta *TA) WasSortedAccessed(i int, id int, val float64) bool {
+	if val <= 0 {
+		return false // zero coordinates have no posting
+	}
+	if ta.consumed[i] == 0 {
+		return false
+	}
+	if ta.consumed[i] >= ta.ix.ListLen(ta.q.Dims[i]) {
+		return true
+	}
+	last := ta.last[i]
+	if val != last.Val {
+		return val > last.Val
+	}
+	return id <= last.ID // lists break value ties by ascending id
+}
+
+func (ta *TA) mustBeDone(op string) {
+	if !ta.done {
+		panic("topk: " + op + " before Run")
+	}
+}
+
+// sortScored orders by descending score, ties by ascending id, giving
+// deterministic ranked lists.
+func sortScored(s []Scored) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].ID < s[j].ID
+	})
+}
+
+// TopKNaive computes the exact ranked top-k by scoring every tuple — the
+// correctness oracle for TA and the reference the brute-force region
+// oracle builds on.
+func TopKNaive(tuples []vec.Sparse, q vec.Query, k int) []Scored {
+	all := make([]Scored, 0, len(tuples))
+	for id, d := range tuples {
+		sc := Scored{ID: id, Score: q.Score(d), Proj: q.Project(d)}
+		for b, v := range sc.Proj {
+			if v > 0 {
+				sc.NZMask |= 1 << uint(b)
+			}
+		}
+		all = append(all, sc)
+	}
+	sortScored(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

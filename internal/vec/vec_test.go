@@ -1,0 +1,179 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSparse(t *testing.T) {
+	s, err := NewSparse([]Entry{{Dim: 3, Val: 0.5}, {Dim: 1, Val: 0.2}, {Dim: 5, Val: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("zero entry not dropped: %v", s)
+	}
+	if s[0].Dim != 1 || s[1].Dim != 3 {
+		t.Fatalf("not sorted: %v", s)
+	}
+	if _, err := NewSparse([]Entry{{Dim: 1, Val: 0.1}, {Dim: 1, Val: 0.2}}); err == nil {
+		t.Fatal("duplicate dimension accepted")
+	}
+}
+
+func TestSparseGet(t *testing.T) {
+	s := MustSparse(Entry{Dim: 2, Val: 0.3}, Entry{Dim: 7, Val: 0.9})
+	cases := []struct {
+		dim  int
+		want float64
+	}{{0, 0}, {2, 0.3}, {3, 0}, {7, 0.9}, {8, 0}}
+	for _, c := range cases {
+		if got := s.Get(c.dim); got != c.want {
+			t.Errorf("Get(%d) = %v, want %v", c.dim, got, c.want)
+		}
+	}
+}
+
+func TestSparseDenseRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		m := len(raw)
+		for i := range raw {
+			raw[i] = math.Abs(raw[i])
+			if raw[i] > 1 || math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				raw[i] = 0.5
+			}
+		}
+		s := FromDense(raw)
+		back := s.Dense(m)
+		for i := range raw {
+			if back[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseValidate(t *testing.T) {
+	if err := MustSparse(Entry{Dim: 0, Val: 0.5}).Validate(); err != nil {
+		t.Errorf("valid vector rejected: %v", err)
+	}
+	bad := Sparse{{Dim: 0, Val: 1.5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	unsorted := Sparse{{Dim: 3, Val: 0.1}, {Dim: 1, Val: 0.1}}
+	if err := unsorted.Validate(); err == nil {
+		t.Error("unsorted entries accepted")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if _, err := NewQuery([]int{1, 2}, []float64{0.5}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewQuery(nil, nil); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := NewQuery([]int{1}, []float64{0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewQuery([]int{1, 1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("duplicate dims accepted")
+	}
+	q, err := NewQuery([]int{5, 2}, []float64{0.5, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dims[0] != 2 || q.Weights[0] != 0.7 {
+		t.Errorf("not sorted by dim: %+v", q)
+	}
+}
+
+// TestScoreMatchesDenseDot checks the sparse merge against the dense dot
+// product on random vectors.
+func TestScoreMatchesDenseDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(20)
+		qlen := 1 + rng.Intn(m)
+		dims := rng.Perm(m)[:qlen]
+		w := make([]float64, qlen)
+		for i := range w {
+			w[i] = rng.Float64()*0.99 + 0.01
+		}
+		q := MustQuery(dims, w)
+
+		dense := make([]float64, m)
+		for d := 0; d < m; d++ {
+			if rng.Float64() < 0.5 {
+				dense[d] = rng.Float64()
+			}
+		}
+		s := FromDense(dense)
+		qDense := make([]float64, m)
+		for i, d := range q.Dims {
+			qDense[d] = q.Weights[i]
+		}
+		want := Dot(qDense, dense)
+		if got := q.Score(s); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Score = %v, dense dot = %v", got, want)
+		}
+		proj := q.Project(s)
+		nz := 0
+		for i, d := range q.Dims {
+			if proj[i] != dense[d] {
+				t.Fatalf("Project[%d] = %v, want %v", i, proj[i], dense[d])
+			}
+			if proj[i] != 0 {
+				nz++
+			}
+		}
+		if got := q.NonZeroQueryDims(s); got != nz {
+			t.Fatalf("NonZeroQueryDims = %d, want %d", got, nz)
+		}
+	}
+}
+
+func TestQueryAdjustClamps(t *testing.T) {
+	q := MustQuery([]int{0, 1}, []float64{0.8, 0.5})
+	if got := q.Adjust(0, 0.5).Weight(0); got != 1 {
+		t.Errorf("Adjust above 1: weight = %v, want 1", got)
+	}
+	if got := q.Adjust(1, -0.7).Weight(1); got != 0 {
+		t.Errorf("Adjust below 0: weight = %v, want 0", got)
+	}
+	if got := q.Adjust(0, -0.3).Weight(0); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("Adjust(-0.3) = %v, want 0.5", got)
+	}
+	// Original must be untouched.
+	if q.Weights[0] != 0.8 {
+		t.Errorf("Adjust mutated the receiver: %v", q.Weights)
+	}
+}
+
+func TestQueryWeightPos(t *testing.T) {
+	q := MustQuery([]int{2, 9}, []float64{0.4, 0.6})
+	if q.Weight(2) != 0.4 || q.Weight(9) != 0.6 || q.Weight(5) != 0 {
+		t.Errorf("Weight lookups wrong")
+	}
+	if q.Pos(2) != 0 || q.Pos(9) != 1 || q.Pos(5) != -1 {
+		t.Errorf("Pos lookups wrong")
+	}
+}
+
+func TestNormSub(t *testing.T) {
+	a := []float64{3, 4}
+	if Norm(a) != 5 {
+		t.Errorf("Norm = %v, want 5", Norm(a))
+	}
+	d := Sub([]float64{5, 7}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 4 {
+		t.Errorf("Sub = %v", d)
+	}
+}

@@ -1,0 +1,228 @@
+// Package repro is a Go implementation of "Computing Immutable Regions
+// for Subspace Top-k Queries" (Mouratidis & Pang, PVLDB 6(2), 2013).
+//
+// Given a dataset of sparse vectors in [0,1]^m and a linear subspace
+// top-k query, the library answers the query with the threshold
+// algorithm over per-dimension inverted lists and then computes, for
+// every query dimension, the immutable region: the widest range of
+// weight deviations within which the ranked result provably does not
+// change — plus, for φ > 0, the next φ perturbations on each side and
+// the exact result in every region between them.
+//
+// Quick start:
+//
+//	eng := repro.NewEngine(tuples, m)
+//	a, err := eng.Analyze(q, 10, repro.Options{Method: repro.CPT})
+//	for _, reg := range a.Regions { fmt.Println(repro.RenderSlider(q, reg, 40)) }
+//
+// The heavy lifting lives in internal packages: internal/core holds the
+// Scan/Prune/Thres/CPT algorithms, internal/topk the resumable TA,
+// internal/geom the envelope geometry, internal/storage the disk layer.
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lists"
+	"repro/internal/session"
+	"repro/internal/storage"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// Entry is one non-zero coordinate of a tuple.
+type Entry = vec.Entry
+
+// Tuple is a sparse vector in [0,1]^m.
+type Tuple = vec.Sparse
+
+// Query is a subspace top-k query: weights over a subset of dimensions.
+type Query = vec.Query
+
+// NewQuery validates and builds a query from parallel dims/weights.
+func NewQuery(dims []int, weights []float64) (Query, error) { return vec.NewQuery(dims, weights) }
+
+// NewTuple validates and builds a tuple from entries.
+func NewTuple(entries []Entry) (Tuple, error) { return vec.NewSparse(entries) }
+
+// FromDense converts dense coordinates to a Tuple.
+func FromDense(coords []float64) Tuple { return vec.FromDense(coords) }
+
+// Method selects the region-computation algorithm.
+type Method = core.Method
+
+// Algorithm variants (§4–§5 of the paper): Scan is the baseline; CPT —
+// candidate pruning plus thresholding — is the paper's contribution and
+// the recommended default.
+const (
+	Scan  = core.MethodScan
+	Prune = core.MethodPrune
+	Thres = core.MethodThres
+	CPT   = core.MethodCPT
+)
+
+// Options configures Analyze; see core.Options for field semantics.
+type Options = core.Options
+
+// Regions holds one dimension's immutable regions; see core.Regions.
+type Regions = core.Regions
+
+// Perturbation describes a result change at a region bound.
+type Perturbation = core.Perturbation
+
+// Metrics meters a region computation.
+type Metrics = core.Metrics
+
+// Scored is a tuple with its score and query-subspace projection.
+type Scored = topk.Scored
+
+// Analysis is the complete answer: the ranked top-k result and the
+// immutable regions of every query dimension.
+type Analysis = core.Output
+
+// Engine answers top-k queries and computes immutable regions over one
+// dataset.
+type Engine struct {
+	ix     lists.Index
+	closer func() error
+}
+
+// NewEngine indexes tuples (in [0,1]^m) in memory.
+func NewEngine(tuples []Tuple, m int) *Engine {
+	return &Engine{ix: lists.NewMemIndex(tuples, m)}
+}
+
+// OpenEngine opens a dataset persisted with SaveDataset, reading through
+// a buffer pool of poolPages pages.
+func OpenEngine(tuplePath, listPath string, poolPages int) (*Engine, error) {
+	ix, err := lists.OpenDiskIndex(tuplePath, listPath, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ix: ix, closer: ix.Close}, nil
+}
+
+// SaveDataset persists tuples and their inverted lists in the on-disk
+// format OpenEngine reads.
+func SaveDataset(tuplePath, listPath string, tuples []Tuple, m int) error {
+	return lists.SaveDataset(tuplePath, listPath, tuples, m)
+}
+
+// VerifyDatasetFile re-reads a persisted dataset file and validates its
+// integrity trailer (CRC32 over the full payload).
+func VerifyDatasetFile(path string) error { return storage.VerifyChecksum(path) }
+
+// Close releases any underlying files (no-op for in-memory engines).
+func (e *Engine) Close() error {
+	if e.closer != nil {
+		return e.closer()
+	}
+	return nil
+}
+
+// Stats exposes the engine's I/O meter.
+func (e *Engine) Stats() *storage.IOStats { return e.ix.Stats() }
+
+// N returns the dataset cardinality.
+func (e *Engine) N() int { return e.ix.NumTuples() }
+
+// Dim returns the dataset dimensionality m.
+func (e *Engine) Dim() int { return e.ix.Dim() }
+
+// Tuple fetches one tuple by id (counted as a random I/O).
+func (e *Engine) Tuple(id int) Tuple { return e.ix.Tuple(id) }
+
+// TopK answers the query with the threshold algorithm and returns the
+// ranked result.
+func (e *Engine) TopK(q Query, k int) []Scored {
+	ta := topk.New(e.ix, q, k, topk.BestList)
+	ta.Run()
+	return ta.Result()
+}
+
+// TraceStep is one row of a TA execution trace (the paper's Fig. 2).
+type TraceStep = topk.TraceStep
+
+// TopKTrace answers the query while recording every sorted access,
+// returning the ranked result and the execution trace. Round-robin
+// probing is used so traces match the paper's presentation.
+func (e *Engine) TopKTrace(q Query, k int) ([]Scored, []TraceStep) {
+	ta := topk.New(e.ix, q, k, topk.RoundRobin)
+	var steps []TraceStep
+	ta.SetTrace(func(ts TraceStep) { steps = append(steps, ts) })
+	ta.Run()
+	return ta.Result(), steps
+}
+
+// Analyze answers the query and computes the immutable regions of every
+// query dimension with the selected method (CPT by default semantics of
+// the zero Options value is Scan; pass Method: repro.CPT for the paper's
+// algorithm).
+func (e *Engine) Analyze(q Query, k int, opts Options) (*Analysis, error) {
+	ta := topk.New(e.ix, q, k, topk.BestList)
+	return core.Compute(ta, opts)
+}
+
+// Session is an iterative query-refinement session (§1's motivating
+// workflow): weight adjustments are served without recomputation
+// whenever the immutable regions prove the result unchanged (safe skip)
+// or the φ-schedule already names the new result (local hit). See
+// internal/session for the mechanism and Stats for the accounting.
+type Session = session.Session
+
+// SessionStats counts how a session's adjustments were served.
+type SessionStats = session.Stats
+
+// NewSession starts a refinement session on this engine. opts.Phi > 0
+// enables local hits (precomputed perturbation schedules).
+func (e *Engine) NewSession(q Query, k int, opts Options) (*Session, error) {
+	return session.New(func(q vec.Query, k int, opts core.Options) (*core.Output, error) {
+		return e.Analyze(q, k, opts)
+	}, q, k, opts)
+}
+
+// SafeConcurrent reports whether shifting all query weights
+// simultaneously by devs (parallel to the query dimensions of the
+// analysis) provably preserves the ranked result — the cross-polytope
+// test of the paper's footnote 1.
+func SafeConcurrent(regions []Regions, devs []float64) (bool, error) {
+	return core.SafeConcurrent(regions, devs)
+}
+
+// RenderSlider draws the paper's Fig. 1 slide-bar for one dimension: the
+// weight axis [0,1] with the current weight and the immutable region's
+// bounds marked.
+//
+//	dim 3  0 ───────────╢████════█████╟─────────── 1   q=0.50  IR=(-0.14,+0.21)
+//
+// '█' spans the immutable region, '═' is the current weight position.
+func RenderSlider(q Query, reg Regions, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	qj := q.Weights[reg.QPos]
+	lo, hi := qj+reg.Lo, qj+reg.Hi
+	pos := func(v float64) int {
+		p := int(v * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	bar := make([]rune, width)
+	for i := range bar {
+		bar[i] = '─'
+	}
+	for i := pos(lo); i <= pos(hi); i++ {
+		bar[i] = '█'
+	}
+	bar[pos(qj)] = '═'
+	var b strings.Builder
+	fmt.Fprintf(&b, "dim %-5d 0 %s 1   q=%.3f  IR=(%+.4f, %+.4f)", reg.Dim, string(bar), qj, reg.Lo, reg.Hi)
+	return b.String()
+}

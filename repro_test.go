@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/fixture"
+)
+
+func exampleEngine() (*repro.Engine, repro.Query, int) {
+	tuples, q, k := fixture.RunningExample()
+	return repro.NewEngine(tuples, 2), q, k
+}
+
+func TestEngineTopK(t *testing.T) {
+	eng, q, k := exampleEngine()
+	res := eng.TopK(q, k)
+	if len(res) != 2 || res[0].ID != 1 || res[1].ID != 0 {
+		t.Fatalf("TopK = %+v", res)
+	}
+	if eng.N() != 4 || eng.Dim() != 2 {
+		t.Fatalf("N=%d Dim=%d", eng.N(), eng.Dim())
+	}
+}
+
+func TestEngineAnalyze(t *testing.T) {
+	eng, q, k := exampleEngine()
+	a, err := eng.Analyze(q, k, repro.Options{Method: repro.CPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Regions) != 2 {
+		t.Fatalf("%d regions", len(a.Regions))
+	}
+	if math.Abs(a.Regions[0].Lo-(-16.0/35)) > 1e-12 || math.Abs(a.Regions[0].Hi-0.1) > 1e-12 {
+		t.Fatalf("IR1 = (%v, %v)", a.Regions[0].Lo, a.Regions[0].Hi)
+	}
+	if a.Metrics.Evaluated == 0 {
+		t.Fatal("no metering")
+	}
+}
+
+func TestEngineDiskRoundTrip(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	dir := t.TempDir()
+	tp, lp := filepath.Join(dir, "t.dat"), filepath.Join(dir, "l.dat")
+	if err := repro.SaveDataset(tp, lp, tuples, 2); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.OpenEngine(tp, lp, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	a, err := eng.Analyze(q, k, repro.Options{Method: repro.CPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Regions[1].Lo-(-1.0/18)) > 1e-12 || math.Abs(a.Regions[1].Hi-0.5) > 1e-12 {
+		t.Fatalf("IR2 = (%v, %v)", a.Regions[1].Lo, a.Regions[1].Hi)
+	}
+	if eng.Stats().RandReads() == 0 {
+		t.Fatal("disk engine did not count I/O")
+	}
+}
+
+func TestNewQueryNewTuple(t *testing.T) {
+	if _, err := repro.NewQuery([]int{0}, []float64{2}); err == nil {
+		t.Fatal("invalid weight accepted")
+	}
+	tp, err := repro.NewTuple([]repro.Entry{{Dim: 3, Val: 0.5}})
+	if err != nil || tp.Get(3) != 0.5 {
+		t.Fatalf("NewTuple: %v %v", tp, err)
+	}
+	if got := repro.FromDense([]float64{0, 0.25}); got.Get(1) != 0.25 {
+		t.Fatalf("FromDense: %v", got)
+	}
+}
+
+func TestRenderSlider(t *testing.T) {
+	eng, q, k := exampleEngine()
+	a, err := eng.Analyze(q, k, repro.Options{Method: repro.CPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := repro.RenderSlider(q, a.Regions[0], 40)
+	if !strings.Contains(s, "█") || !strings.Contains(s, "═") {
+		t.Fatalf("slider missing marks: %q", s)
+	}
+	if !strings.Contains(s, "IR=(-0.4571, +0.1000)") {
+		t.Fatalf("slider bounds wrong: %q", s)
+	}
+	// Tiny width is clamped, not broken.
+	if short := repro.RenderSlider(q, a.Regions[1], 3); !strings.Contains(short, "dim") {
+		t.Fatalf("short slider: %q", short)
+	}
+}
