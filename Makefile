@@ -1,0 +1,28 @@
+# Tier-1 verification and day-to-day targets. `make ci` is the one
+# command the verify loop runs: build, vet, tests, race tests.
+
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# A fast benchmark pass over the analyze path: enough to catch gross
+# regressions without the full figure sweep of cmd/irbench.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig10|BenchmarkParallelCompute|BenchmarkServerAnalyzeParallel' \
+		-benchmem -benchtime=200ms .
+
+ci: build vet test race

@@ -6,10 +6,16 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -17,6 +23,7 @@ import (
 	"repro/internal/fixture"
 	"repro/internal/geom"
 	"repro/internal/lists"
+	"repro/internal/server"
 	"repro/internal/topk"
 	"repro/internal/vec"
 )
@@ -323,6 +330,55 @@ func BenchmarkKthEnvelope(b *testing.B) {
 			b.Fatal("empty envelope")
 		}
 	}
+}
+
+// BenchmarkParallelCompute — the forked per-dimension path of CPT at
+// parallelism 1 (isolated but single-threaded) and NumCPU, against the
+// paper-literal sequential pipeline (p0) as reference. qlen=8 gives the
+// fan-out enough dimensions to spread.
+func BenchmarkParallelCompute(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.kb, 8, 10, 16, 215)
+	for _, p := range []int{0, 1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			benchCompute(b, env.kbI, qs, 10, core.Options{Method: core.MethodCPT, Parallelism: p})
+		})
+	}
+}
+
+// BenchmarkServerAnalyzeParallel — the full HTTP /analyze path under
+// concurrent load (b.RunParallel drives one goroutine per GOMAXPROCS by
+// default). The throughput here is what the server-wide mutex used to
+// serialize.
+func BenchmarkServerAnalyzeParallel(b *testing.B) {
+	env.init()
+	srv := server.NewWithConfig(env.wsjI, server.Config{MaxConcurrent: 4 * runtime.NumCPU()})
+	h := srv.Handler()
+	qs := queriesFor(env.wsj, 4, 10, 16, 216)
+	bodies := make([][]byte, len(qs))
+	for i, q := range qs {
+		raw, err := json.Marshal(server.QueryRequest{Dims: q.Dims, Weights: q.Weights, K: 10, Method: "cpt"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = raw
+	}
+	b.ReportAllocs()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) % len(bodies)
+			req := httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(bodies[i]))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				// FailNow is not legal off the benchmark goroutine.
+				b.Errorf("status %d: %s", rec.Code, rec.Body.Bytes())
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkRunningExample — end-to-end on the paper's 4-tuple example;

@@ -25,10 +25,12 @@ import (
 
 func main() {
 	var (
-		data = flag.String("data", "", "directory containing tuples.dat and lists.dat")
-		demo = flag.Bool("demo", false, "serve the paper's running example")
-		addr = flag.String("addr", ":8080", "listen address")
-		pool = flag.Int("pool", 1024, "buffer pool pages for the disk index")
+		data        = flag.String("data", "", "directory containing tuples.dat and lists.dat")
+		demo        = flag.Bool("demo", false, "serve the paper's running example")
+		addr        = flag.String("addr", ":8080", "listen address")
+		pool        = flag.Int("pool", 1024, "buffer pool pages for the disk index")
+		maxConc     = flag.Int("max-concurrent", 0, "max queries executing at once (0 = default 4×GOMAXPROCS, negative = unlimited)")
+		parallelism = flag.Int("parallelism", 0, "per-query dimension parallelism for /analyze (0 = paper-literal sequential)")
 	)
 	flag.Parse()
 
@@ -52,7 +54,8 @@ func main() {
 		log.Fatal("irserver: need -data DIR or -demo")
 	}
 
-	srv := server.New(ix)
-	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s\n", ix.NumTuples(), ix.Dim(), *addr)
+	srv := server.NewWithConfig(ix, server.Config{MaxConcurrent: *maxConc, Parallelism: *parallelism})
+	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d)\n",
+		ix.NumTuples(), ix.Dim(), *addr, *maxConc, *parallelism)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -26,9 +26,11 @@ func TestCandidateStoreMatchesFullList(t *testing.T) {
 			for _, cd := range ta.Candidates() {
 				store.Add(cd)
 			}
-			comp := &computer{ta: ta, ix: ix, q: ta.Query(), k: cs.K,
-				opts: Options{Method: MethodCPT, Phi: phi}}
-			comp.res = ta.Result()
+			comp := &dimComputer{
+				computer: &computer{ix: ix, q: ta.Query(), k: cs.K, n: ix.NumTuples(),
+					opts: Options{Method: MethodCPT, Phi: phi}, res: ta.Result()},
+				view: ta,
+			}
 			for jx := range cs.Q.Dims {
 				want := comp.prunedSet(jx, phi)
 				got := store.PrunedSet(jx)

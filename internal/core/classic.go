@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/topk"
@@ -72,7 +72,7 @@ func (b *boundState) regions(dim, qpos int) Regions {
 }
 
 // classicDim runs the three-phase φ=0 pipeline (§4, §5) on one dimension.
-func (c *computer) classicDim(jx int) Regions {
+func (c *dimComputer) classicDim(jx int) Regions {
 	qj := c.q.Weights[jx]
 	b := &boundState{lo: -qj, hi: 1 - qj}
 
@@ -103,7 +103,7 @@ func (c *computer) classicDim(jx int) Regions {
 // phase1 (Algorithm 1) derives the interim region from reorderings among
 // consecutive result tuples. (The published pseudo-code's line 5 carries
 // a typo, dα−1,j for dα+1,j; the intended comparison is implemented.)
-func (c *computer) phase1(jx int, b *boundState) {
+func (c *dimComputer) phase1(jx int, b *boundState) {
 	if c.opts.CompositionOnly {
 		return
 	}
@@ -115,15 +115,24 @@ func (c *computer) phase1(jx int, b *boundState) {
 }
 
 // fullSet returns all current candidates in decreasing score order (the
-// order C(q) is maintained in).
-func (c *computer) fullSet() []topk.Scored {
-	return sortScoreDesc(c.ta.Candidates())
+// order C(q) is maintained in). The sorted copy is cached and reused
+// until the candidate list grows (it only ever grows, so an unchanged
+// length implies unchanged content): Thres/CPT consult it once per
+// dimension and side, and re-sorting |C| 40-byte entries each time
+// dominated Phase 2 before caching.
+func (c *dimComputer) fullSet() []topk.Scored {
+	cands := c.view.Candidates()
+	if len(cands) != c.cachedLen || (c.cachedFull == nil && len(cands) > 0) {
+		c.cachedFull = sortScoreDesc(cands)
+		c.cachedLen = len(cands)
+	}
+	return c.cachedFull
 }
 
 // classify partitions the candidates for dimension jx into the three
 // classes of §5.1, each in decreasing score order: C0 (zero on jx), CH
 // (non-zero only on jx), CL (non-zero on jx and elsewhere).
-func (c *computer) classify(jx int) (c0, ch, cl []topk.Scored) {
+func (c *dimComputer) classify(jx int) (c0, ch, cl []topk.Scored) {
 	bit := uint64(1) << uint(jx)
 	for _, cd := range c.fullSet() {
 		switch {
@@ -143,7 +152,7 @@ func (c *computer) classify(jx int) (c0, ch, cl []topk.Scored) {
 // candidates with the highest jx-coordinate (they alone can affect the
 // upper bounds). For CH singletons score order equals coordinate order,
 // so both representative picks are prefixes of the score-ordered class.
-func (c *computer) prunedSet(jx, phi int) []topk.Scored {
+func (c *dimComputer) prunedSet(jx, phi int) []topk.Scored {
 	c0, ch, cl := c.classify(jx)
 	keep := phi + 1
 	out := append([]topk.Scored(nil), cl...)
@@ -161,7 +170,7 @@ func prefix(s []topk.Scored, n int) []topk.Scored {
 
 // phase2Evaluate checks every candidate in set against the k-th result
 // tuple (Scan's Phase 2; also Prune's, on the reduced set).
-func (c *computer) phase2Evaluate(jx int, set []topk.Scored, b *boundState) {
+func (c *dimComputer) phase2Evaluate(jx int, set []topk.Scored, b *boundState) {
 	dk := c.dk()
 	dkj := dk.Proj[jx]
 	for _, cd := range set {
@@ -177,34 +186,30 @@ func (c *computer) phase2Evaluate(jx int, set []topk.Scored, b *boundState) {
 // bound. Entries already evaluated in this dimension are skipped both
 // when pulling and when reading thresholds (a strictly tighter, still
 // safe threshold).
-func (c *computer) phase2Threshold(jx int, set []topk.Scored, b *boundState) {
+func (c *dimComputer) phase2Threshold(jx int, set []topk.Scored, b *boundState) {
 	dk := c.dk()
 	dkj := dk.Proj[jx]
 	sk := dk.Score
 
 	sls := set // already score-descending
-	var up, down []topk.Scored
-	for _, cd := range set {
+	// SLj↑ and SLj↓ are index lists over set, ordered against a flat
+	// coordinate column: sorting 4-byte indices over an 8-byte column is
+	// much cheaper than moving 40-byte Scored entries around.
+	coords := make([]float64, len(set))
+	up := make([]int32, 0, len(set))
+	down := make([]int32, 0, len(set))
+	for i, cd := range set {
 		cj := cd.Proj[jx]
+		coords[i] = cj
 		switch {
 		case cj < dkj:
-			up = append(up, cd)
+			up = append(up, int32(i))
 		case cj > dkj:
-			down = append(down, cd)
+			down = append(down, int32(i))
 		}
 	}
-	sort.Slice(up, func(i, j int) bool {
-		if up[i].Proj[jx] != up[j].Proj[jx] {
-			return up[i].Proj[jx] < up[j].Proj[jx]
-		}
-		return up[i].ID < up[j].ID
-	})
-	sort.Slice(down, func(i, j int) bool {
-		if down[i].Proj[jx] != down[j].Proj[jx] {
-			return down[i].Proj[jx] > down[j].Proj[jx]
-		}
-		return down[i].ID < down[j].ID
-	})
+	sortIdxByCoord(up, coords, set, true)    // SLj↑: ascending coordinate
+	sortIdxByCoord(down, coords, set, false) // SLj↓: descending coordinate
 
 	iS, iUp, iDown := 0, 0, 0
 	activeL, activeU := true, true
@@ -243,63 +248,45 @@ func (c *computer) phase2Threshold(jx int, set []topk.Scored, b *boundState) {
 		}
 
 		if activeL {
-			activeL = c.stepLower(sls, up, &iS, &iUp, jx, sk, dkj, b, update, evalPull)
+			activeL = c.stepSide(set, coords, up, &iS, &iUp, -1, sk, dkj, b, update, evalPull)
 		}
 		if activeU {
-			activeU = c.stepUpper(sls, down, &iS, &iDown, jx, sk, dkj, b, update, evalPull)
+			activeU = c.stepSide(set, coords, down, &iS, &iDown, +1, sk, dkj, b, update, evalPull)
 		}
 	}
 }
 
-// stepLower performs the lj-side termination test and, if still active,
-// one pull from SLj↑ (Alg. 3 lines 9–14). It returns the updated flag.
-func (c *computer) stepLower(sls, up []topk.Scored, iS, iUp *int, jx int, sk, dkj float64, b *boundState, update func(topk.Scored, float64, int), evalPull func(topk.Scored) float64) bool {
-	next, okJ := c.peekUneval(up, *iUp)
-	if !okJ || next.Proj[jx] >= dkj {
-		return false // candidates left of dk exhausted
+// stepSide performs one side's termination test and, if still active,
+// one pull from its coordinate list (Alg. 3 lines 9–14 for the lower
+// bound on SLj↑, side = -1; lines 15–20 for the upper on SLj↓,
+// side = +1). It returns the updated active flag.
+func (c *dimComputer) stepSide(set []topk.Scored, coords []float64, idx []int32, iS, iJ *int, side int, sk, dkj float64, b *boundState, update func(topk.Scored, float64, int), evalPull func(topk.Scored) float64) bool {
+	ni, okJ := c.peekUnevalIdx(set, idx, *iJ)
+	if !okJ || (side < 0 && coords[ni] >= dkj) || (side > 0 && coords[ni] <= dkj) {
+		return false // candidates on dk's side of the list exhausted
 	}
-	tS, okS := c.peekUneval(sls, *iS)
+	tS, okS := c.peekUneval(set, *iS)
 	if !okS {
 		return false
 	}
-	if (sk-tS.Score)/(next.Proj[jx]-dkj) <= b.lo {
-		return false // no unseen candidate can raise lj
+	crit := (sk - tS.Score) / (coords[ni] - dkj)
+	if (side < 0 && crit <= b.lo) || (side > 0 && crit >= b.hi) {
+		return false // no unseen candidate can tighten this bound
 	}
-	sc, ok := c.nextUneval(up, iUp)
+	i, ok := c.nextUnevalIdx(set, idx, iJ)
 	if !ok {
 		return false
 	}
+	sc := set[i]
 	coord := evalPull(sc)
-	update(sc, coord, -1)
-	return true
-}
-
-// stepUpper is the symmetric uj-side step on SLj↓ (Alg. 3 lines 15–20).
-func (c *computer) stepUpper(sls, down []topk.Scored, iS, iDown *int, jx int, sk, dkj float64, b *boundState, update func(topk.Scored, float64, int), evalPull func(topk.Scored) float64) bool {
-	next, okJ := c.peekUneval(down, *iDown)
-	if !okJ || next.Proj[jx] <= dkj {
-		return false
-	}
-	tS, okS := c.peekUneval(sls, *iS)
-	if !okS {
-		return false
-	}
-	if (sk-tS.Score)/(next.Proj[jx]-dkj) >= b.hi {
-		return false // no unseen candidate can lower uj
-	}
-	sc, ok := c.nextUneval(down, iDown)
-	if !ok {
-		return false
-	}
-	coord := evalPull(sc)
-	update(sc, coord, +1)
+	update(sc, coord, side)
 	return true
 }
 
 // peekUneval returns the first not-yet-evaluated entry at or after *i.
-func (c *computer) peekUneval(list []topk.Scored, i int) (topk.Scored, bool) {
+func (c *dimComputer) peekUneval(list []topk.Scored, i int) (topk.Scored, bool) {
 	for ; i < len(list); i++ {
-		if _, seen := c.evalSeen[list[i].ID]; !seen {
+		if !c.eval.contains(list[i].ID) {
 			return list[i], true
 		}
 	}
@@ -307,9 +294,9 @@ func (c *computer) peekUneval(list []topk.Scored, i int) (topk.Scored, bool) {
 }
 
 // nextUneval consumes and returns the first not-yet-evaluated entry.
-func (c *computer) nextUneval(list []topk.Scored, i *int) (topk.Scored, bool) {
+func (c *dimComputer) nextUneval(list []topk.Scored, i *int) (topk.Scored, bool) {
 	for ; *i < len(list); *i++ {
-		if _, seen := c.evalSeen[list[*i].ID]; !seen {
+		if !c.eval.contains(list[*i].ID) {
 			sc := list[*i]
 			*i++
 			return sc, true
@@ -318,21 +305,45 @@ func (c *computer) nextUneval(list []topk.Scored, i *int) (topk.Scored, bool) {
 	return topk.Scored{}, false
 }
 
+// peekUnevalIdx is peekUneval over an index list: it returns the first
+// index (into set) at or after position i whose entry is unevaluated.
+func (c *dimComputer) peekUnevalIdx(set []topk.Scored, idx []int32, i int) (int32, bool) {
+	for ; i < len(idx); i++ {
+		if !c.eval.contains(set[idx[i]].ID) {
+			return idx[i], true
+		}
+	}
+	return 0, false
+}
+
+// nextUnevalIdx consumes and returns the first unevaluated index.
+func (c *dimComputer) nextUnevalIdx(set []topk.Scored, idx []int32, i *int) (int32, bool) {
+	for ; *i < len(idx); *i++ {
+		if !c.eval.contains(set[idx[*i]].ID) {
+			v := idx[*i]
+			*i++
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // phase3 (Algorithm 2) resumes the TA scan to rule out — or account for —
 // tuples never encountered. The upper side is skipped when dk's posting
 // in list jx was consumed by sorted access (§4: all higher-coordinate
 // tuples were then already encountered).
-func (c *computer) phase3(jx int, b *boundState) {
+func (c *dimComputer) phase3(jx int, b *boundState) {
 	dk := c.dk()
 	dkj := dk.Proj[jx]
 	sk := dk.Score
 	qj := c.q.Weights[jx]
-	needUpper := !c.ta.WasSortedAccessed(jx, dk.ID, dkj)
+	needUpper := !c.view.WasSortedAccessed(jx, dk.ID, dkj)
 
 	sBar := sk + b.hi*dkj
 	sUnd := sk + b.lo*dkj
+	t := make([]float64, c.q.Len()) // reused across resume checks
 	for {
-		t := c.ta.Thresholds()
+		c.view.ThresholdsInto(t)
 		sumOther := 0.0
 		for i, ti := range t {
 			if i != jx {
@@ -345,7 +356,7 @@ func (c *computer) phase3(jx int, b *boundState) {
 		if !condL && !condU {
 			return
 		}
-		sc, ok := c.ta.Resume()
+		sc, ok := c.view.Resume()
 		if !ok {
 			return
 		}
@@ -358,16 +369,37 @@ func (c *computer) phase3(jx int, b *boundState) {
 	}
 }
 
+// sortIdxByCoord orders an index list over set by the flat coordinate
+// column — ascending when asc, else descending — with ties broken by
+// ascending tuple id. Both the classic and envelope Phase-2 paths build
+// their SLj lists with this one ordering.
+func sortIdxByCoord(idx []int32, coords []float64, set []topk.Scored, asc bool) {
+	slices.SortFunc(idx, func(a, b int32) int {
+		av, bv := coords[a], coords[b]
+		if av != bv {
+			if (av < bv) == asc {
+				return -1
+			}
+			return 1
+		}
+		return set[a].ID - set[b].ID
+	})
+}
+
 // sortScoreDesc returns a copy ordered by decreasing score (ties by
 // ascending id), the canonical C(q) order.
 func sortScoreDesc(s []topk.Scored) []topk.Scored {
 	out := make([]topk.Scored, len(s))
 	copy(out, s)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b topk.Scored) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		default:
+			return a.ID - b.ID
 		}
-		return out[i].ID < out[j].ID
 	})
 	return out
 }

@@ -16,10 +16,40 @@
 // φ = 0 runs the paper's three-phase pipeline literally (Algorithms
 // 1–3); φ > 0 runs the score–deviation envelope machinery of §6. An
 // exact brute-force oracle (oracle.go) independent of TA validates both.
+//
+// # Concurrency model
+//
+// Dimensions are independent given the TA state, so Compute can fan the
+// per-dimension work out across a goroutine pool (Options.Parallelism).
+// What is shared between dimension workers is strictly read-only: the
+// index, the query, the ranked result, and the candidate snapshot taken
+// when TA terminated. Everything a dimension mutates is private to it —
+// its topk.Fork (an isolated resumable scan with cloned cursors, so
+// Phase-3 pulls never leak across dimensions), its evaluation memo, and
+// its own Metrics, which are merged in ascending dimension order after
+// the workers drain so the reported totals are deterministic. Phase
+// durations then sum per-dimension CPU time, not wall time. I/O charges
+// from all workers land on the index's (atomic) meter; the SeqPages and
+// RandReads deltas in Metrics bracket the whole call.
+//
+// Parallelism ≤ 0 keeps the paper-literal sequential semantics: one
+// shared scan, later dimensions observing earlier dimensions' Phase-3
+// pulls, exactly as the published pseudo-code reads. Parallelism ≥ 1
+// switches to fork isolation; 1 runs the forked dimensions on the
+// calling goroutine, and because forks are deterministic regardless of
+// scheduling, Parallelism = 1 and Parallelism = N produce bit-identical
+// Regions and evaluation metrics (Evaluated, per-dimension counts,
+// Phase-3 pulls, RandReads; durations excepted). SeqPages is likewise
+// identical on a MemIndex, whose logical page charges are
+// deterministic; on a DiskIndex the buffer pool is shared across
+// workers, so which access pays a physical page miss depends on
+// interleaving and SeqPages may vary between runs.
 package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lists"
@@ -77,6 +107,14 @@ type Options struct {
 	ForceEnvelope bool
 	// Schedule selects the probing schedule of the thresholding lists.
 	Schedule Schedule
+	// Parallelism selects the per-dimension execution mode. ≤ 0 (the
+	// default) is the paper-literal sequential pipeline: one shared TA
+	// scan, later dimensions seeing earlier dimensions' Phase-3 pulls.
+	// ≥ 1 isolates every dimension on its own TA fork and runs up to
+	// Parallelism dimensions concurrently; 1 and N are bit-identical in
+	// results and evaluation metrics (see the package comment for the
+	// exact guarantee and the DiskIndex SeqPages caveat).
+	Parallelism int
 }
 
 // Schedule is the probing schedule of Thres/CPT. §5.2 reports having
@@ -166,7 +204,8 @@ func applyPerturbation(ranked []int, p Perturbation) error {
 // Metrics meters one Compute call. Evaluated counts candidates checked
 // against the result boundary (the paper's "# evaluated candidates";
 // fetching each costs one random I/O). Phase durations cover all query
-// dimensions; I/O counters are deltas against the index's meter.
+// dimensions (in parallel mode they sum per-dimension CPU time, not wall
+// time); I/O counters are deltas against the index's meter.
 type Metrics struct {
 	Evaluated       int
 	EvaluatedPerDim []int
@@ -177,6 +216,19 @@ type Metrics struct {
 	SeqPages        int64
 	RandReads       int64
 	MemBytes        int64
+}
+
+// merge folds one dimension's metrics into the aggregate. Callers merge
+// in ascending dimension order, making parallel totals deterministic.
+func (m *Metrics) merge(o Metrics) {
+	m.Evaluated += o.Evaluated
+	for i, v := range o.EvaluatedPerDim {
+		m.EvaluatedPerDim[i] += v
+	}
+	m.Phase1 += o.Phase1
+	m.Phase2 += o.Phase2
+	m.Phase3 += o.Phase3
+	m.Phase3Pulled += o.Phase3Pulled
 }
 
 // EvaluatedPerDimAvg is Evaluated averaged over the query dimensions.
@@ -208,67 +260,270 @@ func (o *Output) RankedIDs() []int {
 	return ids
 }
 
-// computer carries the state of one Compute call.
+// computer carries the state shared by every dimension of one Compute
+// call. All fields are read-only once the TA run has completed, so any
+// number of dimension workers may consult them concurrently.
 type computer struct {
-	ta   *topk.TA
 	ix   lists.Index
 	q    vec.Query
 	k    int
+	n    int // dataset cardinality
 	opts Options
+	res  []topk.Scored
 
-	res []topk.Scored
-	met Metrics
+	// forked reports whether the per-dimension work ran on TA forks, in
+	// which case Phase-3 pulls live in the forks' private candidate
+	// lists (not the parent's) and the memory model adds them separately.
+	forked bool
+}
 
-	// per-dimension evaluation bookkeeping
-	evalSeen map[int][]float64 // id → projected coords of evaluated candidates
+// dimComputer is the working state of one dimension's region
+// computation: the shared read-only computer plus this dimension's
+// private scan view, metrics, and evaluation memo.
+type dimComputer struct {
+	*computer
+	view topk.View
+	met  *Metrics
+	eval *evalTable
+	proj topk.ProjArena
+
+	// cachedFull memoizes the score-sorted candidate list; valid while
+	// the candidate list still has cachedLen entries (it only grows).
+	cachedFull []topk.Scored
+	cachedLen  int
+}
+
+// evalTable memoizes the projections of evaluated candidates, keyed by
+// tuple id. It is a dense epoch-tagged array rather than a map: the
+// uneval-scanning loops of Phase 2 probe it once per list entry, and a
+// slice index beats a map lookup there by an order of magnitude. reset
+// (one integer bump) starts a new dimension without clearing.
+type evalTable struct {
+	proj    [][]float64
+	mark    []uint32
+	sparse  map[int][]float64 // non-nil → sparse mode (huge datasets)
+	touched []int32           // ids written since the table left the pool
+	epoch   uint32
+}
+
+// evalDenseMax caps the dense layout: beyond ~1M tuples the O(n) arrays
+// (28 B/tuple, one table per concurrent query and per worker) would
+// dominate server memory, so larger datasets fall back to a map sized
+// by the candidates actually evaluated.
+const evalDenseMax = 1 << 20
+
+func (t *evalTable) reset() {
+	if t.sparse != nil {
+		clear(t.sparse)
+		return
+	}
+	t.epoch++
+	if t.epoch == 0 { // wrapped: marks from 4Gi resets ago could alias
+		clear(t.mark)
+		t.epoch = 1
+	}
+}
+
+func (t *evalTable) get(id int) ([]float64, bool) {
+	if t.sparse != nil {
+		p, ok := t.sparse[id]
+		return p, ok
+	}
+	if t.mark[id] == t.epoch {
+		return t.proj[id], true
+	}
+	return nil, false
+}
+
+func (t *evalTable) contains(id int) bool {
+	if t.sparse != nil {
+		_, ok := t.sparse[id]
+		return ok
+	}
+	return t.mark[id] == t.epoch
+}
+
+func (t *evalTable) put(id int, p []float64) {
+	if t.sparse != nil {
+		t.sparse[id] = p
+		return
+	}
+	t.mark[id] = t.epoch
+	t.proj[id] = p
+	t.touched = append(t.touched, int32(id))
+}
+
+// evalPool recycles evalTables across Compute calls; dense tables are
+// sized to the dataset cardinality, which dominates their cost.
+var evalPool sync.Pool
+
+func getEvalTable(n int) *evalTable {
+	if n > evalDenseMax {
+		return &evalTable{sparse: make(map[int][]float64)}
+	}
+	if v := evalPool.Get(); v != nil {
+		t := v.(*evalTable)
+		if t.sparse == nil && len(t.mark) >= n {
+			return t
+		}
+	}
+	return &evalTable{proj: make([][]float64, n), mark: make([]uint32, n)}
+}
+
+// putEvalTable returns a table to the pool with the projection pointers
+// it wrote dropped, so a pooled table does not pin the finished query's
+// projection arenas until the pool is GC-evicted. Sparse tables are not
+// pooled; they are already sized to their query.
+func putEvalTable(t *evalTable) {
+	if t.sparse != nil {
+		return
+	}
+	for _, id := range t.touched {
+		t.proj[id] = nil
+	}
+	t.touched = t.touched[:0]
+	evalPool.Put(t)
 }
 
 // Compute derives the immutable regions of every query dimension from a
-// completed TA run. The TA's candidate list grows as Phase 3 resumes the
-// scan, exactly as in the paper (later dimensions see earlier additions).
+// completed TA run. With Options.Parallelism ≤ 0 the TA's candidate
+// list grows as Phase 3 resumes the scan, exactly as in the paper
+// (later dimensions see earlier additions); with Parallelism ≥ 1 every
+// dimension works on an isolated fork of the scan (see the package
+// comment for the full concurrency model).
 func Compute(ta *topk.TA, opts Options) (*Output, error) {
 	if opts.Phi < 0 {
 		return nil, fmt.Errorf("core: negative phi %d", opts.Phi)
 	}
+	ta.Run()
 	c := &computer{
-		ta:   ta,
 		ix:   ta.Index(),
 		q:    ta.Query(),
 		k:    ta.K(),
+		n:    ta.Index().NumTuples(),
 		opts: opts,
+		res:  ta.Result(),
 	}
-	ta.Run()
-	c.res = ta.Result()
+	qlen := c.q.Len()
 	out := &Output{Query: c.q, K: c.k, Result: c.res}
-	c.met.EvaluatedPerDim = make([]int, c.q.Len())
+	out.Regions = make([]Regions, qlen)
+	met := Metrics{EvaluatedPerDim: make([]int, qlen)}
 
 	seq0, rnd0, _ := c.ix.Stats().Snapshot()
-	for jx := range c.q.Dims {
-		c.evalSeen = make(map[int][]float64)
-		var reg Regions
-		if len(c.res) < c.k {
-			// Fewer tuples than k: no tuple can displace anything.
-			reg = c.fullDomainRegions(jx)
-		} else if opts.Iterative && opts.Phi > 0 {
-			reg = c.iterativeDim(jx)
-		} else if opts.Phi > 0 || opts.ForceEnvelope || opts.CompositionOnly {
-			// Composition-only always takes the envelope path: a tuple
-			// enters the result set when it crosses the k-th score
-			// envelope, which is below dk's own line once result tuples
-			// reorder — the classic dk-only comparison of Phase 2 would
-			// miss such entries.
-			reg = c.envelopeDim(jx, opts.Phi)
-		} else {
-			reg = c.classicDim(jx)
+	switch {
+	case len(c.res) < c.k:
+		// Fewer tuples than k: no tuple can displace anything.
+		for jx := range c.q.Dims {
+			out.Regions[jx] = c.fullDomainRegions(jx)
 		}
-		out.Regions = append(out.Regions, reg)
+	case opts.Parallelism <= 0:
+		c.computeSequential(ta, out, &met)
+	default:
+		c.computeForked(ta, out, &met)
 	}
 	seq1, rnd1, _ := c.ix.Stats().Snapshot()
-	c.met.SeqPages = seq1 - seq0
-	c.met.RandReads = rnd1 - rnd0
-	c.met.MemBytes = c.memFootprint()
-	out.Metrics = c.met
+	met.SeqPages = seq1 - seq0
+	met.RandReads = rnd1 - rnd0
+	met.MemBytes = c.memFootprint(ta.Candidates())
+	// Forked Phase-3 pulls grow the forks' private candidate lists, not
+	// the parent's, so memFootprint missed them; add all pulls at the
+	// candidate-entry unit (16 B) to match the sequential path, where
+	// the same pulls land in ta.cands before the footprint is taken.
+	if c.forked {
+		met.MemBytes += int64(met.Phase3Pulled) * 16
+	}
+	out.Metrics = met
 	return out, nil
+}
+
+// computeSequential is the paper-literal pipeline: one shared scan, one
+// evaluation memo reset per dimension, metrics accumulated in place.
+func (c *computer) computeSequential(ta *topk.TA, out *Output, met *Metrics) {
+	eval := getEvalTable(c.n)
+	defer putEvalTable(eval)
+	d := &dimComputer{computer: c, view: ta, met: met, eval: eval, proj: topk.ProjArena{Qlen: c.q.Len()}}
+	for jx := range c.q.Dims {
+		d.eval.reset()
+		out.Regions[jx] = d.computeDim(jx)
+	}
+}
+
+// computeForked fans the dimensions out over min(Parallelism, qlen)
+// workers, each dimension on its own TA fork, and merges the
+// per-dimension metrics in ascending dimension order.
+func (c *computer) computeForked(ta *topk.TA, out *Output, met *Metrics) {
+	qlen := c.q.Len()
+	workers := c.opts.Parallelism
+	if workers > qlen {
+		workers = qlen
+	}
+	perDim := make([]Metrics, qlen)
+	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicked any
+	run := func() {
+		eval := getEvalTable(c.n)
+		defer putEvalTable(eval)
+		for {
+			jx := int(next.Add(1)) - 1
+			if jx >= qlen {
+				return
+			}
+			perDim[jx].EvaluatedPerDim = make([]int, qlen)
+			d := &dimComputer{
+				computer: c,
+				view:     ta.Fork(),
+				met:      &perDim[jx],
+				eval:     eval,
+				proj:     topk.ProjArena{Qlen: qlen},
+			}
+			eval.reset()
+			out.Regions[jx] = d.computeDim(jx)
+		}
+	}
+	if workers == 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicOnce.Do(func() { panicked = r })
+					}
+				}()
+				run()
+			}()
+		}
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+	}
+	for jx := range perDim {
+		met.merge(perDim[jx])
+	}
+	c.forked = true
+}
+
+// computeDim routes one dimension to the right algorithm variant.
+func (d *dimComputer) computeDim(jx int) Regions {
+	opts := d.opts
+	switch {
+	case opts.Iterative && opts.Phi > 0:
+		return d.iterativeDim(jx)
+	case opts.Phi > 0 || opts.ForceEnvelope || opts.CompositionOnly:
+		// Composition-only always takes the envelope path: a tuple
+		// enters the result set when it crosses the k-th score
+		// envelope, which is below dk's own line once result tuples
+		// reorder — the classic dk-only comparison of Phase 2 would
+		// miss such entries.
+		return d.envelopeDim(jx, opts.Phi)
+	default:
+		return d.classicDim(jx)
+	}
 }
 
 // fullDomainRegions covers the degenerate |R| < k case.
@@ -281,27 +536,28 @@ func (c *computer) fullDomainRegions(jx int) Regions {
 // paper's accounting unit for Phase 2) and returns its projection onto
 // the query dimensions. Repeat evaluations within one dimension are
 // served from the per-dimension memo without re-charging.
-func (c *computer) evaluate(jx, id int) []float64 {
-	if p, ok := c.evalSeen[id]; ok {
+func (d *dimComputer) evaluate(jx, id int) []float64 {
+	if p, ok := d.eval.get(id); ok {
 		return p
 	}
-	d := c.ix.Tuple(id)
-	p := c.q.Project(d)
-	c.evalSeen[id] = p
-	c.met.Evaluated++
-	c.met.EvaluatedPerDim[jx]++
+	t := d.ix.Tuple(id)
+	p := d.proj.Alloc()
+	d.q.ProjectInto(t, p)
+	d.eval.put(id, p)
+	d.met.Evaluated++
+	d.met.EvaluatedPerDim[jx]++
 	return p
 }
 
 // noteEvaluated records an evaluation whose fetch was already charged
 // elsewhere (Phase 3 resume pulls).
-func (c *computer) noteEvaluated(jx int, sc topk.Scored) []float64 {
-	if p, ok := c.evalSeen[sc.ID]; ok {
+func (d *dimComputer) noteEvaluated(jx int, sc topk.Scored) []float64 {
+	if p, ok := d.eval.get(sc.ID); ok {
 		return p
 	}
-	c.evalSeen[sc.ID] = sc.Proj
-	c.met.Evaluated++
-	c.met.EvaluatedPerDim[jx]++
+	d.eval.put(sc.ID, sc.Proj)
+	d.met.Evaluated++
+	d.met.EvaluatedPerDim[jx]++
 	return sc.Proj
 }
 
@@ -313,9 +569,8 @@ func (c *computer) dk() topk.Scored { return c.res[c.k-1] }
 // sorted-list entry a pointer+key (16 B). Prune and CPT use the
 // CandidateStore optimization of §5.1 (only CL tuples plus φ+1 singleton
 // representatives per dimension are retained).
-func (c *computer) memFootprint() int64 {
+func (c *computer) memFootprint(cands []topk.Scored) int64 {
 	const entry = 16
-	cands := c.ta.Candidates()
 	total := int64(len(cands)) * entry
 	switch c.opts.Method {
 	case MethodScan:

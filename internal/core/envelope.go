@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/geom"
@@ -98,7 +97,7 @@ func (b *boundary) innerBound() float64 {
 
 // envelopeDim computes up to phi+1 immutable regions per side of
 // dimension jx via the §6 machinery.
-func (c *computer) envelopeDim(jx, phi int) Regions {
+func (c *dimComputer) envelopeDim(jx, phi int) Regions {
 	qj := c.q.Weights[jx]
 
 	// Phase 1: plane-sweep the k result lines for the interim events.
@@ -138,7 +137,7 @@ func assembleRegions(dim, jx int, qj float64, right, left *boundary) Regions {
 // keeps, besides all of CL, only the φ+1 highest-coordinate CH tuples on
 // the positive side and the φ+1 best-scoring C0 tuples on the negative
 // side. Scan/Thres take everything.
-func (c *computer) sideSet(jx, phi int, mirror bool) []topk.Scored {
+func (c *dimComputer) sideSet(jx, phi int, mirror bool) []topk.Scored {
 	switch c.opts.Method {
 	case MethodScan, MethodThres:
 		return c.fullSet()
@@ -158,7 +157,7 @@ func (c *computer) sideSet(jx, phi int, mirror bool) []topk.Scored {
 // whole set; Thres/CPT probe the score list and the coordinate list
 // round-robin and stop once the unseen-candidate cap line lies below the
 // envelope everywhere within the horizon.
-func (c *computer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
+func (c *dimComputer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 	set := c.sideSet(jx, phi, mirror)
 	sgn := 1.0
 	if mirror {
@@ -174,52 +173,46 @@ func (c *computer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 	}
 
 	dkj := c.dk().Proj[jx]
-	sls := set // score-descending
-	var slj []topk.Scored
-	for _, cd := range set {
+	// SLS is set itself (score-descending, probed by position); SLj is an
+	// index list over set, sorted against a flat coordinate column (cheap
+	// 4-byte swaps instead of 40-byte Scored moves).
+	coords := make([]float64, len(set))
+	slj := make([]int32, 0, len(set))
+	for i, cd := range set {
 		cj := cd.Proj[jx]
+		coords[i] = cj
 		if (!mirror && cj > dkj) || (mirror && cj < dkj) {
-			slj = append(slj, cd)
+			slj = append(slj, int32(i))
 		}
 	}
-	sort.Slice(slj, func(i, j int) bool {
-		a, b := slj[i].Proj[jx], slj[j].Proj[jx]
-		if a != b {
-			if mirror {
-				return a < b // SLj↑: ascending coordinate
-			}
-			return a > b // SLj↓: descending coordinate
-		}
-		return slj[i].ID < slj[j].ID
-	})
+	// SLj↑ (mirror): ascending coordinate; SLj↓: descending.
+	sortIdxByCoord(slj, coords, set, mirror)
 
-	// processed tracks candidates already offered to THIS boundary; the
-	// fetch memo (evalSeen) is shared across sides so a tuple's random
-	// read is charged once per dimension, but each side must still offer
-	// its own view of the tuple to its own boundary.
-	processed := make(map[int]bool)
-	peek := func(list []topk.Scored, i int) (topk.Scored, bool) {
-		for ; i < len(list); i++ {
-			if !processed[list[i].ID] {
-				return list[i], true
+	// processed tracks set positions already offered to THIS boundary;
+	// the fetch memo (the eval table) is shared across sides so a tuple's
+	// random read is charged once per dimension, but each side must still
+	// offer its own view of the tuple to its own boundary.
+	processed := make([]bool, len(set))
+	peekS := func(i int) (int32, bool) { // next unprocessed SLS position
+		for ; i < len(set); i++ {
+			if !processed[i] {
+				return int32(i), true
 			}
 		}
-		return topk.Scored{}, false
+		return 0, false
 	}
-	next := func(list []topk.Scored, i *int) (topk.Scored, bool) {
-		for ; *i < len(list); *i++ {
-			if !processed[list[*i].ID] {
-				sc := list[*i]
-				*i++
-				return sc, true
+	peekJ := func(i int) (pos int, idx int32, ok bool) { // next unprocessed SLj entry
+		for ; i < len(slj); i++ {
+			if !processed[slj[i]] {
+				return i, slj[i], true
 			}
 		}
-		return topk.Scored{}, false
+		return 0, 0, false
 	}
 
 	iS, iJ := 0, 0
 	done := func() bool {
-		top, okS := peek(sls, iS)
+		top, okS := peekS(iS)
 		if !okS {
 			return true // every candidate on this side processed
 		}
@@ -227,13 +220,14 @@ func (c *computer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 		// has unprocessed entries, then dkj (all remaining coordinates
 		// are on dk's other side and bounded by it).
 		slope := dkj
-		if nxt, okJ := peek(slj, iJ); okJ {
-			slope = nxt.Proj[jx]
+		if _, nxt, okJ := peekJ(iJ); okJ {
+			slope = coords[nxt]
 		}
-		return bd.env.AboveLine(geom.Line{A: top.Score, B: sgn * slope})
+		return bd.env.AboveLine(geom.Line{A: set[top].Score, B: sgn * slope})
 	}
-	offer := func(sc topk.Scored) {
-		processed[sc.ID] = true
+	offer := func(i int32) {
+		processed[i] = true
+		sc := set[i]
 		proj := c.evaluate(jx, sc.ID)
 		bd.consider(sc.ID, sc.Score, sgn*proj[jx])
 	}
@@ -246,17 +240,19 @@ func (c *computer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 			if done() {
 				return
 			}
-			sc, ok := next(sls, &iS)
+			i, ok := peekS(iS)
 			if !ok {
 				return
 			}
-			offer(sc)
+			iS = int(i) + 1
+			offer(i)
 		}
 		if done() {
 			return
 		}
-		if sc, ok := next(slj, &iJ); ok {
-			offer(sc)
+		if pos, i, ok := peekJ(iJ); ok {
+			iJ = pos + 1
+			offer(i)
 		}
 	}
 }
@@ -264,9 +260,10 @@ func (c *computer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 // envelopePhase3 resumes the TA scan until the threshold line
 // y = Σ qi·ti + tj·x (constant on the mirrored side, since coordinates
 // are non-negative) no longer intersects either envelope (§6 Phase 3).
-func (c *computer) envelopePhase3(jx int, right, left *boundary) {
+func (c *dimComputer) envelopePhase3(jx int, right, left *boundary) {
+	t := make([]float64, c.q.Len()) // reused across resume checks
 	for {
-		t := c.ta.Thresholds()
+		c.view.ThresholdsInto(t)
 		base := 0.0
 		for i, ti := range t {
 			base += c.q.Weights[i] * ti
@@ -276,7 +273,7 @@ func (c *computer) envelopePhase3(jx int, right, left *boundary) {
 		if right.env.AboveLine(capR) && left.env.AboveLine(capL) {
 			return
 		}
-		sc, ok := c.ta.Resume()
+		sc, ok := c.view.Resume()
 		if !ok {
 			return
 		}
@@ -292,10 +289,10 @@ func (c *computer) envelopePhase3(jx int, right, left *boundary) {
 // lists from scratch every round (the "iterative re-processing" cost §4
 // calls out). The final round's answer is complete; the metrics
 // accumulate the waste of all rounds.
-func (c *computer) iterativeDim(jx int) Regions {
+func (c *dimComputer) iterativeDim(jx int) Regions {
 	var reg Regions
 	for r := 0; r <= c.opts.Phi; r++ {
-		c.evalSeen = make(map[int][]float64) // refetch everything
+		c.eval.reset() // refetch everything
 		reg = c.envelopeDim(jx, r)
 	}
 	return reg

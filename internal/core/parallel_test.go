@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/lists"
+	"repro/internal/topk"
+)
+
+// computeWith runs one full TA+Compute at the given parallelism.
+func computeWith(t *testing.T, cs fixture.Case, opts core.Options, parallelism int) *core.Output {
+	t.Helper()
+	ix := lists.NewMemIndex(cs.Tuples, cs.M)
+	ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
+	opts.Parallelism = parallelism
+	out, err := core.Compute(ta, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestParallelMatchesSequential: for every method and φ, the forked
+// per-dimension path must be deterministic — Parallelism = 1 (forked,
+// run on the calling goroutine) and Parallelism = NumCPU must return
+// bit-identical Regions, Evaluated counts and Phase-3 pulls. The forked
+// regions must also match the brute-force oracle, and the paper-literal
+// shared-scan path (Parallelism = 0) must agree on the regions (its
+// Evaluated counts legitimately differ: later dimensions of the shared
+// scan observe and evaluate earlier dimensions' Phase-3 pulls).
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	trials := 12
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 30 + rng.Intn(60)
+		m := 4 + rng.Intn(5)
+		qlen := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(5)
+		cs := fixture.RandCase(rng, n, m, qlen, k)
+		for phi := 0; phi <= 2; phi++ {
+			want := core.ExactRegions(cs.Tuples, cs.Q, cs.K, phi, false)
+			for _, method := range core.Methods {
+				opts := core.Options{Method: method, Phi: phi}
+				label := fmt.Sprintf("trial=%d n=%d qlen=%d k=%d phi=%d %v", trial, n, qlen, k, phi, method)
+
+				seq := computeWith(t, cs, opts, 1)
+				par := computeWith(t, cs, opts, workers)
+				legacy := computeWith(t, cs, opts, 0)
+
+				if !reflect.DeepEqual(seq.Regions, par.Regions) {
+					t.Errorf("%s: parallel regions differ from sequential:\n  seq %+v\n  par %+v",
+						label, seq.Regions, par.Regions)
+				}
+				if seq.Metrics.Evaluated != par.Metrics.Evaluated ||
+					!reflect.DeepEqual(seq.Metrics.EvaluatedPerDim, par.Metrics.EvaluatedPerDim) {
+					t.Errorf("%s: evaluated %d %v (seq) vs %d %v (par)", label,
+						seq.Metrics.Evaluated, seq.Metrics.EvaluatedPerDim,
+						par.Metrics.Evaluated, par.Metrics.EvaluatedPerDim)
+				}
+				if seq.Metrics.Phase3Pulled != par.Metrics.Phase3Pulled {
+					t.Errorf("%s: phase3 pulled %d (seq) vs %d (par)", label,
+						seq.Metrics.Phase3Pulled, par.Metrics.Phase3Pulled)
+				}
+				if seq.Metrics.SeqPages != par.Metrics.SeqPages || seq.Metrics.RandReads != par.Metrics.RandReads {
+					t.Errorf("%s: io (%d,%d) (seq) vs (%d,%d) (par)", label,
+						seq.Metrics.SeqPages, seq.Metrics.RandReads,
+						par.Metrics.SeqPages, par.Metrics.RandReads)
+				}
+				compareRegions(t, label+" forked-vs-oracle", seq.Regions, want)
+				compareRegions(t, label+" legacy-vs-forked", legacy.Regions, seq.Regions)
+			}
+		}
+	}
+}
+
+// TestParallelVariants covers the remaining option combinations on the
+// forked path: composition-only, forced envelope, iterative φ>0 and the
+// score-biased schedule must all be scheduling-independent too.
+func TestParallelVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 6; trial++ {
+		cs := fixture.RandCase(rng, 40+rng.Intn(40), 5, 3, 1+rng.Intn(4))
+		variants := []core.Options{
+			{Method: core.MethodCPT, CompositionOnly: true},
+			{Method: core.MethodCPT, ForceEnvelope: true},
+			{Method: core.MethodPrune, Phi: 2, Iterative: true},
+			{Method: core.MethodCPT, Phi: 1, Schedule: core.ScheduleScoreBiased},
+		}
+		for vi, opts := range variants {
+			seq := computeWith(t, cs, opts, 1)
+			par := computeWith(t, cs, opts, 4)
+			if !reflect.DeepEqual(seq.Regions, par.Regions) {
+				t.Errorf("trial %d variant %d: regions diverge under parallelism", trial, vi)
+			}
+			if seq.Metrics.Evaluated != par.Metrics.Evaluated {
+				t.Errorf("trial %d variant %d: evaluated %d vs %d", trial, vi,
+					seq.Metrics.Evaluated, par.Metrics.Evaluated)
+			}
+		}
+	}
+}
+
+// TestParallelDegenerate: |R| < k and qlen = 1 must behave under every
+// parallelism setting.
+func TestParallelDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	cs := fixture.RandCase(rng, 8, 4, 2, 1)
+	for _, p := range []int{0, 1, 8} {
+		out := computeWith(t, cs, core.Options{Method: core.MethodCPT}, p)
+		if len(out.Regions) != cs.Q.Len() {
+			t.Fatalf("parallelism %d: %d regions", p, len(out.Regions))
+		}
+	}
+	// k larger than the dataset: full-domain regions on every path.
+	ixSeq := lists.NewMemIndex(cs.Tuples, cs.M)
+	ta := topk.New(ixSeq, cs.Q, 1000, topk.BestList)
+	out, err := core.Compute(ta, core.Options{Method: core.MethodCPT, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range out.Regions {
+		if reg.Lo != -cs.Q.Weights[reg.QPos] || reg.Hi != 1-cs.Q.Weights[reg.QPos] {
+			t.Fatalf("degenerate region %+v not full-domain", reg)
+		}
+	}
+}

@@ -6,11 +6,20 @@
 // memory while still metering logical I/O (the paper's CPU charts stand
 // in for the memory-resident setting, §7.1), and DiskIndex reads the
 // storage package's on-disk formats.
+//
+// Concurrency model: an Index is immutable after construction and safe
+// for any number of concurrent queries; only its I/O meter is written,
+// and that meter is atomic. Cursors are single-query state and are NOT
+// safe for sharing — each query (or each forked per-dimension scan)
+// opens or Clones its own. WithStats derives a view of the index whose
+// accesses are charged to a separate meter; a concurrent server gives
+// each query a view over a Child of the shared meter so per-query deltas
+// stay exact while the global counters keep aggregating.
 package lists
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/storage"
 	"repro/internal/vec"
@@ -25,6 +34,9 @@ type Cursor interface {
 	Next() (storage.Posting, bool)
 	// Consumed reports how many postings have been consumed.
 	Consumed() int
+	// Clone returns an independent cursor at the same position, so a
+	// forked scan can resume from here without disturbing the original.
+	Clone() Cursor
 }
 
 // Index is the query-facing view of a dataset: sorted access per
@@ -42,15 +54,36 @@ type Index interface {
 	Tuple(id int) vec.Sparse
 	// Stats exposes the I/O meter all accesses are charged to.
 	Stats() *storage.IOStats
+	// WithStats returns a view of the same index whose accesses are
+	// charged to st instead. The underlying data is shared.
+	WithStats(st *storage.IOStats) Index
 }
 
 // postingsPerPage is how many inverted-list entries fit in one I/O page.
 const postingsPerPage = storage.PageSize / 12
 
-// BuildPostings constructs the per-dimension inverted lists for tuples:
-// every non-zero coordinate yields a posting; lists are sorted by
-// descending value with ties broken by ascending tuple id (deterministic
-// TA traces).
+// PostingList is one inverted list in columnar (struct-of-arrays) form:
+// IDs[i] and Vals[i] are the i-th posting, sorted by descending value
+// with ties broken by ascending id. Separating the two arrays keeps the
+// value array dense for the sorted-access hot loop (8 B/entry streamed
+// instead of 16 B interleaved).
+type PostingList struct {
+	IDs  []int32
+	Vals []float64
+}
+
+// Len returns the number of postings.
+func (pl PostingList) Len() int { return len(pl.IDs) }
+
+// At materializes the i-th posting in row form.
+func (pl PostingList) At(i int) storage.Posting {
+	return storage.Posting{ID: int(pl.IDs[i]), Val: pl.Vals[i]}
+}
+
+// BuildPostings constructs the per-dimension inverted lists for tuples in
+// row form (the on-disk format): every non-zero coordinate yields a
+// posting; lists are sorted by descending value with ties broken by
+// ascending tuple id (deterministic TA traces).
 func BuildPostings(tuples []vec.Sparse) map[int][]storage.Posting {
 	lists := make(map[int][]storage.Posting)
 	for id, t := range tuples {
@@ -59,15 +92,41 @@ func BuildPostings(tuples []vec.Sparse) map[int][]storage.Posting {
 		}
 	}
 	for d := range lists {
-		l := lists[d]
-		sort.Slice(l, func(i, j int) bool {
-			if l[i].Val != l[j].Val {
-				return l[i].Val > l[j].Val
-			}
-			return l[i].ID < l[j].ID
-		})
+		slices.SortFunc(lists[d], comparePostings)
 	}
 	return lists
+}
+
+// comparePostings orders by descending value, ties by ascending id.
+func comparePostings(a, b storage.Posting) int {
+	switch {
+	case a.Val > b.Val:
+		return -1
+	case a.Val < b.Val:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// BuildColumnar constructs the per-dimension inverted lists directly in
+// the columnar layout MemIndex serves from.
+func BuildColumnar(tuples []vec.Sparse) map[int]PostingList {
+	rows := BuildPostings(tuples)
+	out := make(map[int]PostingList, len(rows))
+	for d, l := range rows {
+		pl := PostingList{IDs: make([]int32, len(l)), Vals: make([]float64, len(l))}
+		for i, p := range l {
+			pl.IDs[i] = int32(p.ID)
+			pl.Vals[i] = p.Val
+		}
+		out[d] = pl
+	}
+	return out
 }
 
 // MemIndex is an in-memory Index. Logical I/O is still metered: cursors
@@ -76,7 +135,7 @@ func BuildPostings(tuples []vec.Sparse) map[int][]storage.Posting {
 // to the disk-backed path.
 type MemIndex struct {
 	tuples []vec.Sparse
-	lists  map[int][]storage.Posting
+	lists  map[int]PostingList
 	m      int
 	stats  *storage.IOStats
 }
@@ -85,7 +144,7 @@ type MemIndex struct {
 func NewMemIndex(tuples []vec.Sparse, m int) *MemIndex {
 	return &MemIndex{
 		tuples: tuples,
-		lists:  BuildPostings(tuples),
+		lists:  BuildColumnar(tuples),
 		m:      m,
 		stats:  &storage.IOStats{},
 	}
@@ -98,14 +157,22 @@ func (ix *MemIndex) NumTuples() int { return len(ix.tuples) }
 func (ix *MemIndex) Dim() int { return ix.m }
 
 // ListLen returns the length of dim's inverted list.
-func (ix *MemIndex) ListLen(dim int) int { return len(ix.lists[dim]) }
+func (ix *MemIndex) ListLen(dim int) int { return ix.lists[dim].Len() }
 
 // Stats returns the I/O meter.
 func (ix *MemIndex) Stats() *storage.IOStats { return ix.stats }
 
+// WithStats returns a view over the same data charging st.
+func (ix *MemIndex) WithStats(st *storage.IOStats) Index {
+	cp := *ix
+	cp.stats = st
+	return &cp
+}
+
 // Cursor opens a sorted-access cursor on dim.
 func (ix *MemIndex) Cursor(dim int) Cursor {
-	return &memCursor{list: ix.lists[dim], stats: ix.stats}
+	pl := ix.lists[dim]
+	return &memCursor{ids: pl.IDs, vals: pl.Vals, stats: ix.stats}
 }
 
 // Tuple fetches a tuple, charging one random read.
@@ -115,21 +182,29 @@ func (ix *MemIndex) Tuple(id int) vec.Sparse {
 	return t
 }
 
-// Postings exposes the raw list of a dimension (read-only); used by
-// dataset statistics and tests.
-func (ix *MemIndex) Postings(dim int) []storage.Posting { return ix.lists[dim] }
+// Postings materializes the raw list of a dimension in row form; used by
+// dataset statistics and tests, not the query path.
+func (ix *MemIndex) Postings(dim int) []storage.Posting {
+	pl := ix.lists[dim]
+	out := make([]storage.Posting, pl.Len())
+	for i := range out {
+		out[i] = pl.At(i)
+	}
+	return out
+}
 
 type memCursor struct {
-	list  []storage.Posting
+	ids   []int32
+	vals  []float64
 	stats *storage.IOStats
 	pos   int
 }
 
 func (c *memCursor) Peek() (storage.Posting, bool) {
-	if c.pos >= len(c.list) {
+	if c.pos >= len(c.ids) {
 		return storage.Posting{}, false
 	}
-	return c.list[c.pos], true
+	return storage.Posting{ID: int(c.ids[c.pos]), Val: c.vals[c.pos]}, true
 }
 
 func (c *memCursor) Next() (storage.Posting, bool) {
@@ -145,6 +220,11 @@ func (c *memCursor) Next() (storage.Posting, bool) {
 }
 
 func (c *memCursor) Consumed() int { return c.pos }
+
+func (c *memCursor) Clone() Cursor {
+	cp := *c
+	return &cp
+}
 
 // DiskIndex is the disk-backed Index over the storage package's tuple and
 // list files.
@@ -197,17 +277,38 @@ func (ix *DiskIndex) ListLen(dim int) int { return ix.lf.ListLen(dim) }
 // Stats returns the I/O meter.
 func (ix *DiskIndex) Stats() *storage.IOStats { return ix.stats }
 
+// WithStats returns a view over the same files charging st. The buffer
+// pool stays shared; only the metering target changes.
+func (ix *DiskIndex) WithStats(st *storage.IOStats) Index {
+	cp := *ix
+	cp.stats = st
+	return &cp
+}
+
 // Cursor opens a sorted-access cursor on dim.
-func (ix *DiskIndex) Cursor(dim int) Cursor { return ix.lf.Cursor(dim) }
+func (ix *DiskIndex) Cursor(dim int) Cursor {
+	return &diskCursor{c: ix.lf.CursorWith(dim, ix.stats)}
+}
 
 // Tuple fetches a tuple, charging one random read.
 func (ix *DiskIndex) Tuple(id int) vec.Sparse {
-	t, err := ix.tf.Get(id)
+	t, err := ix.tf.GetWith(id, ix.stats)
 	if err != nil {
 		panic(fmt.Sprintf("lists: tuple %d: %v", id, err))
 	}
 	return t
 }
+
+// diskCursor adapts storage.ListCursor to the Cursor interface (the
+// Clone method cannot live in storage without an import cycle).
+type diskCursor struct {
+	c *storage.ListCursor
+}
+
+func (d *diskCursor) Peek() (storage.Posting, bool) { return d.c.Peek() }
+func (d *diskCursor) Next() (storage.Posting, bool) { return d.c.Next() }
+func (d *diskCursor) Consumed() int                 { return d.c.Consumed() }
+func (d *diskCursor) Clone() Cursor                 { return &diskCursor{c: d.c.CloneCursor()} }
 
 // SaveDataset writes tuples and their inverted lists to tuplePath and
 // listPath in the storage formats.

@@ -10,13 +10,27 @@
 //	               → result + per-dimension regions + metering
 //	GET  /stats    → cumulative I/O counters
 //	GET  /healthz  → 200 ok
+//
+// # Concurrency model
+//
+// Queries run concurrently with no server-wide lock. The index is
+// immutable and shared; per-query state (TA cursors, candidate lists,
+// region computation) is private to the request goroutine. I/O metering
+// uses one atomic meter per query — a Child of the index-wide meter —
+// so the metrics reported in an /analyze response count exactly that
+// query's accesses while /stats keeps the exact aggregate across all
+// in-flight queries. Config.MaxConcurrent bounds the number of queries
+// executing at once (a semaphore; excess requests queue rather than
+// fail), and Config.Parallelism is forwarded to core.Options to fan one
+// query's per-dimension work across goroutines as well.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sync"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/lists"
@@ -24,17 +38,63 @@ import (
 	"repro/internal/vec"
 )
 
-// Server handles the HTTP API over one index.
-type Server struct {
-	ix lists.Index
-	// mu serializes query execution: the engine meters I/O through a
-	// shared counter and TA cursors are per-query anyway; a production
-	// deployment would pool indexes instead.
-	mu sync.Mutex
+// Config tunes the server's concurrency.
+type Config struct {
+	// MaxConcurrent caps the number of queries executing at once. Each
+	// in-flight query holds O(n) working state, so the cap is the
+	// server's memory backpressure. 0 picks the default of
+	// 4×GOMAXPROCS; a negative value disables the cap entirely.
+	MaxConcurrent int
+	// Parallelism is forwarded to core.Options.Parallelism for /analyze:
+	// 0 keeps the paper-literal sequential per-dimension pipeline, n ≥ 1
+	// runs each query's dimensions on up to n goroutines.
+	Parallelism int
 }
 
-// New builds a Server over an index.
-func New(ix lists.Index) *Server { return &Server{ix: ix} }
+// Server handles the HTTP API over one index.
+type Server struct {
+	ix  lists.Index
+	cfg Config
+	sem chan struct{} // nil when unlimited
+}
+
+// New builds a Server over an index with the default concurrency cap.
+func New(ix lists.Index) *Server { return NewWithConfig(ix, Config{}) }
+
+// NewWithConfig builds a Server with explicit concurrency settings.
+func NewWithConfig(ix lists.Index, cfg Config) *Server {
+	s := &Server{ix: ix, cfg: cfg}
+	limit := cfg.MaxConcurrent
+	if limit == 0 {
+		limit = 4 * runtime.GOMAXPROCS(0)
+	}
+	if limit > 0 {
+		s.sem = make(chan struct{}, limit)
+	}
+	return s
+}
+
+// acquire blocks until a query slot is free (no-op when unlimited) or
+// the request is abandoned — a client that gave up while queued must not
+// trigger a full query execution against a dead connection.
+func (s *Server) acquire(ctx context.Context) (release func(), ok bool) {
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// queryIndex returns a per-request view of the index charging a fresh
+// child meter, so this query's I/O is metered in isolation while still
+// aggregating into the shared /stats counters.
+func (s *Server) queryIndex() lists.Index {
+	return s.ix.WithStats(s.ix.Stats().Child())
+}
 
 // Handler returns the routed http.Handler.
 func (s *Server) Handler() http.Handler {
@@ -112,11 +172,15 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.Lock()
-	ta := topk.New(s.ix, q, req.K, topk.BestList)
+	release, ok := s.acquire(r.Context())
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request canceled while queued"))
+		return
+	}
+	defer release()
+	ta := topk.New(s.queryIndex(), q, req.K, topk.BestList)
 	ta.Run()
 	res := ta.Result()
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, toEntries(res))
 }
 
@@ -134,14 +198,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("negative phi"))
 		return
 	}
-	s.mu.Lock()
-	ta := topk.New(s.ix, q, req.K, topk.BestList)
+	release, ok := s.acquire(r.Context())
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request canceled while queued"))
+		return
+	}
+	defer release()
+	ta := topk.New(s.queryIndex(), q, req.K, topk.BestList)
 	out, err := core.Compute(ta, core.Options{
 		Method:          method,
 		Phi:             req.Phi,
 		CompositionOnly: req.CompositionOnly,
+		Parallelism:     s.cfg.Parallelism,
 	})
-	s.mu.Unlock()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return

@@ -143,23 +143,33 @@ func (lf *ListFile) Dim() int { return lf.m }
 // the dimension has no list).
 func (lf *ListFile) ListLen(dim int) int { return lf.dir[dim].count }
 
-// Cursor opens a sorted-access cursor over dimension dim's list.
-func (lf *ListFile) Cursor(dim int) *ListCursor {
+// Cursor opens a sorted-access cursor over dimension dim's list, charging
+// sequential pages to the file's own meter.
+func (lf *ListFile) Cursor(dim int) *ListCursor { return lf.CursorWith(dim, lf.stats) }
+
+// CursorWith opens a cursor whose sequential-page charges go to st
+// instead of the file's meter — the hook concurrent servers use to meter
+// each query separately (st is typically a Child of the shared meter).
+func (lf *ListFile) CursorWith(dim int, st *IOStats) *ListCursor {
 	ext, ok := lf.dir[dim]
 	if !ok {
 		return &ListCursor{} // empty cursor
 	}
-	return &ListCursor{lf: lf, ext: ext}
+	return &ListCursor{lf: lf, ext: ext, stats: st}
 }
 
 // ListCursor iterates one inverted list from the top (highest coordinate)
-// downward, fetching a page worth of postings at a time.
+// downward, fetching a page worth of postings at a time. The decoded
+// buffer is columnar (parallel id/value arrays) to match the in-memory
+// index layout.
 type ListCursor struct {
-	lf   *ListFile
-	ext  listExtent
-	pos  int // postings consumed
-	buf  []Posting
-	bufI int
+	lf    *ListFile
+	ext   listExtent
+	stats *IOStats
+	pos   int // postings consumed
+	ids   []int32
+	vals  []float64
+	bufI  int
 }
 
 // fill loads the next batch of postings into the buffer.
@@ -177,16 +187,15 @@ func (c *ListCursor) fill() error {
 	if err != nil {
 		return err
 	}
-	if c.lf.stats != nil && misses > 0 {
-		c.lf.stats.AddSeqPage(misses)
+	if c.stats != nil && misses > 0 {
+		c.stats.AddSeqPage(misses)
 	}
-	c.buf = c.buf[:0]
+	c.ids = c.ids[:0]
+	c.vals = c.vals[:0]
 	for i := 0; i < batch; i++ {
 		base := postingBytes * i
-		c.buf = append(c.buf, Posting{
-			ID:  int(binary.LittleEndian.Uint32(raw[base : base+4])),
-			Val: math.Float64frombits(binary.LittleEndian.Uint64(raw[base+4 : base+12])),
-		})
+		c.ids = append(c.ids, int32(binary.LittleEndian.Uint32(raw[base:base+4])))
+		c.vals = append(c.vals, math.Float64frombits(binary.LittleEndian.Uint64(raw[base+4:base+12])))
 	}
 	c.bufI = 0
 	return nil
@@ -194,15 +203,15 @@ func (c *ListCursor) fill() error {
 
 // Peek returns the next posting without consuming it; ok=false at list end.
 func (c *ListCursor) Peek() (Posting, bool) {
-	if c.bufI >= len(c.buf) {
+	if c.bufI >= len(c.ids) {
 		if c.lf == nil || c.pos >= c.ext.count {
 			return Posting{}, false
 		}
-		if err := c.fill(); err != nil || len(c.buf) == 0 {
+		if err := c.fill(); err != nil || len(c.ids) == 0 {
 			return Posting{}, false
 		}
 	}
-	return c.buf[c.bufI], true
+	return Posting{ID: int(c.ids[c.bufI]), Val: c.vals[c.bufI]}, true
 }
 
 // Next consumes and returns the next posting; ok=false at list end.
@@ -218,3 +227,14 @@ func (c *ListCursor) Next() (Posting, bool) {
 
 // Consumed reports how many postings this cursor has consumed.
 func (c *ListCursor) Consumed() int { return c.pos }
+
+// CloneCursor returns an independent cursor at the same position. The
+// decoded buffer is copied, so re-reading buffered postings through the
+// clone charges no further I/O; pages past the buffer are charged to the
+// clone's meter as usual.
+func (c *ListCursor) CloneCursor() *ListCursor {
+	cp := *c
+	cp.ids = append([]int32(nil), c.ids...)
+	cp.vals = append([]float64(nil), c.vals...)
+	return &cp
+}

@@ -1,6 +1,9 @@
 package storage
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
 // lruKey identifies a cached object: a page of a file or a tuple record.
 type lruKey struct {
@@ -9,10 +12,11 @@ type lruKey struct {
 }
 
 // lruCache is a fixed-capacity least-recently-used cache. It backs both
-// the page-level buffer pool and the tuple cache. Not safe for concurrent
-// use; callers serialize access (the engine is single-threaded per query,
-// like the paper's).
+// the page-level buffer pool and the tuple cache. A single mutex guards
+// the recency list and map: concurrent queries share one buffer pool, and
+// every operation (including get, which promotes) mutates the structure.
 type lruCache struct {
+	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recent; values are *lruEntry
 	items map[lruKey]*list.Element
@@ -32,6 +36,8 @@ func newLRU(capacity int) *lruCache {
 
 // get returns the cached value and promotes it, or ok=false on a miss.
 func (c *lruCache) get(k lruKey) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	el, ok := c.items[k]
 	if !ok {
 		return nil, false
@@ -43,6 +49,8 @@ func (c *lruCache) get(k lruKey) (interface{}, bool) {
 // put inserts or refreshes a value, evicting the least recently used
 // entry when over capacity.
 func (c *lruCache) put(k lruKey, v interface{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
 		el.Value.(*lruEntry).val = v
 		c.order.MoveToFront(el)
@@ -60,10 +68,16 @@ func (c *lruCache) put(k lruKey, v interface{}) {
 }
 
 // len reports the number of cached entries.
-func (c *lruCache) len() int { return c.order.Len() }
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
 
 // reset drops all entries.
 func (c *lruCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.order.Init()
 	c.items = make(map[lruKey]*list.Element, c.cap)
 }

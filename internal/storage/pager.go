@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // Pager mediates page-granular access to a file through an optional LRU
@@ -17,10 +18,12 @@ type Pager struct {
 	fileID int
 }
 
-var nextFileID int
+var nextFileID atomic.Int64
 
 // NewPager opens path for reading. poolPages > 0 enables a buffer pool of
-// that many pages shared by all reads through this pager.
+// that many pages shared by all reads through this pager. Pagers are safe
+// for concurrent use: reads go through the preadv-style ReadAt and the
+// buffer pool serializes internally.
 func NewPager(path string, poolPages int) (*Pager, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -31,8 +34,7 @@ func NewPager(path string, poolPages int) (*Pager, error) {
 		f.Close()
 		return nil, err
 	}
-	nextFileID++
-	p := &Pager{f: f, size: st.Size(), fileID: nextFileID}
+	p := &Pager{f: f, size: st.Size(), fileID: int(nextFileID.Add(1))}
 	if poolPages > 0 {
 		p.pool = newLRU(poolPages)
 	}

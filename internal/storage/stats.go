@@ -9,7 +9,7 @@ package storage
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,56 +19,58 @@ const PageSize = 4096
 
 // IOStats accumulates I/O counters. All storage components funnel their
 // accesses through one IOStats so an experiment can be metered end to end.
-// It is safe for concurrent use.
+// Counters are lock-free atomics, so many queries may charge one meter
+// concurrently.
+//
+// A meter may be a child of another (see Child): every charge to the
+// child is forwarded to its parent. Concurrent servers give each query a
+// child of the index-wide meter, so per-query deltas stay exact while
+// the global counters keep aggregating.
 type IOStats struct {
-	mu        sync.Mutex
-	seqPages  int64 // inverted-list pages fetched by sorted access
-	randReads int64 // tuple-file fetches by random access
-	bytesRead int64
+	seqPages  atomic.Int64 // inverted-list pages fetched by sorted access
+	randReads atomic.Int64 // tuple-file fetches by random access
+	bytesRead atomic.Int64
+	parent    *IOStats
 }
+
+// Child returns a fresh meter that forwards every charge to s. Reading
+// the child observes only the charges made through it.
+func (s *IOStats) Child() *IOStats { return &IOStats{parent: s} }
 
 // AddSeqPage records n sequential page fetches.
 func (s *IOStats) AddSeqPage(n int) {
-	s.mu.Lock()
-	s.seqPages += int64(n)
-	s.bytesRead += int64(n) * PageSize
-	s.mu.Unlock()
+	s.seqPages.Add(int64(n))
+	s.bytesRead.Add(int64(n) * PageSize)
+	if s.parent != nil {
+		s.parent.AddSeqPage(n)
+	}
 }
 
 // AddRandRead records one random tuple fetch of the given byte size.
 func (s *IOStats) AddRandRead(bytes int) {
-	s.mu.Lock()
-	s.randReads++
-	s.bytesRead += int64(bytes)
-	s.mu.Unlock()
+	s.randReads.Add(1)
+	s.bytesRead.Add(int64(bytes))
+	if s.parent != nil {
+		s.parent.AddRandRead(bytes)
+	}
 }
 
 // Snapshot returns the current counter values.
 func (s *IOStats) Snapshot() (seqPages, randReads, bytesRead int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.seqPages, s.randReads, s.bytesRead
+	return s.seqPages.Load(), s.randReads.Load(), s.bytesRead.Load()
 }
 
 // SeqPages returns the sequential page counter.
-func (s *IOStats) SeqPages() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.seqPages
-}
+func (s *IOStats) SeqPages() int64 { return s.seqPages.Load() }
 
 // RandReads returns the random read counter.
-func (s *IOStats) RandReads() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.randReads
-}
+func (s *IOStats) RandReads() int64 { return s.randReads.Load() }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters (of this meter only; parents are untouched).
 func (s *IOStats) Reset() {
-	s.mu.Lock()
-	s.seqPages, s.randReads, s.bytesRead = 0, 0, 0
-	s.mu.Unlock()
+	s.seqPages.Store(0)
+	s.randReads.Store(0)
+	s.bytesRead.Store(0)
 }
 
 // Sub returns the difference s - o as plain numbers (seq, rand, bytes).

@@ -135,7 +135,11 @@ func (tf *TupleFile) NumTuples() int { return len(tf.offsets) }
 func (tf *TupleFile) Dim() int { return tf.m }
 
 // Get fetches tuple id. One logical random read is charged per call.
-func (tf *TupleFile) Get(id int) (vec.Sparse, error) {
+func (tf *TupleFile) Get(id int) (vec.Sparse, error) { return tf.GetWith(id, tf.stats) }
+
+// GetWith fetches tuple id, charging the random read to st instead of the
+// file's meter (st is typically a per-query Child of the shared meter).
+func (tf *TupleFile) GetWith(id int, st *IOStats) (vec.Sparse, error) {
 	if id < 0 || id >= len(tf.offsets) {
 		return nil, fmt.Errorf("storage: tuple id %d out of range [0,%d)", id, len(tf.offsets))
 	}
@@ -143,8 +147,8 @@ func (tf *TupleFile) Get(id int) (vec.Sparse, error) {
 	if _, err := tf.pager.ReadRange(tf.offsets[id], raw); err != nil {
 		return nil, err
 	}
-	if tf.stats != nil {
-		tf.stats.AddRandRead(len(raw))
+	if st != nil {
+		st.AddRandRead(len(raw))
 	}
 	nnz := int(binary.LittleEndian.Uint32(raw[0:4]))
 	if 4+12*nnz > len(raw) {

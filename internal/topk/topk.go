@@ -7,11 +7,17 @@
 // non-result tuple in the candidate list C(q) (decreasing score order),
 // which is the raw material of immutable-region computation, and the
 // state is resumable — Phase 3 of Scan/CPT continues the very same scan.
+//
+// A completed run can also be forked (Fork): each fork carries its own
+// cursor clones and encountered-set copy, so several region computations
+// (one per query dimension) can resume the scan independently and
+// concurrently without observing each other's pulls. The View interface
+// abstracts over the shared TA and its forks for that purpose.
 package topk
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/lists"
 	"repro/internal/storage"
@@ -59,20 +65,229 @@ func (s Scored) NonZero() int {
 	return n
 }
 
-// TA is a resumable threshold-algorithm run.
-type TA struct {
+// View is the read/resume surface region computation needs from a TA
+// run: the ranked result, the candidate list, and a resumable scan. It
+// is implemented by *TA itself (the paper-literal shared scan, where
+// later dimensions observe earlier dimensions' Phase-3 pulls) and by
+// *Fork (an isolated per-dimension scan for deterministic parallel
+// execution).
+type View interface {
+	Query() vec.Query
+	K() int
+	Index() lists.Index
+	Result() []Scored
+	Candidates() []Scored
+	Resume() (Scored, bool)
+	Thresholds() []float64
+	ThresholdsInto(dst []float64)
+	WasSortedAccessed(i, id int, val float64) bool
+}
+
+// scanState is the resumable position of a TA scan over the inverted
+// lists: cursor positions, per-list consumption bookkeeping and the
+// encountered-tuple set. It is the part of a run that Fork duplicates.
+type scanState struct {
 	ix     lists.Index
 	q      vec.Query
 	k      int
 	policy ProbePolicy
 
-	cursors   []lists.Cursor
-	last      []storage.Posting // last consumed posting per query dim
-	consumed  []int
-	exhausted []bool
-	rr        int // round-robin position
+	cursors  []lists.Cursor
+	last     []storage.Posting // last consumed posting per query dim
+	consumed []int
+	rr       int // round-robin position
 
-	seen        map[int]struct{}
+	seen           bitset // tuple id → already encountered
+	sortedAccesses int
+}
+
+// bitset is a fixed-size bit array over tuple ids. One bit per tuple
+// keeps the per-query footprint at n/8 bytes — the encountered set is
+// cloned per Fork, so compactness matters at large n.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// clone deep-copies the scan position; cursors are cloned so the copy
+// advances independently.
+func (s *scanState) clone() scanState {
+	cp := *s
+	cp.cursors = make([]lists.Cursor, len(s.cursors))
+	for i, c := range s.cursors {
+		cp.cursors[i] = c.Clone()
+	}
+	cp.last = slices.Clone(s.last)
+	cp.consumed = slices.Clone(s.consumed)
+	cp.seen = slices.Clone(s.seen)
+	return cp
+}
+
+// Query returns the query this scan answers.
+func (s *scanState) Query() vec.Query { return s.q }
+
+// K returns the requested result size.
+func (s *scanState) K() int { return s.k }
+
+// Index returns the underlying index.
+func (s *scanState) Index() lists.Index { return s.ix }
+
+// Thresholds returns the current per-query-dimension sorting keys tj (the
+// key of the next unconsumed posting; 0 for an exhausted list), as a
+// slice parallel to Query().Dims.
+func (s *scanState) Thresholds() []float64 {
+	t := make([]float64, len(s.cursors))
+	s.ThresholdsInto(t)
+	return t
+}
+
+// ThresholdsInto writes the current thresholds into dst (length qlen);
+// the allocation-free variant Phase-3 loops call once per resume check.
+func (s *scanState) ThresholdsInto(dst []float64) {
+	for i, c := range s.cursors {
+		dst[i] = 0
+		if p, ok := c.Peek(); ok {
+			dst[i] = p.Val
+		}
+	}
+}
+
+// ThresholdScore returns S(t,q) = Σ qj·tj for the current thresholds.
+func (s *scanState) ThresholdScore() float64 {
+	sum := 0.0
+	for i, c := range s.cursors {
+		if p, ok := c.Peek(); ok {
+			sum += s.q.Weights[i] * p.Val
+		}
+	}
+	return sum
+}
+
+// SortedAccesses reports how many sorted accesses have been performed.
+func (s *scanState) SortedAccesses() int { return s.sortedAccesses }
+
+// Depth reports how many postings have been consumed from the i-th query
+// list.
+func (s *scanState) Depth(i int) int { return s.consumed[i] }
+
+// pick selects the next list to probe, or -1 when all are exhausted.
+func (s *scanState) pick() int {
+	switch s.policy {
+	case BestList:
+		best, bestVal := -1, -1.0
+		for i, c := range s.cursors {
+			if p, ok := c.Peek(); ok {
+				if v := s.q.Weights[i] * p.Val; v > bestVal {
+					best, bestVal = i, v
+				}
+			}
+		}
+		return best
+	default:
+		for range s.cursors {
+			i := s.rr
+			s.rr = (s.rr + 1) % len(s.cursors)
+			if _, ok := s.cursors[i].Peek(); ok {
+				return i
+			}
+		}
+		return -1
+	}
+}
+
+// rawStep performs one sorted access. It returns the consumed posting,
+// the probed list index, whether the tuple is newly encountered, and
+// ok=false when every list is exhausted.
+func (s *scanState) rawStep() (p storage.Posting, list int, isNew, ok bool) {
+	i := s.pick()
+	if i < 0 {
+		return storage.Posting{}, -1, false, false
+	}
+	p, _ = s.cursors[i].Next()
+	s.sortedAccesses++
+	s.last[i] = p
+	s.consumed[i]++
+	if p.ID < 0 || p.ID>>6 >= len(s.seen) {
+		// Keep a descriptive failure for corrupt list files; the bitset
+		// would otherwise die with an anonymous bounds panic.
+		panic(fmt.Sprintf("topk: posting id %d out of range [0,%d) (corrupt list?)", p.ID, len(s.seen)*64))
+	}
+	if s.seen.test(p.ID) {
+		return p, i, false, true
+	}
+	s.seen.set(p.ID)
+	return p, i, true, true
+}
+
+// WasSortedAccessed reports whether tuple id's entry in the i-th query
+// list was consumed by sorted access — the Phase-3 test that decides
+// whether the upper bound needs list resumption at all (§4). val must be
+// the tuple's coordinate on that dimension.
+func (s *scanState) WasSortedAccessed(i int, id int, val float64) bool {
+	if val <= 0 {
+		return false // zero coordinates have no posting
+	}
+	if s.consumed[i] == 0 {
+		return false
+	}
+	if s.consumed[i] >= s.ix.ListLen(s.q.Dims[i]) {
+		return true
+	}
+	last := s.last[i]
+	if val != last.Val {
+		return val > last.Val
+	}
+	return id <= last.ID // lists break value ties by ascending id
+}
+
+// score materializes the Scored view of a newly encountered tuple,
+// carving its projection out of the arena.
+func (s *scanState) score(id int, arena *ProjArena) Scored {
+	d := s.ix.Tuple(id)
+	sc := Scored{ID: id, Score: s.q.Score(d), Proj: arena.Alloc()}
+	s.q.ProjectInto(d, sc.Proj)
+	for b, v := range sc.Proj {
+		if v > 0 {
+			sc.NZMask |= 1 << uint(b)
+		}
+	}
+	return sc
+}
+
+// ProjArena hands out qlen-sized projection slices carved from larger
+// chunks, replacing one heap allocation per projected tuple with one
+// per arenaChunkTuples tuples. Slices remain valid after further allocs
+// (chunks are never reallocated, only replaced). The zero value with
+// Qlen set is ready to use; core shares this type for its Phase-2
+// evaluation projections.
+type ProjArena struct {
+	Qlen  int
+	chunk []float64
+}
+
+const arenaChunkTuples = 128
+
+// Alloc carves out one zeroed qlen-sized slice.
+func (a *ProjArena) Alloc() []float64 {
+	if a.Qlen == 0 {
+		return nil
+	}
+	if len(a.chunk)+a.Qlen > cap(a.chunk) {
+		a.chunk = make([]float64, 0, arenaChunkTuples*a.Qlen)
+	}
+	n := len(a.chunk)
+	a.chunk = a.chunk[:n+a.Qlen]
+	return a.chunk[n : n+a.Qlen : n+a.Qlen]
+}
+
+// TA is a resumable threshold-algorithm run.
+type TA struct {
+	scanState
+	arena ProjArena
+
 	encountered []Scored
 	topScores   []float64 // min-heap of the k best scores seen so far
 
@@ -80,8 +295,7 @@ type TA struct {
 	cands  []Scored
 	done   bool
 
-	sortedAccesses int
-	trace          func(TraceStep)
+	trace func(TraceStep)
 }
 
 // TraceStep is one sorted access in a TA execution — the rows of the
@@ -143,15 +357,17 @@ func New(ix lists.Index, q vec.Query, k int, policy ProbePolicy) *TA {
 		panic(fmt.Sprintf("topk: k=%d", k))
 	}
 	ta := &TA{
-		ix:        ix,
-		q:         q,
-		k:         k,
-		policy:    policy,
-		cursors:   make([]lists.Cursor, q.Len()),
-		last:      make([]storage.Posting, q.Len()),
-		consumed:  make([]int, q.Len()),
-		exhausted: make([]bool, q.Len()),
-		seen:      make(map[int]struct{}),
+		scanState: scanState{
+			ix:       ix,
+			q:        q,
+			k:        k,
+			policy:   policy,
+			cursors:  make([]lists.Cursor, q.Len()),
+			last:     make([]storage.Posting, q.Len()),
+			consumed: make([]int, q.Len()),
+			seen:     newBitset(ix.NumTuples()),
+		},
+		arena: ProjArena{Qlen: q.Len()},
 	}
 	for i, dim := range q.Dims {
 		ta.cursors[i] = ix.Cursor(dim)
@@ -159,97 +375,21 @@ func New(ix lists.Index, q vec.Query, k int, policy ProbePolicy) *TA {
 	return ta
 }
 
-// Query returns the query this run answers.
-func (ta *TA) Query() vec.Query { return ta.q }
-
-// K returns the requested result size.
-func (ta *TA) K() int { return ta.k }
-
-// Index returns the underlying index.
-func (ta *TA) Index() lists.Index { return ta.ix }
-
-// Thresholds returns the current per-query-dimension sorting keys tj (the
-// key of the next unconsumed posting; 0 for an exhausted list), as a
-// slice parallel to Query().Dims.
-func (ta *TA) Thresholds() []float64 {
-	t := make([]float64, len(ta.cursors))
-	for i, c := range ta.cursors {
-		if p, ok := c.Peek(); ok {
-			t[i] = p.Val
-		}
-	}
-	return t
-}
-
-// ThresholdScore returns S(t,q) = Σ qj·tj for the current thresholds.
-func (ta *TA) ThresholdScore() float64 {
-	s := 0.0
-	for i, c := range ta.cursors {
-		if p, ok := c.Peek(); ok {
-			s += ta.q.Weights[i] * p.Val
-		}
-	}
-	return s
-}
-
-// SortedAccesses reports how many sorted accesses have been performed.
-func (ta *TA) SortedAccesses() int { return ta.sortedAccesses }
-
-// Depth reports how many postings have been consumed from the i-th query
-// list.
-func (ta *TA) Depth(i int) int { return ta.consumed[i] }
-
-// pick selects the next list to probe, or -1 when all are exhausted.
-func (ta *TA) pick() int {
-	switch ta.policy {
-	case BestList:
-		best, bestVal := -1, -1.0
-		for i, c := range ta.cursors {
-			if p, ok := c.Peek(); ok {
-				if v := ta.q.Weights[i] * p.Val; v > bestVal {
-					best, bestVal = i, v
-				}
-			}
-		}
-		return best
-	default:
-		for range ta.cursors {
-			i := ta.rr
-			ta.rr = (ta.rr + 1) % len(ta.cursors)
-			if _, ok := ta.cursors[i].Peek(); ok {
-				return i
-			}
-		}
-		return -1
-	}
-}
-
 // step performs one sorted access and, if it encounters a new tuple, the
 // corresponding random access. It returns the new Scored tuple (nil if
 // the tuple was already seen) and ok=false when every list is exhausted.
 func (ta *TA) step() (*Scored, bool) {
-	i := ta.pick()
-	if i < 0 {
+	p, i, isNew, ok := ta.rawStep()
+	if !ok {
 		return nil, false
 	}
-	p, _ := ta.cursors[i].Next()
-	ta.sortedAccesses++
-	ta.last[i] = p
-	ta.consumed[i]++
-	if _, dup := ta.seen[p.ID]; dup {
+	if !isNew {
 		if ta.trace != nil {
 			ta.emitTrace(i, -1, 0)
 		}
 		return nil, true
 	}
-	ta.seen[p.ID] = struct{}{}
-	d := ta.ix.Tuple(p.ID)
-	sc := Scored{ID: p.ID, Score: ta.q.Score(d), Proj: ta.q.Project(d)}
-	for b, v := range sc.Proj {
-		if v > 0 {
-			sc.NZMask |= 1 << uint(b)
-		}
-	}
+	sc := ta.score(p.ID, &ta.arena)
 	ta.encountered = append(ta.encountered, sc)
 	ta.offerScore(sc.Score)
 	if ta.trace != nil {
@@ -363,25 +503,54 @@ func (ta *TA) Resume() (Scored, bool) {
 	}
 }
 
-// WasSortedAccessed reports whether tuple id's entry in the i-th query
-// list was consumed by sorted access — the Phase-3 test that decides
-// whether the upper bound needs list resumption at all (§4). val must be
-// the tuple's coordinate on that dimension.
-func (ta *TA) WasSortedAccessed(i int, id int, val float64) bool {
-	if val <= 0 {
-		return false // zero coordinates have no posting
+// Fork returns an independent resumable view of the completed run: its
+// own cursor clones, encountered set, and candidate-list copy. Resuming
+// a fork never mutates the parent TA or any sibling fork, so one fork
+// per query dimension lets Phase 3 of each dimension pull down its lists
+// concurrently and deterministically (every fork sees exactly the
+// post-Run state, regardless of scheduling). Forked sorted accesses are
+// NOT reported to a SetTrace callback — the callback is not safe for
+// concurrent forks — so Fig. 2 traces only cover the shared scan.
+func (ta *TA) Fork() *Fork {
+	ta.mustBeDone("Fork")
+	return &Fork{
+		scanState: ta.scanState.clone(),
+		arena:     ProjArena{Qlen: ta.q.Len()},
+		result:    ta.result,
+		cands:     slices.Clone(ta.cands),
 	}
-	if ta.consumed[i] == 0 {
-		return false
+}
+
+// Fork is an isolated resumable continuation of a completed TA run; see
+// TA.Fork. It implements View.
+type Fork struct {
+	scanState
+	arena  ProjArena
+	result []Scored
+	cands  []Scored
+}
+
+// Result returns the ranked top-k of the parent run (shared, read-only).
+func (f *Fork) Result() []Scored { return f.result }
+
+// Candidates returns this fork's view of C(q): the parent's candidates
+// at fork time plus this fork's own Resume pulls.
+func (f *Fork) Candidates() []Scored { return f.cands }
+
+// Resume continues this fork's scan until one new tuple is encountered,
+// appending it to the fork's candidate list. ok=false at exhaustion.
+func (f *Fork) Resume() (Scored, bool) {
+	for {
+		p, _, isNew, ok := f.rawStep()
+		if !ok {
+			return Scored{}, false
+		}
+		if isNew {
+			sc := f.score(p.ID, &f.arena)
+			f.cands = append(f.cands, sc)
+			return sc, true
+		}
 	}
-	if ta.consumed[i] >= ta.ix.ListLen(ta.q.Dims[i]) {
-		return true
-	}
-	last := ta.last[i]
-	if val != last.Val {
-		return val > last.Val
-	}
-	return id <= last.ID // lists break value ties by ascending id
 }
 
 func (ta *TA) mustBeDone(op string) {
@@ -393,11 +562,19 @@ func (ta *TA) mustBeDone(op string) {
 // sortScored orders by descending score, ties by ascending id, giving
 // deterministic ranked lists.
 func sortScored(s []Scored) {
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].Score != s[j].Score {
-			return s[i].Score > s[j].Score
+	slices.SortFunc(s, func(a, b Scored) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
 		}
-		return s[i].ID < s[j].ID
 	})
 }
 

@@ -250,11 +250,22 @@ func (q Query) Score(d Sparse) float64 {
 // geometry of immutable regions.
 func (q Query) Project(d Sparse) []float64 {
 	out := make([]float64, len(q.Dims))
+	q.ProjectInto(d, out)
+	return out
+}
+
+// ProjectInto writes d's coordinates on the query dimensions into dst,
+// which must have length q.Len(). Hot paths use it with arena-allocated
+// destinations to avoid one heap allocation per projected tuple.
+func (q Query) ProjectInto(d Sparse, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	i, j := 0, 0
 	for i < len(q.Dims) && j < len(d) {
 		switch {
 		case q.Dims[i] == d[j].Dim:
-			out[i] = d[j].Val
+			dst[i] = d[j].Val
 			i++
 			j++
 		case q.Dims[i] < d[j].Dim:
@@ -263,7 +274,6 @@ func (q Query) Project(d Sparse) []float64 {
 			j++
 		}
 	}
-	return out
 }
 
 // NonZeroQueryDims counts how many query dimensions of q have a non-zero
