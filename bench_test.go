@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/fixture"
 	"repro/internal/geom"
 	"repro/internal/lists"
@@ -71,18 +73,24 @@ func queriesFor(d *dataset.Dataset, qlen, k, n int, seed int64) []vec.Query {
 	return out
 }
 
+// measureEngine wraps an index in the unified execution layer with the
+// answer cache off: figure benchmarks measure the algorithms, so cached
+// answers must never stand in for computation.
+func measureEngine(ix lists.Index) *engine.Engine {
+	return engine.New(ix, engine.Config{MaxConcurrent: -1, CacheEntries: -1})
+}
+
 // benchCompute runs one figure point: per op, a fresh TA run plus the
 // region computation with the given options.
 func benchCompute(b *testing.B, ix lists.Index, queries []vec.Query, k int, opts core.Options) {
 	b.Helper()
 	b.ReportAllocs()
+	eng := measureEngine(ix)
 	evaluated := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := queries[i%len(queries)]
-		ta := topk.New(ix, q, k, topk.BestList)
-		ta.Run()
-		out, err := core.Compute(ta, opts)
+		out, err := eng.Analyze(context.Background(), q, k, engine.Options{Options: opts})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,14 +213,17 @@ func BenchmarkTA(b *testing.B) {
 func BenchmarkAblationProbing(b *testing.B) {
 	env.init()
 	qs := queriesFor(env.wsj, 4, 10, 16, 209)
+	eng := measureEngine(env.wsjI)
 	for _, policy := range []topk.ProbePolicy{topk.RoundRobin, topk.BestList} {
 		b.Run(policy.String(), func(b *testing.B) {
 			b.ReportAllocs()
+			opts := engine.Options{
+				Options:         core.Options{Method: core.MethodCPT},
+				RoundRobinProbe: policy == topk.RoundRobin,
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ta := topk.New(env.wsjI, qs[i%len(qs)], 10, policy)
-				ta.Run()
-				if _, err := core.Compute(ta, core.Options{Method: core.MethodCPT}); err != nil {
+				if _, err := eng.Analyze(context.Background(), qs[i%len(qs)], 10, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -250,11 +261,10 @@ func BenchmarkAblationBufferPool(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer ix.Close()
+			eng := measureEngine(ix)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				ta := topk.New(ix, qs[i%len(qs)], 10, topk.BestList)
-				ta.Run()
-				if _, err := core.Compute(ta, core.Options{Method: core.MethodCPT}); err != nil {
+				if _, err := eng.Analyze(context.Background(), qs[i%len(qs)], 10, engine.Options{Options: core.Options{Method: core.MethodCPT}}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -352,7 +362,9 @@ func BenchmarkParallelCompute(b *testing.B) {
 // serialize.
 func BenchmarkServerAnalyzeParallel(b *testing.B) {
 	env.init()
-	srv := server.NewWithConfig(env.wsjI, server.Config{MaxConcurrent: 4 * runtime.NumCPU()})
+	// Cache off: this measures the compute path under load; the cached
+	// serving rate is BenchmarkCacheAnalyze's subject.
+	srv := server.NewWithConfig(env.wsjI, server.Config{MaxConcurrent: 4 * runtime.NumCPU(), CacheEntries: -1})
 	h := srv.Handler()
 	qs := queriesFor(env.wsj, 4, 10, 16, 216)
 	bodies := make([][]byte, len(qs))
@@ -385,14 +397,110 @@ func BenchmarkServerAnalyzeParallel(b *testing.B) {
 // a floor measurement for per-query overhead.
 func BenchmarkRunningExample(b *testing.B) {
 	tuples, q, k := fixture.RunningExample()
-	ix := lists.NewMemIndex(tuples, 2)
+	eng := measureEngine(lists.NewMemIndex(tuples, 2))
+	opts := engine.Options{Options: core.Options{Method: core.MethodCPT}, RoundRobinProbe: true}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ta := topk.New(ix, q, k, topk.RoundRobin)
-		ta.Run()
-		if _, err := core.Compute(ta, core.Options{Method: core.MethodCPT}); err != nil {
+		if _, err := eng.Analyze(context.Background(), q, k, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCacheAnalyze — the answer cache's headline economics: an
+// /analyze-shaped repeat query recomputed from scratch versus served
+// from the immutable-region cache (exact-anchor hit, zero index I/O).
+func BenchmarkCacheAnalyze(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 16, 217)
+	opts := engine.Options{Options: core.Options{Method: core.MethodCPT, Phi: 1}}
+	b.Run("recompute", func(b *testing.B) {
+		eng := measureEngine(env.wsjI)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Analyze(context.Background(), qs[i%len(qs)], 10, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := engine.New(env.wsjI, engine.Config{MaxConcurrent: -1})
+		for _, q := range qs { // prime the cache
+			if _, err := eng.Analyze(context.Background(), q, 10, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, err := eng.Analyze(context.Background(), qs[i%len(qs)], 10, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a.Source != engine.SourceCache {
+				b.Fatalf("source %v, want cache hit", a.Source)
+			}
+		}
+	})
+}
+
+// BenchmarkCacheTopK — region-certified /topk serving: weights nudged
+// inside a cached analysis' immutable regions, answered by rescoring
+// the cached projections.
+func BenchmarkCacheTopK(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 16, 218)
+	eng := engine.New(env.wsjI, engine.Config{MaxConcurrent: -1})
+	for _, q := range qs {
+		if _, err := eng.Analyze(context.Background(), q, 10, engine.Options{Options: core.Options{Method: core.MethodCPT}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.TopK(context.Background(), qs[i%len(qs)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchAnalyze — /batchanalyze-shaped execution: a batch of
+// repeated-weight queries (the §1 refinement scenario at fleet scale),
+// de-duplicated and cache-accelerated, versus the same queries issued
+// one by one with the cache off.
+func BenchmarkBatchAnalyze(b *testing.B) {
+	env.init()
+	qs := queriesFor(env.wsj, 4, 10, 8, 219)
+	items := make([]engine.BatchItem, 0, 64)
+	for i := 0; i < 64; i++ { // 8 distinct queries × 8 repeats
+		items = append(items, engine.BatchItem{
+			Q: qs[i%len(qs)], K: 10,
+			Opts: engine.Options{Options: core.Options{Method: core.MethodCPT}},
+		})
+	}
+	b.Run("sequential-nocache", func(b *testing.B) {
+		eng := measureEngine(env.wsjI)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, it := range items {
+				if _, err := eng.Analyze(context.Background(), it.Q, it.K, it.Opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		eng := engine.New(env.wsjI, engine.Config{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.AnalyzeBatch(context.Background(), items) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
 }

@@ -51,14 +51,12 @@ func main() {
 			*k = dk
 		}
 	case *data != "":
-		if *verify {
-			for _, f := range []string{"tuples.dat", "lists.dat"} {
-				if err := repro.VerifyDatasetFile(filepath.Join(*data, f)); err != nil {
-					fatal(err)
-				}
-			}
-		}
-		eng, err = repro.OpenEngine(filepath.Join(*data, "tuples.dat"), filepath.Join(*data, "lists.dat"), 256)
+		eng, err = repro.OpenEngineWithConfig(
+			filepath.Join(*data, "tuples.dat"),
+			filepath.Join(*data, "lists.dat"),
+			256,
+			repro.EngineConfig{VerifyChecksums: *verify},
+		)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,12 +1,15 @@
 // Command irserver serves a persisted dataset over the JSON HTTP API
-// (see internal/server): POST /topk, POST /analyze, GET /stats,
-// GET /healthz.
+// (see internal/server): POST /topk, POST /analyze, POST /batchanalyze,
+// GET /stats, GET /healthz. Queries execute through the unified engine
+// layer, so repeated and in-region weight vectors are answered from the
+// immutable-region cache without touching the index.
 //
 // Usage:
 //
 //	irgen -dataset kb -out /tmp/kb
 //	irserver -data /tmp/kb -addr :8080
 //	curl -s localhost:8080/analyze -d '{"dims":[3,17],"weights":[0.8,0.5],"k":10,"phi":1}'
+//	curl -s localhost:8080/batchanalyze -d '{"queries":[{"dims":[3,17],"weights":[0.8,0.5],"k":10}]}'
 //
 // With -demo it serves the paper's running example.
 package main
@@ -18,6 +21,7 @@ import (
 	"net/http"
 	"path/filepath"
 
+	"repro/internal/engine"
 	"repro/internal/fixture"
 	"repro/internal/lists"
 	"repro/internal/server"
@@ -25,37 +29,53 @@ import (
 
 func main() {
 	var (
-		data        = flag.String("data", "", "directory containing tuples.dat and lists.dat")
-		demo        = flag.Bool("demo", false, "serve the paper's running example")
-		addr        = flag.String("addr", ":8080", "listen address")
-		pool        = flag.Int("pool", 1024, "buffer pool pages for the disk index")
-		maxConc     = flag.Int("max-concurrent", 0, "max queries executing at once (0 = default 4×GOMAXPROCS, negative = unlimited)")
-		parallelism = flag.Int("parallelism", 0, "per-query dimension parallelism for /analyze (0 = paper-literal sequential)")
+		data         = flag.String("data", "", "directory containing tuples.dat and lists.dat")
+		demo         = flag.Bool("demo", false, "serve the paper's running example")
+		addr         = flag.String("addr", ":8080", "listen address")
+		pool         = flag.Int("pool", 1024, "buffer pool pages for the disk index")
+		maxConc      = flag.Int("max-concurrent", 0, "max queries executing at once (0 = default 4×GOMAXPROCS, negative = unlimited)")
+		parallelism  = flag.Int("parallelism", 0, "per-query dimension parallelism for /analyze (0 = paper-literal sequential)")
+		cacheEntries = flag.Int("cache-entries", 0, "answer cache entry bound (0 = default)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "answer cache byte bound (0 = default)")
+		noCache      = flag.Bool("no-cache", false, "disable the immutable-region answer cache")
+		verify       = flag.Bool("verify", false, "verify dataset file checksums before serving")
 	)
 	flag.Parse()
 
-	var ix lists.Index
+	cfg := engine.Config{
+		MaxConcurrent:   *maxConc,
+		Parallelism:     *parallelism,
+		CacheEntries:    *cacheEntries,
+		CacheBytes:      *cacheBytes,
+		VerifyChecksums: *verify,
+	}
+	if *noCache {
+		cfg.CacheEntries = -1
+	}
+
+	var eng *engine.Engine
 	switch {
 	case *demo:
 		tuples, _, _ := fixture.RunningExample()
-		ix = lists.NewMemIndex(tuples, 2)
+		eng = engine.New(lists.NewMemIndex(tuples, 2), cfg)
 	case *data != "":
-		disk, err := lists.OpenDiskIndex(
+		var err error
+		eng, err = engine.Open(
 			filepath.Join(*data, "tuples.dat"),
 			filepath.Join(*data, "lists.dat"),
 			*pool,
+			cfg,
 		)
 		if err != nil {
 			log.Fatalf("irserver: %v", err)
 		}
-		defer disk.Close()
-		ix = disk
+		defer eng.Close()
 	default:
 		log.Fatal("irserver: need -data DIR or -demo")
 	}
 
-	srv := server.NewWithConfig(ix, server.Config{MaxConcurrent: *maxConc, Parallelism: *parallelism})
-	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d)\n",
-		ix.NumTuples(), ix.Dim(), *addr, *maxConc, *parallelism)
+	srv := server.FromEngine(eng)
+	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v)\n",
+		eng.N(), eng.Dim(), *addr, *maxConc, *parallelism, eng.CacheEnabled())
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -174,6 +174,9 @@ func (c *dimComputer) phase2Evaluate(jx int, set []topk.Scored, b *boundState) {
 	dk := c.dk()
 	dkj := dk.Proj[jx]
 	for _, cd := range set {
+		if c.stop() {
+			return
+		}
 		proj := c.evaluate(jx, cd.ID)
 		crit, kind := lemma1(dk.Score, dkj, cd.Score, proj[jx])
 		b.apply(crit, kind, Perturbation{Above: dk.ID, Below: cd.ID, Entry: true})
@@ -231,6 +234,9 @@ func (c *dimComputer) phase2Threshold(jx int, set []topk.Scored, b *boundState) 
 		slsPulls = 2
 	}
 	for activeL || activeU {
+		if c.stop() {
+			return
+		}
 		// Pull the top unevaluated candidate(s) from SLS (Alg. 3 lines
 		// 4–8; the score-biased schedule draws twice since SLS feeds
 		// both searches).
@@ -343,6 +349,9 @@ func (c *dimComputer) phase3(jx int, b *boundState) {
 	sUnd := sk + b.lo*dkj
 	t := make([]float64, c.q.Len()) // reused across resume checks
 	for {
+		if c.stop() {
+			return
+		}
 		c.view.ThresholdsInto(t)
 		sumOther := 0.0
 		for i, ti := range t {

@@ -47,6 +47,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -271,6 +272,12 @@ type computer struct {
 	opts Options
 	res  []topk.Scored
 
+	// ctx may be nil (never cancelled). The phase loops poll it at a
+	// coarse stride — each iteration they guard costs a tuple fetch — and
+	// bail out early once it fires; Compute then discards the partial
+	// output and surfaces the context's error.
+	ctx context.Context
+
 	// forked reports whether the per-dimension work ran on TA forks, in
 	// which case Phase-3 pulls live in the forks' private candidate
 	// lists (not the parent's) and the memory model adds them separately.
@@ -286,6 +293,9 @@ type dimComputer struct {
 	met  *Metrics
 	eval *evalTable
 	proj topk.ProjArena
+
+	// ctxTick strides the cancellation polls of the Phase-2/3 loops.
+	ctxTick uint32
 
 	// cachedFull memoizes the score-sorted candidate list; valid while
 	// the candidate list still has cachedLen entries (it only grows).
@@ -391,11 +401,20 @@ func putEvalTable(t *evalTable) {
 // (later dimensions see earlier additions); with Parallelism ≥ 1 every
 // dimension works on an isolated fork of the scan (see the package
 // comment for the full concurrency model).
-func Compute(ta *topk.TA, opts Options) (*Output, error) {
+//
+// ctx cancels the computation mid-flight: the TA round loop, the
+// Phase-2 evaluation/thresholding loops and the Phase-3 resume loops all
+// poll it at a coarse stride, so a disconnected client stops costing CPU
+// and I/O within a few hundred accesses. On cancellation the partial
+// output is discarded and the context's error is returned. A nil ctx is
+// treated as context.Background().
+func Compute(ctx context.Context, ta *topk.TA, opts Options) (*Output, error) {
 	if opts.Phi < 0 {
 		return nil, fmt.Errorf("core: negative phi %d", opts.Phi)
 	}
-	ta.Run()
+	if err := ta.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("core: query canceled during top-k: %w", err)
+	}
 	c := &computer{
 		ix:   ta.Index(),
 		q:    ta.Query(),
@@ -403,6 +422,7 @@ func Compute(ta *topk.TA, opts Options) (*Output, error) {
 		n:    ta.Index().NumTuples(),
 		opts: opts,
 		res:  ta.Result(),
+		ctx:  ctx,
 	}
 	qlen := c.q.Len()
 	out := &Output{Query: c.q, K: c.k, Result: c.res}
@@ -421,6 +441,9 @@ func Compute(ta *topk.TA, opts Options) (*Output, error) {
 	default:
 		c.computeForked(ta, out, &met)
 	}
+	if err := c.canceled(); err != nil {
+		return nil, fmt.Errorf("core: query canceled: %w", err)
+	}
 	seq1, rnd1, _ := c.ix.Stats().Snapshot()
 	met.SeqPages = seq1 - seq0
 	met.RandReads = rnd1 - rnd0
@@ -436,6 +459,25 @@ func Compute(ta *topk.TA, opts Options) (*Output, error) {
 	return out, nil
 }
 
+// canceled reports the computation's cancellation error, if any.
+func (c *computer) canceled() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
+// stop is the strided cancellation poll of the Phase-2/3 loops: it
+// checks the context only every 64th call, because one loop iteration
+// costs roughly a tuple fetch while ctx.Err may take a lock.
+func (d *dimComputer) stop() bool {
+	if d.ctx == nil {
+		return false
+	}
+	d.ctxTick++
+	return d.ctxTick&63 == 0 && d.ctx.Err() != nil
+}
+
 // computeSequential is the paper-literal pipeline: one shared scan, one
 // evaluation memo reset per dimension, metrics accumulated in place.
 func (c *computer) computeSequential(ta *topk.TA, out *Output, met *Metrics) {
@@ -443,6 +485,9 @@ func (c *computer) computeSequential(ta *topk.TA, out *Output, met *Metrics) {
 	defer putEvalTable(eval)
 	d := &dimComputer{computer: c, view: ta, met: met, eval: eval, proj: topk.ProjArena{Qlen: c.q.Len()}}
 	for jx := range c.q.Dims {
+		if c.canceled() != nil {
+			return // Compute reports the error after the loop
+		}
 		d.eval.reset()
 		out.Regions[jx] = d.computeDim(jx)
 	}
@@ -466,7 +511,7 @@ func (c *computer) computeForked(ta *topk.TA, out *Output, met *Metrics) {
 		defer putEvalTable(eval)
 		for {
 			jx := int(next.Add(1)) - 1
-			if jx >= qlen {
+			if jx >= qlen || c.canceled() != nil {
 				return
 			}
 			perDim[jx].EvaluatedPerDim = make([]int, qlen)

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func TestScheduleMatchesOracle(t *testing.T) {
 			for _, method := range []core.Method{core.MethodThres, core.MethodCPT} {
 				ix := lists.NewMemIndex(cs.Tuples, cs.M)
 				ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-				out, err := core.Compute(ta, core.Options{
+				out, err := core.Compute(context.Background(), ta, core.Options{
 					Method: method, Phi: phi, Schedule: core.ScheduleScoreBiased,
 				})
 				if err != nil {
@@ -46,7 +47,7 @@ func TestExtremeK(t *testing.T) {
 			for _, method := range core.Methods {
 				ix := lists.NewMemIndex(cs.Tuples, cs.M)
 				ta := topk.New(ix, cs.Q, k, topk.BestList)
-				out, err := core.Compute(ta, core.Options{Method: method, Phi: 1})
+				out, err := core.Compute(context.Background(), ta, core.Options{Method: method, Phi: 1})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -71,7 +72,7 @@ func TestSingleQueryDimension(t *testing.T) {
 			for _, force := range []bool{false, true} {
 				ix := lists.NewMemIndex(cs.Tuples, cs.M)
 				ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-				out, err := core.Compute(ta, core.Options{Method: method, ForceEnvelope: force})
+				out, err := core.Compute(context.Background(), ta, core.Options{Method: method, ForceEnvelope: force})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -103,7 +104,7 @@ func TestWeightAtDomainEdge(t *testing.T) {
 	q := vec.MustQuery([]int{0, 1}, []float64{1.0, 0.05})
 	ix := lists.NewMemIndex(tuples, 2)
 	ta := topk.New(ix, q, 2, topk.BestList)
-	out, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+	out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestKExceedsN(t *testing.T) {
 	tuples, q, _ := fixture.RunningExample()
 	ix := lists.NewMemIndex(tuples, 2)
 	ta := topk.New(ix, q, 10, topk.BestList)
-	out, err := core.Compute(ta, core.Options{Method: core.MethodCPT, Phi: 2})
+	out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT, Phi: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestNegativePhiRejected(t *testing.T) {
 	tuples, q, k := fixture.RunningExample()
 	ix := lists.NewMemIndex(tuples, 2)
 	ta := topk.New(ix, q, k, topk.BestList)
-	if _, err := core.Compute(ta, core.Options{Phi: -1}); err == nil {
+	if _, err := core.Compute(context.Background(), ta, core.Options{Phi: -1}); err == nil {
 		t.Fatal("negative phi accepted")
 	}
 }
@@ -208,7 +209,7 @@ func TestDegenerateEqualCoordinates(t *testing.T) {
 	q := vec.MustQuery([]int{0, 1}, []float64{0.6, 0.6})
 	ix := lists.NewMemIndex(tuples, 2)
 	ta := topk.New(ix, q, 2, topk.BestList)
-	out, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+	out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -166,6 +166,9 @@ func (c *dimComputer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 	switch c.opts.Method {
 	case MethodScan, MethodPrune:
 		for _, cd := range set {
+			if c.stop() {
+				return
+			}
 			proj := c.evaluate(jx, cd.ID)
 			bd.consider(cd.ID, cd.Score, sgn*proj[jx])
 		}
@@ -236,6 +239,9 @@ func (c *dimComputer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 		slsPulls = 2
 	}
 	for {
+		if c.stop() {
+			return
+		}
 		for p := 0; p < slsPulls; p++ {
 			if done() {
 				return
@@ -263,6 +269,9 @@ func (c *dimComputer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 func (c *dimComputer) envelopePhase3(jx int, right, left *boundary) {
 	t := make([]float64, c.q.Len()) // reused across resume checks
 	for {
+		if c.stop() {
+			return
+		}
 		c.view.ThresholdsInto(t)
 		base := 0.0
 		for i, ti := range t {
@@ -292,6 +301,9 @@ func (c *dimComputer) envelopePhase3(jx int, right, left *boundary) {
 func (c *dimComputer) iterativeDim(jx int) Regions {
 	var reg Regions
 	for r := 0; r <= c.opts.Phi; r++ {
+		if c.canceled() != nil {
+			return reg
+		}
 		c.eval.reset() // refetch everything
 		reg = c.envelopeDim(jx, r)
 	}

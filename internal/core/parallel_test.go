@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -19,7 +20,7 @@ func computeWith(t *testing.T, cs fixture.Case, opts core.Options, parallelism i
 	ix := lists.NewMemIndex(cs.Tuples, cs.M)
 	ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
 	opts.Parallelism = parallelism
-	out, err := core.Compute(ta, opts)
+	out, err := core.Compute(context.Background(), ta, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestParallelDegenerate(t *testing.T) {
 	// k larger than the dataset: full-domain regions on every path.
 	ixSeq := lists.NewMemIndex(cs.Tuples, cs.M)
 	ta := topk.New(ixSeq, cs.Q, 1000, topk.BestList)
-	out, err := core.Compute(ta, core.Options{Method: core.MethodCPT, Parallelism: 4})
+	out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT, Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

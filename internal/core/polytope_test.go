@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -79,7 +80,7 @@ func TestAxisProjectionsOnBoundary(t *testing.T) {
 		}
 		ix := lists.NewMemIndex(cs.Tuples, cs.M)
 		ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-		out, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+		out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func TestFootnote1HullInsidePolygon(t *testing.T) {
 		}
 		ix := lists.NewMemIndex(cs.Tuples, cs.M)
 		ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-		out, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+		out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func TestSafeConcurrentSufficiency(t *testing.T) {
 		cs := fixture.RandCase(rng, 50+rng.Intn(30), 5, qlen, 1+rng.Intn(4))
 		ix := lists.NewMemIndex(cs.Tuples, cs.M)
 		ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-		out, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+		out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -81,7 +82,7 @@ func TestMethodsMatchOracle(t *testing.T) {
 					for _, opts := range variants {
 						ix := lists.NewMemIndex(cs.Tuples, cs.M)
 						ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-						out, err := core.Compute(ta, opts)
+						out, err := core.Compute(context.Background(), ta, opts)
 						if err != nil {
 							t.Fatalf("trial %d: Compute: %v", trial, err)
 						}
@@ -104,7 +105,7 @@ func TestRegionsPreserveResult(t *testing.T) {
 		cs := fixture.RandCase(rng, 40+rng.Intn(40), 5, 3, 1+rng.Intn(4))
 		ix := lists.NewMemIndex(cs.Tuples, cs.M)
 		ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-		out, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+		out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func TestResultAfterMatchesRequery(t *testing.T) {
 		cs := fixture.RandCase(rng, 50+rng.Intn(30), 5, 3, 2+rng.Intn(3))
 		ix := lists.NewMemIndex(cs.Tuples, cs.M)
 		ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-		out, err := core.Compute(ta, core.Options{Method: core.MethodCPT, Phi: 2})
+		out, err := core.Compute(context.Background(), ta, core.Options{Method: core.MethodCPT, Phi: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func TestEvaluationOrdering(t *testing.T) {
 		for _, method := range core.Methods {
 			ix := lists.NewMemIndex(cs.Tuples, cs.M)
 			ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-			out, err := core.Compute(ta, core.Options{Method: method})
+			out, err := core.Compute(context.Background(), ta, core.Options{Method: method})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -145,7 +146,7 @@ func TestQuickRegionsWellFormed(t *testing.T) {
 		phi := rng.Intn(3)
 		ix := lists.NewMemIndex(cs.Tuples, cs.M)
 		ta := topk.New(ix, cs.Q, cs.K, topk.BestList)
-		out, err := Compute(ta, Options{Method: method, Phi: phi})
+		out, err := Compute(context.Background(), ta, Options{Method: method, Phi: phi})
 		if err != nil {
 			return false
 		}

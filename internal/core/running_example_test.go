@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,7 +19,7 @@ func runExample(t *testing.T, opts core.Options) *core.Output {
 	tuples, q, k := fixture.RunningExample()
 	ix := lists.NewMemIndex(tuples, 2)
 	ta := topk.New(ix, q, k, topk.RoundRobin)
-	out, err := core.Compute(ta, opts)
+	out, err := core.Compute(context.Background(), ta, opts)
 	if err != nil {
 		t.Fatalf("Compute: %v", err)
 	}

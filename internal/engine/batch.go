@@ -1,0 +1,130 @@
+// Batch execution: AnalyzeBatch answers a slice of analysis requests by
+// fanning the distinct queries over the engine's worker pool. The
+// paper's §1 refinement scenario at fleet scale produces heavily
+// repeated weight vectors — many clients exploring the same rankings —
+// so the batch path is cache-aware twice over: identical requests
+// within one batch are de-duplicated before any work is scheduled
+// (computed once, shared as SourceDeduped), and each distinct request
+// still goes through Analyze's cache lookup, so repeats across batches
+// are served at cache speed too.
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// BatchItem is one analysis request of a batch.
+type BatchItem struct {
+	Q    vec.Query
+	K    int
+	Opts Options
+}
+
+// BatchResult is the per-item outcome; exactly one of Analysis and Err
+// is set. One invalid or failed item does not fail its batch.
+type BatchResult struct {
+	Analysis *Analysis
+	Err      error
+}
+
+// itemKey is the full identity of a request: subspace+k, options
+// signature and the exact weight bits.
+func itemKey(it BatchItem) string {
+	buf := []byte(keyOf(it.Q, it.K))
+	buf = binary.AppendVarint(buf, int64(it.Opts.Phi))
+	var flags int64
+	if it.Opts.CompositionOnly {
+		flags |= 1
+	}
+	if it.Opts.NoCache {
+		flags |= 2
+	}
+	buf = binary.AppendVarint(buf, flags)
+	for _, w := range it.Q.Weights {
+		buf = binary.AppendUvarint(buf, math.Float64bits(w))
+	}
+	return string(buf)
+}
+
+// AnalyzeBatch answers every item and returns results aligned with the
+// input slice. Distinct queries run concurrently, up to the engine's
+// worker-pool width; duplicates of an item share its answer. ctx
+// cancels the whole batch: items not yet finished report the context's
+// error.
+func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]BatchResult, len(items))
+
+	// De-duplicate: the first occurrence of each identity computes, the
+	// rest alias it.
+	type cell struct {
+		item  BatchItem
+		first int   // index of the computing occurrence
+		dups  []int // indexes sharing the answer
+	}
+	order := make([]*cell, 0, len(items))
+	byKey := make(map[string]*cell, len(items))
+	for i, it := range items {
+		k := itemKey(it)
+		if c, ok := byKey[k]; ok {
+			c.dups = append(c.dups, i)
+			continue
+		}
+		c := &cell{item: it, first: i}
+		byKey[k] = c
+		order = append(order, c)
+	}
+
+	workers := e.workers()
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				c := order[i]
+				a, err := e.Analyze(ctx, c.item.Q, c.item.K, c.item.Opts)
+				results[c.first] = BatchResult{Analysis: a, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, c := range order {
+		r := results[c.first]
+		for _, i := range c.dups {
+			if r.Err != nil {
+				results[i] = r
+				continue
+			}
+			// Share the answer but zero the metrics, matching cache hits:
+			// summing per-item I/O over a batch must not double-count the
+			// one computation.
+			dedup := &core.Output{
+				Query:   r.Analysis.Query,
+				K:       r.Analysis.K,
+				Result:  r.Analysis.Result,
+				Regions: r.Analysis.Regions,
+			}
+			results[i] = BatchResult{Analysis: &Analysis{Output: dedup, Source: SourceDeduped}}
+		}
+	}
+	return results
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/vec"
+)
+
+// TestBatchDedupAndCache covers the batch pipeline end to end:
+// duplicates compute once and share the answer, invalid items fail in
+// place without sinking the batch, NoCache items stay distinct, and a
+// second batch is served from the cache.
+func TestBatchDedupAndCache(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	eng := memEngine(tuples, 2, Config{})
+	opts := Options{Options: core.Options{Method: core.MethodCPT, Phi: 1}}
+
+	other := vec.MustQuery([]int{0, 1}, []float64{0.6, 0.4})
+	items := []BatchItem{
+		{Q: q, K: k, Opts: opts},     // computes
+		{Q: q, K: k, Opts: opts},     // duplicate of 0
+		{Q: other, K: k, Opts: opts}, // computes
+		{Q: q, K: 0, Opts: opts},     // invalid
+		{Q: q, K: k, Opts: Options{Options: opts.Options, NoCache: true}}, // distinct identity
+	}
+	res := eng.AnalyzeBatch(context.Background(), items)
+	if len(res) != len(items) {
+		t.Fatalf("%d results for %d items", len(res), len(items))
+	}
+	if res[0].Err != nil || res[0].Analysis.Source != SourceComputed {
+		t.Fatalf("item 0: %+v", res[0])
+	}
+	if res[1].Err != nil || res[1].Analysis.Source != SourceDeduped {
+		t.Fatalf("item 1: err=%v src=%v, want dedup", res[1].Err, res[1].Analysis.Source)
+	}
+	if len(res[1].Analysis.Result) == 0 || &res[1].Analysis.Result[0] != &res[0].Analysis.Result[0] {
+		t.Fatal("dedup did not share the computed answer")
+	}
+	if !reflect.DeepEqual(res[1].Analysis.Metrics, core.Metrics{}) {
+		// A batch summing per-item I/O must not double-count the one
+		// computation.
+		t.Fatalf("deduped item carries metrics: %+v", res[1].Analysis.Metrics)
+	}
+	if res[2].Err != nil || res[2].Analysis.Source != SourceComputed {
+		t.Fatalf("item 2: %+v", res[2])
+	}
+	if !errors.Is(res[3].Err, ErrInvalid) {
+		t.Fatalf("item 3 err=%v, want ErrInvalid", res[3].Err)
+	}
+	if res[4].Err != nil || res[4].Analysis.Source != SourceBypass {
+		t.Fatalf("item 4: err=%v src=%v, want bypass", res[4].Err, res[4].Analysis.Source)
+	}
+	if !reflect.DeepEqual(res[0].Analysis.Regions, res[4].Analysis.Regions) {
+		t.Fatal("bypass and cached-path answers diverge")
+	}
+
+	// Second round: repeats are cache hits, zero index I/O.
+	seq0, rnd0, _ := eng.Stats().Snapshot()
+	res2 := eng.AnalyzeBatch(context.Background(), items[:3])
+	for i, r := range res2 {
+		if r.Err != nil {
+			t.Fatalf("round 2 item %d: %v", i, r.Err)
+		}
+	}
+	if res2[0].Analysis.Source != SourceCache || res2[2].Analysis.Source != SourceCache {
+		t.Fatalf("round 2 sources %v/%v, want hits", res2[0].Analysis.Source, res2[2].Analysis.Source)
+	}
+	if seq1, rnd1, _ := eng.Stats().Snapshot(); seq1 != seq0 || rnd1 != rnd0 {
+		t.Fatal("cached batch touched the index")
+	}
+}
+
+// TestBatchMatchesSingles proves batch answers are the same analyses
+// the single-query path produces, across a mixed random workload.
+func TestBatchMatchesSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7007))
+	cs := fixture.RandCase(rng, 100, 7, 3, 5)
+	single := memEngine(cs.Tuples, cs.M, Config{CacheEntries: -1})
+
+	var items []BatchItem
+	for i := 0; i < 9; i++ {
+		q := cs.Q.Clone()
+		q.Weights[i%q.Len()] = 0.15 + 0.09*float64(i%7)
+		items = append(items, BatchItem{
+			Q: q, K: cs.K,
+			Opts: Options{Options: core.Options{Method: core.Methods[i%len(core.Methods)], Phi: i % 3}},
+		})
+	}
+	batch := memEngine(cs.Tuples, cs.M, Config{})
+	res := batch.AnalyzeBatch(context.Background(), items)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		want, err := single.Analyze(context.Background(), items[i].Q, items[i].K, items[i].Opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Analysis.Result, want.Result) || !reflect.DeepEqual(r.Analysis.Regions, want.Regions) {
+			t.Fatalf("item %d diverges from single-query execution", i)
+		}
+	}
+}
+
+// TestBatchCanceled: a pre-canceled context fails every item with the
+// context's error rather than hanging or computing.
+func TestBatchCanceled(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	eng := memEngine(tuples, 2, Config{CacheEntries: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := eng.AnalyzeBatch(ctx, []BatchItem{{Q: q, K: k}, {Q: q, K: k}})
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("item %d completed under canceled context", i)
+		}
+	}
+}

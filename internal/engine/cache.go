@@ -1,0 +1,327 @@
+// The immutable-region answer cache. The paper's core object doubles as
+// a validity certificate: an analysis of query q proves that any weight
+// vector inside its regions' cross-polytope (footnote 1, the same
+// containment test internal/session trusts client-side) has the
+// identical ranked top-k result. The cache exploits both readings of
+// that certificate, always with zero index I/O:
+//
+//   - Analyze hits require an exact weight-vector match (the degenerate
+//     containment, deviation 0) and return the cached analysis as-is —
+//     bit-identical result, regions and perturbations. Regions are
+//     expressed relative to the analysis-time weights, so a shifted
+//     in-region weight vector would need different region values;
+//     serving it the anchor's regions would be wrong, hence the exact
+//     match.
+//
+//   - TopK hits only need containment: if the requested weights fall
+//     inside any cached entry's cross-polytope for the same subspace
+//     and k, the ranked ids are provably unchanged, and the scores are
+//     rebuilt exactly from the cached projections (the dot product adds
+//     the same nonzero terms in the same dimension order as a live TA
+//     scoring pass, so the floats are bit-identical). Entries computed
+//     with CompositionOnly guarantee only set preservation, so hits are
+//     re-ranked by the rebuilt scores, which is correct in both modes.
+//
+// Eviction is LRU under two bounds, entry count and estimated bytes.
+// Counters are atomic so /stats never takes the cache lock.
+package engine
+
+import (
+	"container/list"
+	"encoding/binary"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// sig is the part of the options that selects WHICH output an analysis
+// produces. Method, Schedule and Parallelism are excluded: every
+// variant provably computes the same regions (the repo's property and
+// parallel-equality tests enforce it), so a CPT analysis may serve a
+// Scan request and vice versa. Iterative/ForceEnvelope likewise only
+// change the route, not the answer — but they exist for measurement, so
+// requests carrying them are expected to arrive with NoCache anyway.
+type sig struct {
+	phi      int
+	compOnly bool
+}
+
+func sigOf(o core.Options) sig {
+	return sig{phi: o.Phi, compOnly: o.CompositionOnly}
+}
+
+// bucketKey identifies a subspace: the sorted query dimensions plus k.
+type bucketKey string
+
+func keyOf(q vec.Query, k int) bucketKey {
+	buf := make([]byte, 0, 8*(q.Len()+1))
+	buf = binary.AppendVarint(buf, int64(k))
+	for _, d := range q.Dims {
+		buf = binary.AppendVarint(buf, int64(d))
+	}
+	return bucketKey(buf)
+}
+
+// entry is one admitted analysis: the anchor weights it was computed at
+// and the completed output it certifies.
+type entry struct {
+	key     bucketKey
+	sig     sig
+	weights []float64
+	out     *core.Output
+	size    int64
+	elem    *list.Element
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits       int64 // Analyze served from an exact-weight anchor
+	RegionHits int64 // TopK served by region containment
+	Misses     int64
+	Bypasses   int64 // lookups skipped by request (NoCache)
+	Evictions  int64
+	Entries    int
+	Bytes      int64
+}
+
+type cache struct {
+	mu      sync.Mutex
+	buckets map[bucketKey][]*entry
+	lru     *list.List // front = most recently used; values are *entry
+	bytes   int64
+
+	maxEntries int
+	maxBytes   int64
+
+	hits       atomic.Int64
+	regionHits atomic.Int64
+	misses     atomic.Int64
+	bypasses   atomic.Int64
+	evictions  atomic.Int64
+	bytesGauge atomic.Int64
+	entryGauge atomic.Int64
+}
+
+func newCache(maxEntries int, maxBytes int64) *cache {
+	return &cache{
+		buckets:    make(map[bucketKey][]*entry),
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+}
+
+func (c *cache) stats() CacheStats {
+	return CacheStats{
+		Hits:       c.hits.Load(),
+		RegionHits: c.regionHits.Load(),
+		Misses:     c.misses.Load(),
+		Bypasses:   c.bypasses.Load(),
+		Evictions:  c.evictions.Load(),
+		Entries:    int(c.entryGauge.Load()),
+		Bytes:      c.bytesGauge.Load(),
+	}
+}
+
+// lookupAnalyze serves a full analysis iff an anchor with the same
+// subspace, k, φ-signature and exact weight vector exists. The returned
+// Output shares the anchor's result and regions (read-only) but carries
+// fresh zero metrics: no work was done, and the response's metering
+// should say so.
+func (c *cache) lookupAnalyze(q vec.Query, k int, opts core.Options) (*core.Output, bool) {
+	key := keyOf(q, k)
+	want := sigOf(opts)
+	c.mu.Lock()
+	for _, en := range c.buckets[key] {
+		if en.sig == want && slices.Equal(en.weights, q.Weights) {
+			c.lru.MoveToFront(en.elem)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return &core.Output{
+				Query:   en.out.Query,
+				K:       en.out.K,
+				Result:  en.out.Result,
+				Regions: en.out.Regions,
+			}, true
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// lookupTopK serves a ranked result iff some anchor of the same
+// subspace and k has the requested weights inside its regions'
+// cross-polytope. Any φ-signature qualifies — every analysis certifies
+// at least its innermost region.
+func (c *cache) lookupTopK(q vec.Query, k int) ([]topk.Scored, bool) {
+	key := keyOf(q, k)
+	c.mu.Lock()
+	for _, en := range c.buckets[key] {
+		if !containsWeights(en, q.Weights) {
+			continue
+		}
+		c.lru.MoveToFront(en.elem)
+		out := en.out
+		c.mu.Unlock()
+		c.regionHits.Add(1)
+		return rescore(out.Result, q.Weights), true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// containsWeights is the footnote-1 containment test: the deviation
+// from the anchor weights lies inside the cross-polytope spanned by the
+// anchor's immutable regions.
+func containsWeights(en *entry, weights []float64) bool {
+	devs := make([]float64, len(weights))
+	for i, w := range weights {
+		devs[i] = w - en.weights[i]
+	}
+	safe, err := core.SafeConcurrent(en.out.Regions, devs)
+	return err == nil && safe
+}
+
+// rescore rebuilds the ranked result at the requested weights from the
+// cached query-subspace projections: same ids, exact scores, re-ranked
+// by (score desc, id asc) — the canonical order — which also covers
+// CompositionOnly anchors, whose certificate preserves the set but not
+// the order. Projections are cloned: a live TA hands the caller
+// query-private slices, and a caller mutating a shared one would
+// corrupt the cache for every later hit.
+func rescore(res []topk.Scored, weights []float64) []topk.Scored {
+	out := make([]topk.Scored, len(res))
+	for i, sc := range res {
+		out[i] = topk.Scored{ID: sc.ID, Score: vec.Dot(weights, sc.Proj), Proj: slices.Clone(sc.Proj), NZMask: sc.NZMask}
+	}
+	slices.SortFunc(out, func(a, b topk.Scored) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		default:
+			return a.ID - b.ID
+		}
+	})
+	return out
+}
+
+// admit stores a completed analysis, replacing an existing anchor with
+// the same signature and weights, then evicts from the LRU tail until
+// both bounds hold. Outputs larger than the byte bound are not admitted
+// at all (they would evict the whole cache and then themselves).
+func (c *cache) admit(q vec.Query, k int, opts core.Options, out *core.Output) {
+	size := outputSize(out)
+	if size > c.maxBytes {
+		return
+	}
+	en := &entry{key: keyOf(q, k), sig: sigOf(opts), weights: slices.Clone(q.Weights), out: out, size: size}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bucket := c.buckets[en.key]
+	for _, old := range bucket {
+		if old.sig == en.sig && slices.Equal(old.weights, en.weights) {
+			// A concurrent identical computation already landed; keep the
+			// incumbent (the outputs are interchangeable) and refresh it.
+			c.lru.MoveToFront(old.elem)
+			return
+		}
+	}
+	en.elem = c.lru.PushFront(en)
+	c.buckets[en.key] = append(bucket, en)
+	c.bytes += size
+	for c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+	c.publishGauges()
+}
+
+// evictOldest drops the LRU tail entry. Caller holds mu.
+func (c *cache) evictOldest() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	c.remove(back.Value.(*entry))
+	c.evictions.Add(1)
+}
+
+// remove unlinks an entry from both structures. Caller holds mu.
+func (c *cache) remove(en *entry) {
+	c.lru.Remove(en.elem)
+	c.bytes -= en.size
+	bucket := c.buckets[en.key]
+	for i, cand := range bucket {
+		if cand == en {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(c.buckets, en.key)
+	} else {
+		c.buckets[en.key] = bucket
+	}
+}
+
+func (c *cache) invalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buckets = make(map[bucketKey][]*entry)
+	c.lru.Init()
+	c.bytes = 0
+	c.publishGauges()
+}
+
+// invalidateDims drops every entry whose subspace uses any of dims.
+func (c *cache) invalidateDims(dims []int) {
+	hit := make(map[int]bool, len(dims))
+	for _, d := range dims {
+		hit[d] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var doomed []*entry
+	for _, bucket := range c.buckets {
+		for _, en := range bucket {
+			for _, d := range en.out.Query.Dims {
+				if hit[d] {
+					doomed = append(doomed, en)
+					break
+				}
+			}
+		}
+	}
+	for _, en := range doomed {
+		c.remove(en)
+	}
+	c.publishGauges()
+}
+
+// publishGauges mirrors the size gauges into atomics for lock-free
+// stats reads. Caller holds mu.
+func (c *cache) publishGauges() {
+	c.bytesGauge.Store(c.bytes)
+	c.entryGauge.Store(int64(c.lru.Len()))
+}
+
+// outputSize estimates an analysis' resident footprint: the Scored
+// result entries with their projection slices, the region structs with
+// their perturbation schedules, and the anchor bookkeeping.
+func outputSize(out *core.Output) int64 {
+	qlen := int64(out.Query.Len())
+	size := int64(128) + 24*qlen // entry + anchor weights + query dims/weights
+	size += int64(len(out.Result)) * (48 + 8*qlen)
+	for _, reg := range out.Regions {
+		size += 64 + 32*int64(len(reg.Left)+len(reg.Right))
+	}
+	return size
+}

@@ -6,15 +6,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/lists"
 	"repro/internal/storage"
-	"repro/internal/topk"
 	"repro/internal/vec"
 )
 
@@ -171,15 +172,22 @@ func (r *Runner) sampleQueriesDF(d *dataset.Dataset, qlen, k, minDF int) []vec.Q
 	return queries
 }
 
+// measureEngine wraps an index in the unified execution layer with the
+// answer cache off and no admission gate: the harness measures the
+// algorithms themselves, so a cached answer must never stand in for a
+// computation.
+func measureEngine(ix lists.Index) *engine.Engine {
+	return engine.New(ix, engine.Config{MaxConcurrent: -1, CacheEntries: -1})
+}
+
 // measure runs one method over the query workload and averages metrics.
-// Each query gets a fresh TA run (its cost is common to all methods and
-// excluded, as the paper's Phase-2-centric charts do).
+// Metrics cover the region computation only (the TA cost is common to
+// all methods and excluded, as the paper's Phase-2-centric charts do).
 func (r *Runner) measure(ix lists.Index, queries []vec.Query, k int, opts core.Options) Point {
 	var p Point
+	eng := measureEngine(ix)
 	for _, q := range queries {
-		ta := topk.New(ix, q, k, topk.BestList)
-		ta.Run()
-		out, err := core.Compute(ta, opts)
+		out, err := eng.Analyze(context.Background(), q, k, engine.Options{Options: opts})
 		if err != nil {
 			panic(fmt.Sprintf("exp: compute: %v", err))
 		}

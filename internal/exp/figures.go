@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/lists"
 	"repro/internal/topk"
 	"repro/internal/vec"
@@ -256,12 +258,11 @@ func (r *Runner) PhaseBreakdown() []PhaseCost {
 	d, ix := r.WSJ()
 	queries := r.sampleQueries(d, 4, 10)
 	var out []PhaseCost
+	eng := measureEngine(ix)
 	for _, method := range core.Methods {
 		pc := PhaseCost{Method: method.String()}
 		for _, q := range queries {
-			ta := topk.New(ix, q, 10, topk.BestList)
-			ta.Run()
-			res, err := core.Compute(ta, core.Options{Method: method})
+			res, err := eng.Analyze(context.Background(), q, 10, engine.Options{Options: core.Options{Method: method}})
 			if err != nil {
 				panic(err)
 			}
@@ -346,15 +347,14 @@ func (r *Runner) STB() STBComparison {
 	if len(queries) > 10 {
 		queries = queries[:10] // STB is O(n) per query; keep this modest
 	}
+	eng := measureEngine(ix)
 	out := STBComparison{Queries: len(queries)}
 	for _, q := range queries {
 		res := stbRadius(d, q, 10)
 		out.STBScanned += float64(res.scanned)
 		out.MeanRho += res.rho
 
-		ta := topk.New(ix, q, 10, topk.BestList)
-		ta.Run()
-		cptOut, err := core.Compute(ta, core.Options{Method: core.MethodCPT})
+		cptOut, err := eng.Analyze(context.Background(), q, 10, engine.Options{Options: core.Options{Method: core.MethodCPT}})
 		if err != nil {
 			panic(err)
 		}

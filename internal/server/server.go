@@ -1,106 +1,100 @@
 // Package server exposes the query engine over HTTP with a small JSON
 // API, turning the library into the system-model deployment of §3: a
 // server holding the inverted lists and tuple file, answering subspace
-// top-k queries and immutable-region analyses for remote clients.
+// top-k queries and immutable-region analyses for remote clients. The
+// server is a thin transport: all execution — validation, admission,
+// caching, metering, cancellation — lives in internal/engine, which the
+// handlers call with the request's context so a disconnected client
+// aborts its query mid-run, not just while queued.
 //
 // Endpoints:
 //
-//	POST /topk     {dims, weights, k}                        → ranked result
-//	POST /analyze  {dims, weights, k, phi, method, composition_only}
-//	               → result + per-dimension regions + metering
-//	GET  /stats    → cumulative I/O counters
-//	GET  /healthz  → 200 ok
+//	POST /topk          {dims, weights, k}           → ranked result
+//	                    (X-Cache: hit-region when a cached analysis'
+//	                    immutable regions certify the answer)
+//	POST /analyze       {dims, weights, k, phi, method, composition_only,
+//	                    no_cache} → result + per-dimension regions +
+//	                    metering + cache disposition
+//	POST /batchanalyze  {queries: [analyze bodies]}  → per-query
+//	                    responses; duplicates are de-duplicated and
+//	                    repeats served from the answer cache
+//	GET  /stats         → cumulative I/O counters + cache counters
+//	GET  /healthz       → 200 ok
 //
 // # Concurrency model
 //
-// Queries run concurrently with no server-wide lock. The index is
-// immutable and shared; per-query state (TA cursors, candidate lists,
-// region computation) is private to the request goroutine. I/O metering
-// uses one atomic meter per query — a Child of the index-wide meter —
-// so the metrics reported in an /analyze response count exactly that
-// query's accesses while /stats keeps the exact aggregate across all
-// in-flight queries. Config.MaxConcurrent bounds the number of queries
-// executing at once (a semaphore; excess requests queue rather than
-// fail), and Config.Parallelism is forwarded to core.Options to fan one
-// query's per-dimension work across goroutines as well.
+// Queries run concurrently with no server-wide lock; the engine's
+// worker pool (Config.MaxConcurrent) is the only throttle, and excess
+// requests queue rather than fail. Per-query I/O is metered on a child
+// of the index-wide meter, so /analyze responses count exactly their
+// own accesses while /stats keeps the exact aggregate. Answers served
+// from the immutable-region cache perform zero index I/O and bypass the
+// worker pool entirely.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lists"
 	"repro/internal/topk"
 	"repro/internal/vec"
 )
 
-// Config tunes the server's concurrency.
+// Config tunes the server's engine. The zero value picks the defaults
+// of engine.Config: a 4×GOMAXPROCS worker pool, sequential per-query
+// dimension processing, and the answer cache at its default bounds.
 type Config struct {
-	// MaxConcurrent caps the number of queries executing at once. Each
-	// in-flight query holds O(n) working state, so the cap is the
-	// server's memory backpressure. 0 picks the default of
-	// 4×GOMAXPROCS; a negative value disables the cap entirely.
+	// MaxConcurrent caps the number of queries executing at once
+	// (0 = default 4×GOMAXPROCS, negative = unlimited).
 	MaxConcurrent int
-	// Parallelism is forwarded to core.Options.Parallelism for /analyze:
-	// 0 keeps the paper-literal sequential per-dimension pipeline, n ≥ 1
-	// runs each query's dimensions on up to n goroutines.
+	// Parallelism fans one query's per-dimension region work over up to
+	// n goroutines (0 = paper-literal sequential).
 	Parallelism int
+	// CacheEntries bounds the answer cache (0 = default, negative =
+	// cache disabled).
+	CacheEntries int
+	// CacheBytes bounds the cache's estimated footprint (0 = default).
+	CacheBytes int64
 }
 
-// Server handles the HTTP API over one index.
+// Server handles the HTTP API over one engine.
 type Server struct {
-	ix  lists.Index
-	cfg Config
-	sem chan struct{} // nil when unlimited
+	eng *engine.Engine
 }
 
-// New builds a Server over an index with the default concurrency cap.
+// New builds a Server over an index with default engine settings.
 func New(ix lists.Index) *Server { return NewWithConfig(ix, Config{}) }
 
-// NewWithConfig builds a Server with explicit concurrency settings.
+// NewWithConfig builds a Server over an index with explicit settings.
 func NewWithConfig(ix lists.Index, cfg Config) *Server {
-	s := &Server{ix: ix, cfg: cfg}
-	limit := cfg.MaxConcurrent
-	if limit == 0 {
-		limit = 4 * runtime.GOMAXPROCS(0)
-	}
-	if limit > 0 {
-		s.sem = make(chan struct{}, limit)
-	}
-	return s
+	return FromEngine(engine.New(ix, engine.Config{
+		MaxConcurrent: cfg.MaxConcurrent,
+		Parallelism:   cfg.Parallelism,
+		CacheEntries:  cfg.CacheEntries,
+		CacheBytes:    cfg.CacheBytes,
+	}))
 }
 
-// acquire blocks until a query slot is free (no-op when unlimited) or
-// the request is abandoned — a client that gave up while queued must not
-// trigger a full query execution against a dead connection.
-func (s *Server) acquire(ctx context.Context) (release func(), ok bool) {
-	if s.sem == nil {
-		return func() {}, true
-	}
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
-	case <-ctx.Done():
-		return nil, false
-	}
-}
+// FromEngine builds a Server over an existing engine (the path
+// cmd/irserver uses, so open-time options like checksum verification
+// stay with the engine).
+func FromEngine(eng *engine.Engine) *Server { return &Server{eng: eng} }
 
-// queryIndex returns a per-request view of the index charging a fresh
-// child meter, so this query's I/O is metered in isolation while still
-// aggregating into the shared /stats counters.
-func (s *Server) queryIndex() lists.Index {
-	return s.ix.WithStats(s.ix.Stats().Child())
-}
+// Engine exposes the underlying engine.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Handler returns the routed http.Handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/topk", s.handleTopK)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/batchanalyze", s.handleBatchAnalyze)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -109,7 +103,8 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// QueryRequest is the body of /topk and /analyze.
+// QueryRequest is the body of /topk and /analyze, and one element of
+// /batchanalyze's queries.
 type QueryRequest struct {
 	Dims    []int     `json:"dims"`
 	Weights []float64 `json:"weights"`
@@ -118,6 +113,9 @@ type QueryRequest struct {
 	Phi             int    `json:"phi"`
 	Method          string `json:"method"` // scan|prune|thres|cpt (default cpt)
 	CompositionOnly bool   `json:"composition_only"`
+	// NoCache bypasses the answer cache for this query (no lookup, no
+	// admission).
+	NoCache bool `json:"no_cache"`
 }
 
 // ResultEntry is one ranked answer.
@@ -143,11 +141,15 @@ type RegionJSON struct {
 	Right []PerturbationJSON `json:"right,omitempty"`
 }
 
-// AnalyzeResponse is the body of a successful /analyze.
+// AnalyzeResponse is the body of a successful /analyze. Cache reports
+// the disposition: "miss" (computed and admitted), "hit" (served from
+// a cached analysis, zero index I/O), "bypass" (no_cache requested) or
+// "dedup" (shared with an identical query in the same batch).
 type AnalyzeResponse struct {
 	Result  []ResultEntry `json:"result"`
 	Regions []RegionJSON  `json:"regions"`
 	Metrics MetricsJSON   `json:"metrics"`
+	Cache   string        `json:"cache,omitempty"`
 }
 
 // MetricsJSON carries the metering of one analysis.
@@ -160,11 +162,41 @@ type MetricsJSON struct {
 	MemBytes     int64   `json:"mem_bytes"`
 }
 
+// BatchAnalyzeRequest is the body of /batchanalyze.
+type BatchAnalyzeRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// BatchEntryResponse is one element of a /batchanalyze response: an
+// AnalyzeResponse on success, or Error with the other fields empty.
+type BatchEntryResponse struct {
+	AnalyzeResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchAnalyzeResponse is the body of a successful /batchanalyze;
+// Responses is parallel to the request's Queries.
+type BatchAnalyzeResponse struct {
+	Responses []BatchEntryResponse `json:"responses"`
+}
+
+// CacheStatsJSON mirrors engine.CacheStats.
+type CacheStatsJSON struct {
+	Hits       int64 `json:"hits"`
+	RegionHits int64 `json:"region_hits"`
+	Misses     int64 `json:"misses"`
+	Bypasses   int64 `json:"bypasses"`
+	Evictions  int64 `json:"evictions"`
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+}
+
 // StatsResponse is the body of /stats.
 type StatsResponse struct {
-	SeqPages  int64 `json:"seq_pages"`
-	RandReads int64 `json:"rand_reads"`
-	BytesRead int64 `json:"bytes_read"`
+	SeqPages  int64           `json:"seq_pages"`
+	RandReads int64           `json:"rand_reads"`
+	BytesRead int64           `json:"bytes_read"`
+	Cache     *CacheStatsJSON `json:"cache,omitempty"`
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -172,61 +204,47 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	release, ok := s.acquire(r.Context())
-	if !ok {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request canceled while queued"))
+	res, src, err := s.eng.TopK(r.Context(), q, req.K)
+	if err != nil {
+		engineError(w, err)
 		return
 	}
-	defer release()
-	ta := topk.New(s.queryIndex(), q, req.K, topk.BestList)
-	ta.Run()
-	res := ta.Result()
+	w.Header().Set("X-Cache", src.String())
 	writeJSON(w, http.StatusOK, toEntries(res))
 }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	req, q, ok := s.decodeQuery(w, r)
-	if !ok {
-		return
-	}
+// buildOptions maps a request to engine options; the method string is
+// the only field needing parsing.
+func buildOptions(req QueryRequest) (engine.Options, error) {
 	method, err := parseMethod(req.Method)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return
+		return engine.Options{}, fmt.Errorf("%w: %v", engine.ErrInvalid, err)
 	}
-	if req.Phi < 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("negative phi"))
-		return
-	}
-	release, ok := s.acquire(r.Context())
-	if !ok {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request canceled while queued"))
-		return
-	}
-	defer release()
-	ta := topk.New(s.queryIndex(), q, req.K, topk.BestList)
-	out, err := core.Compute(ta, core.Options{
-		Method:          method,
-		Phi:             req.Phi,
-		CompositionOnly: req.CompositionOnly,
-		Parallelism:     s.cfg.Parallelism,
-	})
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
+	return engine.Options{
+		Options: core.Options{
+			Method:          method,
+			Phi:             req.Phi,
+			CompositionOnly: req.CompositionOnly,
+		},
+		NoCache: req.NoCache,
+	}, nil
+}
+
+// toAnalyzeResponse renders one completed analysis.
+func toAnalyzeResponse(a *engine.Analysis) AnalyzeResponse {
 	resp := AnalyzeResponse{
-		Result: toEntries(out.Result),
+		Result: toEntries(a.Result),
+		Cache:  a.Source.String(),
 		Metrics: MetricsJSON{
-			Evaluated:    out.Metrics.Evaluated,
-			EvaluatedAvg: out.Metrics.EvaluatedPerDimAvg(),
-			SeqPages:     out.Metrics.SeqPages,
-			RandReads:    out.Metrics.RandReads,
-			CPUMicros:    out.Metrics.CPU().Microseconds(),
-			MemBytes:     out.Metrics.MemBytes,
+			Evaluated:    a.Metrics.Evaluated,
+			EvaluatedAvg: a.Metrics.EvaluatedPerDimAvg(),
+			SeqPages:     a.Metrics.SeqPages,
+			RandReads:    a.Metrics.RandReads,
+			CPUMicros:    a.Metrics.CPU().Microseconds(),
+			MemBytes:     a.Metrics.MemBytes,
 		},
 	}
-	for _, reg := range out.Regions {
+	for _, reg := range a.Regions {
 		rj := RegionJSON{Dim: reg.Dim, Lo: reg.Lo, Hi: reg.Hi}
 		for _, p := range reg.Left {
 			rj.Left = append(rj.Left, PerturbationJSON(p))
@@ -236,42 +254,85 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Regions = append(resp.Regions, rj)
 	}
+	return resp
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	req, q, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	opts, err := buildOptions(req)
+	if err != nil {
+		engineError(w, err)
+		return
+	}
+	a, err := s.eng.Analyze(r.Context(), q, req.K, opts)
+	if err != nil {
+		engineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toAnalyzeResponse(a))
+}
+
+func (s *Server) handleBatchAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req BatchAnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	// Per-item shape errors are reported in place; valid items still
+	// run, so one malformed query cannot sink a fleet batch.
+	items := make([]engine.BatchItem, 0, len(req.Queries))
+	itemIdx := make([]int, 0, len(req.Queries))
+	resp := BatchAnalyzeResponse{Responses: make([]BatchEntryResponse, len(req.Queries))}
+	for i, qr := range req.Queries {
+		q, err := vec.NewQuery(qr.Dims, qr.Weights)
+		if err == nil {
+			var opts engine.Options
+			if opts, err = buildOptions(qr); err == nil {
+				items = append(items, engine.BatchItem{Q: q, K: qr.K, Opts: opts})
+				itemIdx = append(itemIdx, i)
+				continue
+			}
+		}
+		resp.Responses[i] = BatchEntryResponse{Error: err.Error()}
+	}
+	for j, res := range s.eng.AnalyzeBatch(r.Context(), items) {
+		i := itemIdx[j]
+		if res.Err != nil {
+			resp.Responses[i] = BatchEntryResponse{Error: res.Err.Error()}
+			continue
+		}
+		resp.Responses[i] = BatchEntryResponse{AnalyzeResponse: toAnalyzeResponse(res.Analysis)}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	seq, rnd, bytes := s.ix.Stats().Snapshot()
-	writeJSON(w, http.StatusOK, StatsResponse{SeqPages: seq, RandReads: rnd, BytesRead: bytes})
-}
-
-// decodeQuery parses and validates the request body common to /topk and
-// /analyze.
-func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (QueryRequest, vec.Query, bool) {
-	var req QueryRequest
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return req, vec.Query{}, false
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
-		return req, vec.Query{}, false
-	}
-	if req.K <= 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("k must be positive"))
-		return req, vec.Query{}, false
-	}
-	q, err := vec.NewQuery(req.Dims, req.Weights)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return req, vec.Query{}, false
-	}
-	for _, d := range q.Dims {
-		if d >= s.ix.Dim() {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("dimension %d out of range [0,%d)", d, s.ix.Dim()))
-			return req, vec.Query{}, false
+	seq, rnd, bytes := s.eng.Stats().Snapshot()
+	resp := StatsResponse{SeqPages: seq, RandReads: rnd, BytesRead: bytes}
+	if s.eng.CacheEnabled() {
+		cs := s.eng.CacheStats()
+		resp.Cache = &CacheStatsJSON{
+			Hits:       cs.Hits,
+			RegionHits: cs.RegionHits,
+			Misses:     cs.Misses,
+			Bypasses:   cs.Bypasses,
+			Evictions:  cs.Evictions,
+			Entries:    cs.Entries,
+			Bytes:      cs.Bytes,
 		}
 	}
-	return req, q, true
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func toEntries(res []topk.Scored) []ResultEntry {
@@ -297,6 +358,27 @@ func parseMethod(s string) (core.Method, error) {
 	}
 }
 
+// decodeQuery parses and validates the request body common to /topk and
+// /analyze; structural validation beyond the query shape (k, dimension
+// range, φ) is the engine's job.
+func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (QueryRequest, vec.Query, bool) {
+	var req QueryRequest
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return req, vec.Query{}, false
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return req, vec.Query{}, false
+	}
+	q, err := vec.NewQuery(req.Dims, req.Weights)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return req, vec.Query{}, false
+	}
+	return req, q, true
+}
+
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -308,4 +390,18 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// engineError maps an engine failure to an HTTP status: validation
+// faults are the client's, cancellations mean the client is gone, and
+// the rest are ours.
+func engineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrInvalid):
+		httpError(w, http.StatusBadRequest, err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusInternalServerError, err)
+	}
 }

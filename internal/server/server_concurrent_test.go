@@ -50,7 +50,10 @@ func TestConcurrentAnalyzeMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(1234))
 	cs := fixture.RandCase(rng, 300, 8, 3, 5)
 	ix := lists.NewMemIndex(cs.Tuples, cs.M)
-	srv := NewWithConfig(ix, Config{MaxConcurrent: 4})
+	// Cache off: this test compares repeat responses (metrics included)
+	// against their solo execution, which a cache hit's zero-work
+	// metering would legitimately break.
+	srv := NewWithConfig(ix, Config{MaxConcurrent: 4, CacheEntries: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -122,7 +125,7 @@ func TestConcurrentTopK(t *testing.T) {
 	rng := rand.New(rand.NewSource(4321))
 	cs := fixture.RandCase(rng, 200, 6, 3, 10)
 	ix := lists.NewMemIndex(cs.Tuples, cs.M)
-	srv := NewWithConfig(ix, Config{MaxConcurrent: 3})
+	srv := NewWithConfig(ix, Config{MaxConcurrent: 3, CacheEntries: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

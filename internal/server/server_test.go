@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 
 	"repro/internal/fixture"
@@ -131,6 +132,127 @@ func TestBadRequests(t *testing.T) {
 	get.Body.Close()
 	if get.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /topk: status %d", get.StatusCode)
+	}
+}
+
+// TestAnalyzeCacheDisposition drives the answer cache through the HTTP
+// surface: first /analyze computes ("miss"), the identical repeat is
+// served ("hit") with zero-I/O metrics and the same result and regions,
+// no_cache bypasses, and /stats reports the counters.
+func TestAnalyzeCacheDisposition(t *testing.T) {
+	ts := testServer(t)
+	req := QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2, Phi: 1}
+	var first, second, third AnalyzeResponse
+	post(t, ts.URL+"/analyze", req, &first)
+	post(t, ts.URL+"/analyze", req, &second)
+	req.NoCache = true
+	post(t, ts.URL+"/analyze", req, &third)
+
+	if first.Cache != "miss" || second.Cache != "hit" || third.Cache != "bypass" {
+		t.Fatalf("dispositions %q/%q/%q, want miss/hit/bypass", first.Cache, second.Cache, third.Cache)
+	}
+	if second.Metrics.RandReads != 0 || second.Metrics.SeqPages != 0 || second.Metrics.Evaluated != 0 {
+		t.Fatalf("cache hit reported work: %+v", second.Metrics)
+	}
+	second.Metrics, first.Metrics, third.Metrics = MetricsJSON{}, MetricsJSON{}, MetricsJSON{}
+	second.Cache, first.Cache, third.Cache = "", "", ""
+	if !reflect.DeepEqual(first, second) || !reflect.DeepEqual(first, third) {
+		t.Fatalf("cached/bypass responses diverge:\n%+v\n%+v\n%+v", first, second, third)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache == nil || st.Cache.Hits != 1 || st.Cache.Bypasses != 1 || st.Cache.Entries != 1 {
+		t.Fatalf("cache stats %+v", st.Cache)
+	}
+}
+
+// TestTopKRegionServed: after an /analyze, an in-region /topk is
+// certified by the cached regions (X-Cache: hit-region), an
+// out-of-region one recomputes.
+func TestTopKRegionServed(t *testing.T) {
+	ts := testServer(t)
+	post(t, ts.URL+"/analyze", QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2}, nil)
+
+	fetch := func(w0 float64) (string, []ResultEntry) {
+		raw, _ := json.Marshal(QueryRequest{Dims: []int{0, 1}, Weights: []float64{w0, 0.5}, K: 2})
+		resp, err := http.Post(ts.URL+"/topk", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out []ResultEntry
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("X-Cache"), out
+	}
+	// IR1 = (−16/35, +0.1) around 0.8: 0.85 is inside, 0.95 is past it.
+	if src, res := fetch(0.85); src != "hit-region" || res[0].ID != 1 {
+		t.Fatalf("in-region: X-Cache=%q result=%v", src, res)
+	}
+	if src, res := fetch(0.95); src != "miss" || res[0].ID != 0 {
+		t.Fatalf("out-of-region: X-Cache=%q result=%v", src, res)
+	}
+}
+
+// TestBatchAnalyzeEndpoint exercises /batchanalyze: aligned responses,
+// in-batch de-duplication, per-item errors, and cache hits on repeat
+// batches.
+func TestBatchAnalyzeEndpoint(t *testing.T) {
+	ts := testServer(t)
+	q := QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2, Phi: 1}
+	bad := QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}} // k=0
+	batch := BatchAnalyzeRequest{Queries: []QueryRequest{q, q, bad}}
+
+	var resp BatchAnalyzeResponse
+	post(t, ts.URL+"/batchanalyze", batch, &resp)
+	if len(resp.Responses) != 3 {
+		t.Fatalf("%d responses", len(resp.Responses))
+	}
+	r0, r1, r2 := resp.Responses[0], resp.Responses[1], resp.Responses[2]
+	if r0.Error != "" || r0.Cache != "miss" {
+		t.Fatalf("item 0: %+v", r0)
+	}
+	if r1.Error != "" || r1.Cache != "dedup" {
+		t.Fatalf("item 1 cache %q, want dedup", r1.Cache)
+	}
+	if r2.Error == "" {
+		t.Fatal("invalid item accepted")
+	}
+	if !reflect.DeepEqual(r0.Result, r1.Result) || !reflect.DeepEqual(r0.Regions, r1.Regions) {
+		t.Fatal("deduped answers diverge")
+	}
+	// The same analysis through /analyze must agree.
+	var single AnalyzeResponse
+	post(t, ts.URL+"/analyze", q, &single)
+	if !reflect.DeepEqual(single.Result, r0.Result) || !reflect.DeepEqual(single.Regions, r0.Regions) {
+		t.Fatal("batch and single answers diverge")
+	}
+
+	var again BatchAnalyzeResponse
+	post(t, ts.URL+"/batchanalyze", BatchAnalyzeRequest{Queries: []QueryRequest{q}}, &again)
+	if again.Responses[0].Cache != "hit" {
+		t.Fatalf("repeat batch cache %q, want hit", again.Responses[0].Cache)
+	}
+
+	// Malformed envelopes are 400s.
+	for _, body := range []string{`{`, `{"queries":[]}`} {
+		resp, err := http.Post(ts.URL+"/batchanalyze", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d", body, resp.StatusCode)
+		}
 	}
 }
 

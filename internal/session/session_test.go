@@ -1,25 +1,32 @@
 package session
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fixture"
 	"repro/internal/lists"
 	"repro/internal/topk"
 	"repro/internal/vec"
 )
 
-// analyzerFor builds an Analyzer over an in-memory index, counting calls.
+// analyzerFor builds an Analyzer over an in-memory index through the
+// unified engine (cache off so the call counter counts computations,
+// which is what these tests meter).
 func analyzerFor(tuples []vec.Sparse, m int, calls *int) Analyzer {
+	eng := engine.New(lists.NewMemIndex(tuples, m), engine.Config{MaxConcurrent: -1, CacheEntries: -1})
 	return func(q vec.Query, k int, opts core.Options) (*core.Output, error) {
 		if calls != nil {
 			*calls++
 		}
-		ix := lists.NewMemIndex(tuples, m)
-		ta := topk.New(ix, q, k, topk.BestList)
-		return core.Compute(ta, opts)
+		a, err := eng.Analyze(context.Background(), q, k, engine.Options{Options: opts})
+		if err != nil {
+			return nil, err
+		}
+		return a.Output, nil
 	}
 }
 

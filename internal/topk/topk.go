@@ -16,6 +16,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -99,7 +100,19 @@ type scanState struct {
 
 	seen           bitset // tuple id → already encountered
 	sortedAccesses int
+
+	// ctx, when non-nil, is polled every ctxCheckStride sorted accesses;
+	// once it is cancelled the scan refuses further work (rawStep reports
+	// exhaustion) and ctxErr records why. Forks inherit both fields, so
+	// cancelling the query stops every per-dimension continuation too.
+	ctx    context.Context
+	ctxErr error
 }
+
+// ctxCheckStride is how often (in sorted accesses) the scan polls its
+// context: ctx.Err may take a lock, while one sorted access is a few
+// nanoseconds, so polling each step would dominate the hot loop.
+const ctxCheckStride = 256
 
 // bitset is a fixed-size bit array over tuple ids. One bit per tuple
 // keeps the per-query footprint at n/8 bytes — the encountered set is
@@ -169,6 +182,10 @@ func (s *scanState) ThresholdScore() float64 {
 // SortedAccesses reports how many sorted accesses have been performed.
 func (s *scanState) SortedAccesses() int { return s.sortedAccesses }
 
+// Err reports why the scan refuses to advance — the context-cancellation
+// error observed by a sorted access — or nil while the scan is live.
+func (s *scanState) Err() error { return s.ctxErr }
+
 // Depth reports how many postings have been consumed from the i-th query
 // list.
 func (s *scanState) Depth(i int) int { return s.consumed[i] }
@@ -202,6 +219,15 @@ func (s *scanState) pick() int {
 // the probed list index, whether the tuple is newly encountered, and
 // ok=false when every list is exhausted.
 func (s *scanState) rawStep() (p storage.Posting, list int, isNew, ok bool) {
+	if s.ctxErr != nil {
+		return storage.Posting{}, -1, false, false
+	}
+	if s.ctx != nil && s.sortedAccesses%ctxCheckStride == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			return storage.Posting{}, -1, false, false
+		}
+	}
 	i := s.pick()
 	if i < 0 {
 		return storage.Posting{}, -1, false, false
@@ -437,6 +463,20 @@ func (ta *TA) offerScore(s float64) {
 		h[i], h[min] = h[min], h[i]
 		i = min
 	}
+}
+
+// RunContext executes TA to termination under a context. A nil ctx (or
+// context.Background()) is never cancelled and behaves exactly like Run.
+// When the context is cancelled mid-scan the run stops within
+// ctxCheckStride sorted accesses and the returned error is non-nil; the
+// TA's result and candidate accessors then hold a truncated, meaningless
+// snapshot and must not be consulted.
+func (ta *TA) RunContext(ctx context.Context) error {
+	if ctx != nil && ta.ctx == nil {
+		ta.ctx = ctx
+	}
+	ta.Run()
+	return ta.ctxErr
 }
 
 // Run executes TA to termination and materializes the ranked result R(q)

@@ -15,16 +15,21 @@
 //	a, err := eng.Analyze(q, 10, repro.Options{Method: repro.CPT})
 //	for _, reg := range a.Regions { fmt.Println(repro.RenderSlider(q, reg, 40)) }
 //
-// The heavy lifting lives in internal packages: internal/core holds the
-// Scan/Prune/Thres/CPT algorithms, internal/topk the resumable TA,
-// internal/geom the envelope geometry, internal/storage the disk layer.
+// The heavy lifting lives in internal packages: internal/engine is the
+// unified execution layer every entry point shares (validation, the
+// immutable-region answer cache, batching, cancellation),
+// internal/core holds the Scan/Prune/Thres/CPT algorithms,
+// internal/topk the resumable TA, internal/geom the envelope geometry,
+// internal/storage the disk layer.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lists"
 	"repro/internal/session"
 	"repro/internal/storage"
@@ -79,29 +84,72 @@ type Metrics = core.Metrics
 type Scored = topk.Scored
 
 // Analysis is the complete answer: the ranked top-k result and the
-// immutable regions of every query dimension.
-type Analysis = core.Output
+// immutable regions of every query dimension, plus how it was produced
+// (Source reports whether the answer-cache served it). On cache hits
+// the embedded result and regions are shared with the cache and must be
+// treated as read-only.
+type Analysis = engine.Analysis
 
-// Engine answers top-k queries and computes immutable regions over one
-// dataset.
-type Engine struct {
-	ix     lists.Index
-	closer func() error
+// EngineConfig tunes an Engine beyond the zero-value defaults.
+type EngineConfig struct {
+	// MaxConcurrent caps concurrently executing queries (0 = default
+	// 4×GOMAXPROCS, negative = unlimited).
+	MaxConcurrent int
+	// Parallelism fans one query's per-dimension region work over up to
+	// n goroutines (0 = paper-literal sequential).
+	Parallelism int
+	// CacheEntries / CacheBytes bound the immutable-region answer cache
+	// (0 = defaults; CacheEntries < 0 disables the cache).
+	CacheEntries int
+	CacheBytes   int64
+	// VerifyChecksums makes OpenEngineWithConfig validate the dataset
+	// files' integrity trailers before serving them.
+	VerifyChecksums bool
 }
 
-// NewEngine indexes tuples (in [0,1]^m) in memory.
+func (c EngineConfig) internal() engine.Config {
+	return engine.Config{
+		MaxConcurrent:   c.MaxConcurrent,
+		Parallelism:     c.Parallelism,
+		CacheEntries:    c.CacheEntries,
+		CacheBytes:      c.CacheBytes,
+		VerifyChecksums: c.VerifyChecksums,
+	}
+}
+
+// Engine answers top-k queries and computes immutable regions over one
+// dataset. It is a thin facade over the unified execution layer
+// (internal/engine): validation, per-query metering, the answer cache
+// and cancellation all live there, shared with the HTTP server.
+type Engine struct {
+	eng *engine.Engine
+}
+
+// NewEngine indexes tuples (in [0,1]^m) in memory with default settings
+// (answer cache enabled).
 func NewEngine(tuples []Tuple, m int) *Engine {
-	return &Engine{ix: lists.NewMemIndex(tuples, m)}
+	return NewEngineWithConfig(tuples, m, EngineConfig{})
+}
+
+// NewEngineWithConfig indexes tuples in memory with explicit settings.
+func NewEngineWithConfig(tuples []Tuple, m int, cfg EngineConfig) *Engine {
+	return &Engine{eng: engine.New(lists.NewMemIndex(tuples, m), cfg.internal())}
 }
 
 // OpenEngine opens a dataset persisted with SaveDataset, reading through
-// a buffer pool of poolPages pages.
+// a buffer pool of poolPages pages, with default settings.
 func OpenEngine(tuplePath, listPath string, poolPages int) (*Engine, error) {
-	ix, err := lists.OpenDiskIndex(tuplePath, listPath, poolPages)
+	return OpenEngineWithConfig(tuplePath, listPath, poolPages, EngineConfig{})
+}
+
+// OpenEngineWithConfig opens a persisted dataset with explicit settings
+// (including optional checksum verification of both files).
+func OpenEngineWithConfig(tuplePath, listPath string, poolPages int, cfg EngineConfig) (*Engine, error) {
+	eng, err := engine.Open(tuplePath, listPath, poolPages, cfg.internal())
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{ix: ix, closer: ix.Close}, nil
+	return &Engine{eng: eng}, nil
 }
 
 // SaveDataset persists tuples and their inverted lists in the on-disk
@@ -115,31 +163,34 @@ func SaveDataset(tuplePath, listPath string, tuples []Tuple, m int) error {
 func VerifyDatasetFile(path string) error { return storage.VerifyChecksum(path) }
 
 // Close releases any underlying files (no-op for in-memory engines).
-func (e *Engine) Close() error {
-	if e.closer != nil {
-		return e.closer()
-	}
-	return nil
-}
+func (e *Engine) Close() error { return e.eng.Close() }
 
 // Stats exposes the engine's I/O meter.
-func (e *Engine) Stats() *storage.IOStats { return e.ix.Stats() }
+func (e *Engine) Stats() *storage.IOStats { return e.eng.Stats() }
+
+// CacheStats snapshots the answer cache's counters.
+func (e *Engine) CacheStats() engine.CacheStats { return e.eng.CacheStats() }
 
 // N returns the dataset cardinality.
-func (e *Engine) N() int { return e.ix.NumTuples() }
+func (e *Engine) N() int { return e.eng.N() }
 
 // Dim returns the dataset dimensionality m.
-func (e *Engine) Dim() int { return e.ix.Dim() }
+func (e *Engine) Dim() int { return e.eng.Dim() }
 
 // Tuple fetches one tuple by id (counted as a random I/O).
-func (e *Engine) Tuple(id int) Tuple { return e.ix.Tuple(id) }
+func (e *Engine) Tuple(id int) Tuple { return e.eng.Tuple(id) }
 
 // TopK answers the query with the threshold algorithm and returns the
-// ranked result.
+// ranked result. If a prior analysis' immutable regions contain the
+// weight vector, the result is served from the answer cache without
+// touching the index. It panics on an invalid query (k < 1 or a
+// dimension outside the dataset), like indexing out of range.
 func (e *Engine) TopK(q Query, k int) []Scored {
-	ta := topk.New(e.ix, q, k, topk.BestList)
-	ta.Run()
-	return ta.Result()
+	res, _, err := e.eng.TopK(context.Background(), q, k)
+	if err != nil {
+		panic(fmt.Sprintf("repro: TopK: %v", err))
+	}
+	return res
 }
 
 // TraceStep is one row of a TA execution trace (the paper's Fig. 2).
@@ -147,22 +198,29 @@ type TraceStep = topk.TraceStep
 
 // TopKTrace answers the query while recording every sorted access,
 // returning the ranked result and the execution trace. Round-robin
-// probing is used so traces match the paper's presentation.
+// probing is used so traces match the paper's presentation. It panics
+// on an invalid query, like TopK.
 func (e *Engine) TopKTrace(q Query, k int) ([]Scored, []TraceStep) {
-	ta := topk.New(e.ix, q, k, topk.RoundRobin)
-	var steps []TraceStep
-	ta.SetTrace(func(ts TraceStep) { steps = append(steps, ts) })
-	ta.Run()
-	return ta.Result(), steps
+	res, steps, err := e.eng.TopKTrace(q, k)
+	if err != nil {
+		panic(fmt.Sprintf("repro: TopKTrace: %v", err))
+	}
+	return res, steps
 }
 
 // Analyze answers the query and computes the immutable regions of every
 // query dimension with the selected method (CPT by default semantics of
 // the zero Options value is Scan; pass Method: repro.CPT for the paper's
-// algorithm).
+// algorithm). Identical repeat queries are served from the answer cache
+// with zero index I/O; check Analysis.Source for the disposition.
 func (e *Engine) Analyze(q Query, k int, opts Options) (*Analysis, error) {
-	ta := topk.New(e.ix, q, k, topk.BestList)
-	return core.Compute(ta, opts)
+	return e.AnalyzeContext(context.Background(), q, k, opts)
+}
+
+// AnalyzeContext is Analyze under a context: cancellation aborts the
+// query mid-computation, down to the TA round loop.
+func (e *Engine) AnalyzeContext(ctx context.Context, q Query, k int, opts Options) (*Analysis, error) {
+	return e.eng.Analyze(ctx, q, k, engine.Options{Options: opts})
 }
 
 // Session is an iterative query-refinement session (§1's motivating
@@ -176,10 +234,17 @@ type Session = session.Session
 type SessionStats = session.Stats
 
 // NewSession starts a refinement session on this engine. opts.Phi > 0
-// enables local hits (precomputed perturbation schedules).
+// enables local hits (precomputed perturbation schedules). Session
+// recomputes go through the unified engine, so adjustments that revisit
+// previously analyzed weights are additionally served by the answer
+// cache.
 func (e *Engine) NewSession(q Query, k int, opts Options) (*Session, error) {
 	return session.New(func(q vec.Query, k int, opts core.Options) (*core.Output, error) {
-		return e.Analyze(q, k, opts)
+		a, err := e.eng.Analyze(context.Background(), q, k, engine.Options{Options: opts})
+		if err != nil {
+			return nil, err
+		}
+		return a.Output, nil
 	}, q, k, opts)
 }
 

@@ -3,11 +3,13 @@ package repro_test
 import (
 	"math"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro"
 	"repro/internal/fixture"
+	"repro/internal/topk"
 )
 
 func exampleEngine() (*repro.Engine, repro.Query, int) {
@@ -64,6 +66,92 @@ func TestEngineDiskRoundTrip(t *testing.T) {
 	}
 	if eng.Stats().RandReads() == 0 {
 		t.Fatal("disk engine did not count I/O")
+	}
+}
+
+// TestSessionOverDiskIndex is the end-to-end refinement workflow over a
+// persisted dataset: a session opened through the unified engine (with
+// checksum verification on), serving adjustments by safe skip, local
+// hit and disk-backed recompute, each verified against ground truth.
+func TestSessionOverDiskIndex(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	dir := t.TempDir()
+	tp, lp := filepath.Join(dir, "tuples.dat"), filepath.Join(dir, "lists.dat")
+	if err := repro.SaveDataset(tp, lp, tuples, 2); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := repro.OpenEngineWithConfig(tp, lp, 16, repro.EngineConfig{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	sess, err := eng.NewSession(q, k, repro.Options{Method: repro.CPT, Phi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(step string) {
+		t.Helper()
+		want := topk.TopKNaive(tuples, sess.Query(), k)
+		got := sess.Result()
+		for i := range want {
+			if got[i] != want[i].ID {
+				t.Fatalf("%s: session result %v, requery %v", step, got, want)
+			}
+		}
+	}
+	// IR1 = (−16/35, +0.1): +0.05 is provably safe — no disk touched.
+	seq0, rnd0, _ := eng.Stats().Snapshot()
+	if changed, err := sess.AdjustWeight(0, 0.05); err != nil || changed {
+		t.Fatalf("safe skip: changed=%v err=%v", changed, err)
+	}
+	if seq1, rnd1, _ := eng.Stats().Snapshot(); seq1 != seq0 || rnd1 != rnd0 {
+		t.Fatal("safe skip touched the disk")
+	}
+	check("safe skip")
+	// +0.10 more crosses the reorder bound at +0.1: the φ=1 schedule
+	// answers locally.
+	if changed, err := sess.AdjustWeight(0, 0.10); err != nil || !changed {
+		t.Fatalf("local hit: changed=%v err=%v", changed, err)
+	}
+	check("local hit")
+	// A large move on the other dimension forces a disk-backed recompute
+	// through the engine.
+	if _, err := sess.AdjustWeight(1, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	check("recompute")
+	st := sess.Stats()
+	if st.SafeSkips != 1 || st.LocalHits != 1 || st.Recomputes != 2 {
+		t.Fatalf("session stats %+v", st)
+	}
+}
+
+// TestFacadeCache smokes the answer cache through the public facade: a
+// repeat Analyze is served (Source hit) with zero index I/O and
+// identical regions, and CacheStats reports it.
+func TestFacadeCache(t *testing.T) {
+	eng, q, k := exampleEngine()
+	first, err := eng.Analyze(q, k, repro.Options{Method: repro.CPT, Phi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq0, rnd0, _ := eng.Stats().Snapshot()
+	second, err := eng.Analyze(q, k, repro.Options{Method: repro.CPT, Phi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq1, rnd1, _ := eng.Stats().Snapshot(); seq1 != seq0 || rnd1 != rnd0 {
+		t.Fatal("facade cache hit touched the index")
+	}
+	if second.Source.String() != "hit" {
+		t.Fatalf("second source %v", second.Source)
+	}
+	if !reflect.DeepEqual(first.Regions, second.Regions) {
+		t.Fatal("cached regions diverge")
+	}
+	if st := eng.CacheStats(); st.Hits != 1 {
+		t.Fatalf("cache stats %+v", st)
 	}
 }
 
