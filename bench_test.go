@@ -504,3 +504,103 @@ func BenchmarkBatchAnalyze(b *testing.B) {
 		}
 	})
 }
+
+// mutationBenchSetup builds a private engine (mutations must not leak
+// into the shared benchmark datasets) with a primed cache: nq anchors
+// over random subspaces, plus one negligible "victim" tuple whose
+// updates provably survive every cached certificate.
+func mutationBenchSetup(b *testing.B, nq int) (*engine.Engine, []vec.Query, int, int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(271))
+	cs := fixture.RandCase(rng, 4000, 24, 4, 10)
+	eng := engine.New(lists.NewMemIndex(cs.Tuples, cs.M), engine.Config{MaxConcurrent: -1})
+
+	var tinyEntries []vec.Entry
+	for d := 0; d < cs.M; d++ {
+		tinyEntries = append(tinyEntries, vec.Entry{Dim: d, Val: 0.01})
+	}
+	res, err := eng.Apply([]engine.Op{{Kind: engine.OpInsert, Tuple: vec.MustSparse(tinyEntries...)}})
+	if err != nil {
+		b.Fatalf("victim insert: %v", err)
+	}
+	if res.Results[0].Err != nil {
+		b.Fatalf("victim insert op: %v", res.Results[0].Err)
+	}
+	victim := res.Results[0].ID
+
+	queries := make([]vec.Query, 0, nq)
+	for len(queries) < nq {
+		dims := rng.Perm(cs.M)[:4]
+		weights := make([]float64, 4)
+		for i := range weights {
+			weights[i] = 0.05 + 0.95*rng.Float64()
+		}
+		queries = append(queries, vec.MustQuery(dims, weights))
+	}
+	for _, q := range queries {
+		if _, err := eng.Analyze(context.Background(), q, cs.K, engine.Options{Options: core.Options{Method: core.MethodCPT}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng, queries, cs.K, victim
+}
+
+// BenchmarkApplyInvalidation — the write path's certificate economics:
+// one surviving update checked against a cache of 64 anchors. The
+// per-entry check is closed-form arithmetic over cached projections
+// (O(k·qlen) flops, zero index I/O), so the whole pass stays in the
+// microsecond range.
+func BenchmarkApplyInvalidation(b *testing.B) {
+	eng, _, _, victim := mutationBenchSetup(b, 64)
+	var tinyA, tinyB []vec.Entry
+	for d := 0; d < 24; d++ {
+		tinyA = append(tinyA, vec.Entry{Dim: d, Val: 0.01})
+		tinyB = append(tinyB, vec.Entry{Dim: d, Val: 0.011})
+	}
+	payload := []vec.Sparse{vec.MustSparse(tinyA...), vec.MustSparse(tinyB...)}
+	checked := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Apply([]engine.Op{{Kind: engine.OpUpdate, ID: victim, Tuple: payload[i%2]}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheEvicted != 0 {
+			b.Fatalf("victim update evicted %d entries", res.CacheEvicted)
+		}
+		checked += res.CacheChecked
+	}
+	b.ReportMetric(float64(checked)/float64(b.N), "entries-checked/op")
+}
+
+// BenchmarkCacheTopKAfterUpdate — surviving entries keep their serving
+// speed: after an unrelated update, region-certified /topk answers are
+// still produced from cached projections at zero index I/O.
+func BenchmarkCacheTopKAfterUpdate(b *testing.B) {
+	eng, queries, k, victim := mutationBenchSetup(b, 64)
+	var tiny []vec.Entry
+	for d := 0; d < 24; d++ {
+		tiny = append(tiny, vec.Entry{Dim: d, Val: 0.009})
+	}
+	res, err := eng.Apply([]engine.Op{{Kind: engine.OpUpdate, ID: victim, Tuple: vec.MustSparse(tiny...)}})
+	if err != nil || res.CacheEvicted != 0 {
+		b.Fatalf("setup update: err %v evicted %d", err, res.CacheEvicted)
+	}
+	seq0, rnd0, _ := eng.Stats().Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, src, err := eng.TopK(context.Background(), queries[i%len(queries)], k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if src != engine.SourceCacheRegion {
+			b.Fatalf("source %v, want region hit from a surviving entry", src)
+		}
+	}
+	b.StopTimer()
+	if seq1, rnd1, _ := eng.Stats().Snapshot(); seq1 != seq0 || rnd1 != rnd0 {
+		b.Fatalf("surviving serve touched the index: seq %d→%d rand %d→%d", seq0, seq1, rnd0, rnd1)
+	}
+}

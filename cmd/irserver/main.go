@@ -1,8 +1,11 @@
 // Command irserver serves a persisted dataset over the JSON HTTP API
 // (see internal/server): POST /topk, POST /analyze, POST /batchanalyze,
-// GET /stats, GET /healthz. Queries execute through the unified engine
-// layer, so repeated and in-region weight vectors are answered from the
-// immutable-region cache without touching the index.
+// POST /update, POST /delete, GET /stats, GET /healthz. Queries execute
+// through the unified engine layer, so repeated and in-region weight
+// vectors are answered from the immutable-region cache without touching
+// the index. Writes go through a memory-resident overlay on the disk
+// files (the files themselves never change); cached analyses survive a
+// write whenever the region certificate proves them unaffected.
 //
 // Usage:
 //
@@ -39,6 +42,7 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 0, "answer cache byte bound (0 = default)")
 		noCache      = flag.Bool("no-cache", false, "disable the immutable-region answer cache")
 		verify       = flag.Bool("verify", false, "verify dataset file checksums before serving")
+		readonly     = flag.Bool("readonly", false, "disable POST /update and /delete (disk datasets are then served without the write overlay)")
 	)
 	flag.Parse()
 
@@ -48,6 +52,7 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		CacheBytes:      *cacheBytes,
 		VerifyChecksums: *verify,
+		ReadOnly:        *readonly,
 	}
 	if *noCache {
 		cfg.CacheEntries = -1
@@ -75,7 +80,7 @@ func main() {
 	}
 
 	srv := server.FromEngine(eng)
-	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v)\n",
-		eng.N(), eng.Dim(), *addr, *maxConc, *parallelism, eng.CacheEnabled())
+	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v mutable=%v)\n",
+		eng.N(), eng.Dim(), *addr, *maxConc, *parallelism, eng.CacheEnabled(), eng.Mutable())
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

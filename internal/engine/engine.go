@@ -29,7 +29,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/lists"
@@ -71,21 +74,44 @@ type Config struct {
 	// VerifyChecksums makes Open validate the dataset files' integrity
 	// trailers before serving them. Ignored by New.
 	VerifyChecksums bool
+	// ReadOnly disables the write path: Apply fails with ErrImmutable
+	// even over a mutable index, and Open serves the disk files directly
+	// instead of wrapping them in a write overlay.
+	ReadOnly bool
 }
 
 // Engine executes subspace top-k queries and immutable-region analyses
 // over one index.
 type Engine struct {
 	ix     lists.Index
+	mut    lists.Mutable // non-nil when the index accepts writes
 	cfg    Config
 	sem    chan struct{} // nil when unlimited
 	cache  *cache        // nil when disabled
 	closer func() error
+
+	// mu serializes mutations against queries: every execution that
+	// touches the index holds the read side for its whole run, Apply
+	// holds the write side across the index mutation AND the cache
+	// invalidation, so no stale certificate can be admitted or served
+	// once Apply has returned. Cache hits never take mu — they read only
+	// internally synchronized cache state, and an answer served while a
+	// batch is still applying linearizes before it.
+	mu sync.RWMutex
+
+	// Mutation counters (see MutationStats).
+	mutInserts, mutUpdates, mutDeletes, mutBatches atomic.Int64
+	invChecked, invEvicted, invSurvived            atomic.Int64
 }
 
-// New builds an Engine over an existing index.
+// New builds an Engine over an existing index. If the index is mutable
+// (lists.Mutable) and the config does not say ReadOnly, Apply is
+// enabled.
 func New(ix lists.Index, cfg Config) *Engine {
 	e := &Engine{ix: ix, cfg: cfg}
+	if m, ok := ix.(lists.Mutable); ok && !cfg.ReadOnly {
+		e.mut = m
+	}
 	limit := cfg.MaxConcurrent
 	if limit == 0 {
 		limit = 4 * runtime.GOMAXPROCS(0)
@@ -109,7 +135,10 @@ func New(ix lists.Index, cfg Config) *Engine {
 
 // Open opens a persisted dataset through a buffer pool of poolPages
 // pages, optionally verifying the files' checksum trailers first
-// (Config.VerifyChecksums), and builds an Engine over it.
+// (Config.VerifyChecksums), and builds an Engine over it. Unless the
+// config says ReadOnly, the disk index is wrapped in a memory-resident
+// write overlay (lists.Overlay) so Apply works over persisted datasets
+// too; the files themselves are never modified.
 func Open(tuplePath, listPath string, poolPages int, cfg Config) (*Engine, error) {
 	if cfg.VerifyChecksums {
 		for _, p := range []string{tuplePath, listPath} {
@@ -122,7 +151,11 @@ func Open(tuplePath, listPath string, poolPages int, cfg Config) (*Engine, error
 	if err != nil {
 		return nil, err
 	}
-	e := New(ix, cfg)
+	var top lists.Index = ix
+	if !cfg.ReadOnly {
+		top = lists.NewOverlay(ix)
+	}
+	e := New(top, cfg)
 	e.closer = ix.Close
 	return e, nil
 }
@@ -141,14 +174,23 @@ func (e *Engine) Index() lists.Index { return e.ix }
 // Stats exposes the index-wide I/O meter.
 func (e *Engine) Stats() *storage.IOStats { return e.ix.Stats() }
 
-// N returns the dataset cardinality.
-func (e *Engine) N() int { return e.ix.NumTuples() }
+// N returns the dataset cardinality (including tombstoned slots of a
+// mutable index; it grows with inserts).
+func (e *Engine) N() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.NumTuples()
+}
 
 // Dim returns the dataset dimensionality m.
 func (e *Engine) Dim() int { return e.ix.Dim() }
 
 // Tuple fetches one tuple by id (counted as a random I/O).
-func (e *Engine) Tuple(id int) vec.Sparse { return e.ix.Tuple(id) }
+func (e *Engine) Tuple(id int) vec.Sparse {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.Tuple(id)
+}
 
 // Options configures one analysis request.
 type Options struct {
@@ -207,8 +249,18 @@ type Analysis struct {
 	Source Source
 }
 
+// maxQueryDims is the hard qlen ceiling: the candidate-partition masks
+// of internal/topk are single uint64 bitsets, so a 65-dimension query
+// would corrupt them (and panics in topk.New). The engine rejects such
+// queries as a client fault before they reach the executor.
+const maxQueryDims = 64
+
 // validate checks the request against the index; failures wrap
-// ErrInvalid.
+// ErrInvalid. Beyond the basics (k, φ, dimension range) it enforces the
+// structural invariants the executor relies on but vec.NewQuery cannot
+// guarantee for hand-built queries: parallel Dims/Weights, strictly
+// ascending dimensions (duplicates would corrupt the partition-mask
+// accounting), weights inside [0,1], and the 64-dimension bitset limit.
 func (e *Engine) validate(q vec.Query, k, phi int) error {
 	if k < 1 {
 		return fmt.Errorf("engine: k=%d: %w", k, ErrInvalid)
@@ -216,12 +268,29 @@ func (e *Engine) validate(q vec.Query, k, phi int) error {
 	if q.Len() == 0 {
 		return fmt.Errorf("engine: empty query: %w", ErrInvalid)
 	}
+	if q.Len() > maxQueryDims {
+		return fmt.Errorf("engine: %d query dimensions exceed the %d-dimension limit: %w", q.Len(), maxQueryDims, ErrInvalid)
+	}
+	if len(q.Weights) != len(q.Dims) {
+		return fmt.Errorf("engine: %d dims but %d weights: %w", len(q.Dims), len(q.Weights), ErrInvalid)
+	}
 	if phi < 0 {
 		return fmt.Errorf("engine: negative phi %d: %w", phi, ErrInvalid)
 	}
-	for _, d := range q.Dims {
+	prev := -1
+	for i, d := range q.Dims {
 		if d < 0 || d >= e.ix.Dim() {
 			return fmt.Errorf("engine: dimension %d out of range [0,%d): %w", d, e.ix.Dim(), ErrInvalid)
+		}
+		if d == prev {
+			return fmt.Errorf("engine: duplicate query dimension %d: %w", d, ErrInvalid)
+		}
+		if d < prev {
+			return fmt.Errorf("engine: query dimensions not sorted (%d after %d): %w", d, prev, ErrInvalid)
+		}
+		prev = d
+		if w := q.Weights[i]; w < 0 || w > 1 || math.IsNaN(w) {
+			return fmt.Errorf("engine: weight %v for dimension %d outside [0,1]: %w", w, d, ErrInvalid)
 		}
 	}
 	return nil
@@ -292,6 +361,11 @@ func (e *Engine) Analyze(ctx context.Context, q vec.Query, k int, opts Options) 
 		return nil, err
 	}
 	defer release()
+	// The read lock spans computation AND admission: an analysis of the
+	// pre-update dataset must not land in the cache after Apply's
+	// invalidation pass has run.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out, err := e.compute(ctx, q, k, opts)
 	if err != nil {
 		return nil, err
@@ -339,6 +413,8 @@ func (e *Engine) TopK(ctx context.Context, q vec.Query, k int) ([]topk.Scored, S
 		return nil, SourceComputed, err
 	}
 	defer release()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ta := topk.New(e.queryIndex(), q, k, topk.BestList)
 	if err := ta.RunContext(ctx); err != nil {
 		return nil, SourceComputed, fmt.Errorf("engine: query canceled: %w", err)
@@ -351,20 +427,28 @@ func (e *Engine) TopK(ctx context.Context, q vec.Query, k int) ([]topk.Scored, S
 // Fig. 2). Round-robin probing is used so traces match the paper's
 // presentation. Traces bypass the cache — the trace IS the computation
 // — but still hold a worker slot, since a trace run carries the same
-// O(n) scan state (plus the trace itself) as any other query.
-func (e *Engine) TopKTrace(q vec.Query, k int) ([]topk.Scored, []topk.TraceStep, error) {
+// O(n) scan state (plus the trace itself) as any other query. A nil ctx
+// is treated as context.Background().
+func (e *Engine) TopKTrace(ctx context.Context, q vec.Query, k int) ([]topk.Scored, []topk.TraceStep, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := e.validate(q, k, 0); err != nil {
 		return nil, nil, err
 	}
-	release, err := e.acquire(context.Background())
+	release, err := e.acquire(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer release()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ta := topk.New(e.queryIndex(), q, k, topk.RoundRobin)
 	var steps []topk.TraceStep
 	ta.SetTrace(func(ts topk.TraceStep) { steps = append(steps, ts) })
-	ta.Run()
+	if err := ta.RunContext(ctx); err != nil {
+		return nil, nil, fmt.Errorf("engine: query canceled: %w", err)
+	}
 	return ta.Result(), steps, nil
 }
 
@@ -382,13 +466,18 @@ func (e *Engine) CacheEnabled() bool { return e.cache != nil }
 
 // Invalidate drops cached analyses: with no arguments the whole cache,
 // otherwise every entry whose subspace uses any of the given
-// dimensions. This is the hook a future mutable index calls after
-// updating tuples on those dimensions — cached certificates for
-// untouched subspaces stay valid.
+// dimensions. Apply performs the far finer region-certified
+// invalidation automatically; this coarse hook remains for callers that
+// change data behind the engine's back (e.g. rewriting the dataset
+// files).
 func (e *Engine) Invalidate(dims ...int) {
 	if e.cache == nil {
 		return
 	}
+	// Drain in-flight queries like Apply does: an analysis of the
+	// pre-change data must not be admitted after this pass.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if len(dims) == 0 {
 		e.cache.invalidateAll()
 		return

@@ -1,0 +1,308 @@
+// The write path: Engine.Apply feeds tuple inserts, updates and deletes
+// to a mutable index and decides — per cached analysis — whether the
+// cached certificate survives the change.
+//
+// # Region-certified invalidation
+//
+// A cached entry certifies that every weight vector w' inside its
+// cross-polytope P (anchor w, semi-axes per dimension j of [Lo_j, Hi_j])
+// has the cached ranked result R. Within P no perturbation occurs, so
+// the k-th line is the cached d_k everywhere in P and every result line
+// stays above it. A changed tuple t with subspace projection p can break
+// the certificate only if its score line can reach some cached result
+// line inside P, i.e. if for some result member r
+//
+//	max_{w' ∈ P}  w'·(p − r.Proj)  ≥  0.
+//
+// The gap is linear in w' and P is the convex hull of the 2·qlen axis
+// vertices w + Hi_j·e_j and w + Lo_j·e_j, so the maximum has the closed
+// form
+//
+//	w·c + max_j max(Hi_j·c_j, Lo_j·c_j),   c = p − r.Proj
+//
+// — O(k·qlen) arithmetic over the cached projections, no index I/O. If
+// the maximum is negative for every result line (checking d_k first: it
+// is the tightest), the change provably cannot alter the ranked result,
+// the region bounds, or the boundary perturbation anywhere in P, and the
+// entry keeps serving. Checking all result lines (not just d_k) also
+// covers CompositionOnly entries, whose members may reorder inside P.
+//
+// Conservative short-cuts, in order:
+//
+//   - a change whose old and new projections onto the entry's subspace
+//     are identical cannot affect the entry at all (survive);
+//   - a changed tuple that IS a cached result member invalidates the
+//     entry (its cached projection and scores are stale);
+//   - an entry whose result holds fewer than k tuples is invalidated by
+//     any subspace-touching change (anything can join an under-full
+//     result);
+//   - entries computed with φ > 0 are invalidated by any
+//     subspace-touching change: their perturbation schedules describe
+//     the ranking beyond P, where the vertex check certifies nothing.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"repro/internal/vec"
+)
+
+// ErrImmutable tags Apply calls on an engine whose index cannot change
+// (a read-only configuration, or an index without a write path).
+var ErrImmutable = errors.New("index is immutable")
+
+// OpKind selects a mutation.
+type OpKind int
+
+const (
+	// OpInsert adds Op.Tuple as a new tuple.
+	OpInsert OpKind = iota
+	// OpUpdate replaces tuple Op.ID with Op.Tuple.
+	OpUpdate
+	// OpDelete removes tuple Op.ID.
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one mutation of a batch.
+type Op struct {
+	Kind  OpKind
+	ID    int        // Update/Delete target
+	Tuple vec.Sparse // Insert/Update payload
+}
+
+// OpResult is the per-op outcome: the assigned (insert) or targeted id,
+// or the op's error. Ops apply independently, in order; one failed op
+// does not roll back its batch.
+type OpResult struct {
+	ID  int
+	Err error
+}
+
+// ApplyResult summarizes one Apply batch.
+type ApplyResult struct {
+	// Results is parallel to the op slice.
+	Results []OpResult
+	// Applied counts ops that mutated the index.
+	Applied int
+	// CacheChecked / CacheEvicted / CacheSurvived count cached entries
+	// examined by the invalidation certificate and its verdicts.
+	CacheChecked  int
+	CacheEvicted  int
+	CacheSurvived int
+}
+
+// MutationStats is a point-in-time snapshot of the engine's write-path
+// counters.
+type MutationStats struct {
+	Inserts, Updates, Deletes int64
+	Batches                   int64
+	CacheChecked              int64
+	CacheEvicted              int64
+	CacheSurvived             int64
+}
+
+// Mutable reports whether Apply is enabled.
+func (e *Engine) Mutable() bool { return e.mut != nil }
+
+// MutationStats snapshots the write-path counters.
+func (e *Engine) MutationStats() MutationStats {
+	return MutationStats{
+		Inserts:       e.mutInserts.Load(),
+		Updates:       e.mutUpdates.Load(),
+		Deletes:       e.mutDeletes.Load(),
+		Batches:       e.mutBatches.Load(),
+		CacheChecked:  e.invChecked.Load(),
+		CacheEvicted:  e.invEvicted.Load(),
+		CacheSurvived: e.invSurvived.Load(),
+	}
+}
+
+// tupleChange records one applied mutation for the invalidation pass.
+// hasOld/hasNew distinguish absence from an empty tuple.
+type tupleChange struct {
+	id       int
+	old, new vec.Sparse
+	hasOld   bool
+	hasNew   bool
+}
+
+// Apply executes a batch of mutations and invalidates exactly the
+// cached analyses the changes can affect (see the package comment for
+// the certificate). The batch is applied under the engine's write lock:
+// it waits for in-flight queries to drain, and once Apply returns every
+// answer — cached or computed — reflects the post-batch dataset. Ops
+// apply independently in order; per-op failures are reported in
+// Results and do not fail the batch.
+func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
+	if e.mut == nil {
+		return ApplyResult{}, fmt.Errorf("engine: %w", ErrImmutable)
+	}
+	if len(ops) == 0 {
+		return ApplyResult{}, fmt.Errorf("engine: empty op batch: %w", ErrInvalid)
+	}
+	res := ApplyResult{Results: make([]OpResult, len(ops))}
+	changes := make([]tupleChange, 0, len(ops))
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			id, err := e.mut.Insert(op.Tuple)
+			res.Results[i] = OpResult{ID: id, Err: err}
+			if err == nil {
+				changes = append(changes, tupleChange{id: id, new: op.Tuple, hasNew: true})
+				e.mutInserts.Add(1)
+			}
+		case OpUpdate:
+			old, err := e.mut.Update(op.ID, op.Tuple)
+			res.Results[i] = OpResult{ID: op.ID, Err: err}
+			if err == nil {
+				changes = append(changes, tupleChange{id: op.ID, old: old, new: op.Tuple, hasOld: true, hasNew: true})
+				e.mutUpdates.Add(1)
+			}
+		case OpDelete:
+			old, err := e.mut.Delete(op.ID)
+			res.Results[i] = OpResult{ID: op.ID, Err: err}
+			if err == nil {
+				changes = append(changes, tupleChange{id: op.ID, old: old, hasOld: true})
+				e.mutDeletes.Add(1)
+			}
+		default:
+			res.Results[i] = OpResult{ID: -1, Err: fmt.Errorf("engine: unknown op kind %d: %w", int(op.Kind), ErrInvalid)}
+		}
+		if res.Results[i].Err == nil {
+			res.Applied++
+		}
+	}
+	e.mutBatches.Add(1)
+
+	if e.cache != nil && len(changes) > 0 {
+		checked, evicted := e.cache.invalidateCertified(changes)
+		res.CacheChecked, res.CacheEvicted, res.CacheSurvived = checked, evicted, checked-evicted
+		e.invChecked.Add(int64(checked))
+		e.invEvicted.Add(int64(evicted))
+		e.invSurvived.Add(int64(checked - evicted))
+	}
+	return res, nil
+}
+
+// invalidateCertified drops every cached entry whose certificate does
+// not survive the changes, keeping the rest serving. Returns how many
+// entries were checked and how many evicted.
+func (c *cache) invalidateCertified(changes []tupleChange) (checked, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var doomed []*entry
+	for _, bucket := range c.buckets {
+		for _, en := range bucket {
+			checked++
+			if !entrySurvives(en, changes) {
+				doomed = append(doomed, en)
+			}
+		}
+	}
+	for _, en := range doomed {
+		c.remove(en)
+	}
+	c.publishGauges()
+	return checked, len(doomed)
+}
+
+// entrySurvives applies the invalidation certificate of the package
+// comment to one entry against a batch of changes.
+func entrySurvives(en *entry, changes []tupleChange) bool {
+	q := en.out.Query
+	oldP := make([]float64, q.Len())
+	newP := make([]float64, q.Len())
+	for _, ch := range changes {
+		q.ProjectInto(ch.old, oldP)
+		q.ProjectInto(ch.new, newP)
+		if slices.Equal(oldP, newP) {
+			// The change is invisible on this subspace (this also covers
+			// inserts/deletes of tuples that are zero on all its
+			// dimensions): scores and regions are untouched.
+			continue
+		}
+		if resultMember(en, ch.id) {
+			return false // cached projections/scores of the member are stale
+		}
+		if len(en.out.Result) < en.out.K {
+			return false // under-full result: any new mass can join it
+		}
+		if en.sig.phi > 0 {
+			return false // perturbation schedules reach beyond the polytope
+		}
+		if ch.hasOld && canCrossResult(en, oldP) {
+			return false
+		}
+		if ch.hasNew && canCrossResult(en, newP) {
+			return false
+		}
+	}
+	return true
+}
+
+func resultMember(en *entry, id int) bool {
+	for _, r := range en.out.Result {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// crossingSlack absorbs the float asymmetry between this check and the
+// region computation: a candidate that defines a region bound touches
+// the k-th line exactly AT a polytope vertex (real-arithmetic gap 0),
+// but the gap recomputed here from the stored Lo/Hi can round to ±1
+// ulp-scale noise (~1e-16 for the O(1) quantities involved). Treating
+// anything above −crossingSlack as a crossing keeps such candidates
+// firmly on the evict side; a genuine survivor's margin is orders of
+// magnitude larger, so the slack costs only pathological near-ties —
+// which eviction handles correctly anyway.
+const crossingSlack = 1e-9
+
+// canCrossResult reports whether a tuple with subspace projection p can
+// reach any cached result line anywhere in the entry's cross-polytope:
+// the maximum of the linear gap w'·(p − r.Proj) over the polytope is
+// attained at an axis vertex and evaluated in closed form. Anything
+// not safely negative is a crossing (ties included — equality would
+// hand the ranking to the id tiebreak, which the certificate does not
+// model).
+func canCrossResult(en *entry, p []float64) bool {
+	regions := en.out.Regions
+	for i := len(en.out.Result) - 1; i >= 0; i-- { // d_k first: the tightest line
+		r := en.out.Result[i]
+		gap, extra := 0.0, 0.0
+		for j, pj := range p {
+			cj := pj - r.Proj[j]
+			gap += en.weights[j] * cj
+			if v := regions[j].Hi * cj; v > extra {
+				extra = v
+			}
+			if v := regions[j].Lo * cj; v > extra {
+				extra = v
+			}
+		}
+		if gap+extra >= -crossingSlack {
+			return true
+		}
+	}
+	return false
+}

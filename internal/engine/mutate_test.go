@@ -1,0 +1,445 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fixture"
+	"repro/internal/lists"
+	"repro/internal/vec"
+)
+
+func cloneTuples(ts []vec.Sparse) []vec.Sparse {
+	out := make([]vec.Sparse, len(ts))
+	for i, t := range ts {
+		if t != nil {
+			out[i] = t.Clone()
+		}
+	}
+	return out
+}
+
+func mustApply(t *testing.T, eng *Engine, ops ...Op) ApplyResult {
+	t.Helper()
+	res, err := eng.Apply(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, or := range res.Results {
+		if or.Err != nil {
+			t.Fatalf("op %d: %v", i, or.Err)
+		}
+	}
+	return res
+}
+
+// assertSameAnswers checks that eng (possibly serving from cache) and a
+// fresh engine agree bit-identically on the analysis and the ranked
+// top-k of one query.
+func assertSameAnswers(t *testing.T, eng, fresh *Engine, q vec.Query, k int, opts Options) {
+	t.Helper()
+	a1 := analyzeMust(t, eng, q, k, opts)
+	a2 := analyzeMust(t, fresh, q, k, opts)
+	if !reflect.DeepEqual(a1.Result, a2.Result) {
+		t.Fatalf("analysis result diverged (source %v):\n  got  %+v\n  want %+v", a1.Source, a1.Result, a2.Result)
+	}
+	if !reflect.DeepEqual(a1.Regions, a2.Regions) {
+		t.Fatalf("regions diverged (source %v):\n  got  %+v\n  want %+v", a1.Source, a1.Regions, a2.Regions)
+	}
+	r1, _, err := eng.TopK(context.Background(), q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := fresh.TopK(context.Background(), q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("topk diverged:\n  got  %+v\n  want %+v", r1, r2)
+	}
+}
+
+// TestApplyRunningExampleCertificates walks the paper's running example
+// through the certificate's verdicts: changes provably below every
+// result line keep the cached analysis serving; changes that can cross
+// one inside the region polytope evict it — and in every state the
+// served answers match a fresh engine built on the current dataset.
+func TestApplyRunningExampleCertificates(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	eng := memEngine(cloneTuples(tuples), 2, Config{})
+	opts := Options{Options: core.Options{Method: core.MethodCPT}}
+	shadow := cloneTuples(tuples)
+
+	fresh := func() *Engine { return memEngine(cloneTuples(shadow), 2, Config{CacheEntries: -1}) }
+	analyzeMust(t, eng, q, k, opts)
+
+	// d4 (id 3) is far below the result everywhere in the polytope:
+	// nudging it cannot touch the certificate.
+	nudged := vec.MustSparse(vec.Entry{Dim: 0, Val: 0.1}, vec.Entry{Dim: 1, Val: 0.55})
+	res := mustApply(t, eng, Op{Kind: OpUpdate, ID: 3, Tuple: nudged})
+	shadow[3] = nudged
+	if res.CacheChecked != 1 || res.CacheEvicted != 0 || res.CacheSurvived != 1 {
+		t.Fatalf("survivor batch accounting %+v", res)
+	}
+	if a := analyzeMust(t, eng, q, k, opts); a.Source != SourceCache {
+		t.Fatalf("surviving entry source %v, want cache hit", a.Source)
+	}
+	assertSameAnswers(t, eng, fresh(), q, k, opts)
+
+	// An in-region /topk off the anchor still serves from the survivor.
+	qin := vec.MustQuery([]int{0, 1}, []float64{0.82, 0.5})
+	if _, src, err := eng.TopK(context.Background(), qin, k); err != nil || src != SourceCacheRegion {
+		t.Fatalf("in-region topk src %v err %v, want region hit", src, err)
+	}
+	assertSameAnswers(t, eng, fresh(), qin, k, opts)
+
+	// An insert that stays strictly below both result lines over the
+	// whole polytope survives too.
+	tiny := vec.MustSparse(vec.Entry{Dim: 0, Val: 0.05})
+	res = mustApply(t, eng, Op{Kind: OpInsert, Tuple: tiny})
+	shadow = append(shadow, tiny)
+	// Two anchors are cached by now: the original query and qin.
+	if res.CacheEvicted != 0 || res.CacheSurvived != 2 {
+		t.Fatalf("tiny-insert accounting %+v", res)
+	}
+	if res.Results[0].ID != 4 {
+		t.Fatalf("insert id %d, want 4", res.Results[0].ID)
+	}
+	assertSameAnswers(t, eng, fresh(), q, k, opts)
+
+	// d3 (id 2) defines the left region bound — its score line touches
+	// d1's exactly at a polytope vertex, so any change to it must evict.
+	moved := vec.MustSparse(vec.Entry{Dim: 0, Val: 0.1}, vec.Entry{Dim: 1, Val: 0.75})
+	res = mustApply(t, eng, Op{Kind: OpUpdate, ID: 2, Tuple: moved})
+	shadow[2] = moved
+	// d3's line touches d1's at both anchors' polytope vertices.
+	if res.CacheEvicted != 2 || res.CacheSurvived != 0 {
+		t.Fatalf("bound-defining update accounting %+v", res)
+	}
+	if a := analyzeMust(t, eng, q, k, opts); a.Source != SourceComputed {
+		t.Fatalf("post-eviction source %v, want recompute", a.Source)
+	}
+	assertSameAnswers(t, eng, fresh(), q, k, opts)
+
+	// Deleting a result member evicts: its cached projection is stale.
+	res = mustApply(t, eng, Op{Kind: OpDelete, ID: 1})
+	shadow[1] = nil
+	if res.CacheEvicted != 1 {
+		t.Fatalf("result-member delete accounting %+v", res)
+	}
+	assertSameAnswers(t, eng, fresh(), q, k, opts)
+
+	// A dominant insert evicts: it joins the result everywhere.
+	analyzeMust(t, eng, q, k, opts)
+	dominant := vec.MustSparse(vec.Entry{Dim: 0, Val: 0.9}, vec.Entry{Dim: 1, Val: 0.9})
+	res = mustApply(t, eng, Op{Kind: OpInsert, Tuple: dominant})
+	shadow = append(shadow, dominant)
+	if res.CacheEvicted != 1 {
+		t.Fatalf("dominant-insert accounting %+v", res)
+	}
+	assertSameAnswers(t, eng, fresh(), q, k, opts)
+
+	// φ > 0 entries carry perturbation schedules beyond the certified
+	// polytope: any subspace-touching change evicts them.
+	phiOpts := Options{Options: core.Options{Method: core.MethodCPT, Phi: 2}}
+	analyzeMust(t, eng, q, k, phiOpts)
+	nudged2 := vec.MustSparse(vec.Entry{Dim: 0, Val: 0.1}, vec.Entry{Dim: 1, Val: 0.5})
+	res = mustApply(t, eng, Op{Kind: OpUpdate, ID: 3, Tuple: nudged2})
+	shadow[3] = nudged2
+	evictedPhi := false
+	for _, n := range []int{res.CacheEvicted} {
+		if n >= 1 {
+			evictedPhi = true
+		}
+	}
+	if !evictedPhi {
+		t.Fatalf("phi>0 entry survived a subspace-touching change: %+v", res)
+	}
+	assertSameAnswers(t, eng, fresh(), q, k, phiOpts)
+
+	st := eng.MutationStats()
+	if st.Inserts != 2 || st.Updates != 3 || st.Deletes != 1 || st.Batches != 6 {
+		t.Fatalf("mutation stats %+v", st)
+	}
+}
+
+// randOpTuple draws a mutation payload; half the draws are low-valued
+// so the certificate has genuine survivors to prove.
+func randOpTuple(rng *rand.Rand, m int) vec.Sparse {
+	scale := 1.0
+	if rng.Float64() < 0.5 {
+		scale = 0.2
+	}
+	var entries []vec.Entry
+	for d := 0; d < m; d++ {
+		if rng.Float64() < 0.5 {
+			entries = append(entries, vec.Entry{Dim: d, Val: scale * (0.05 + 0.9*rng.Float64())})
+		}
+	}
+	t, err := vec.NewSparse(entries)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// randSubspaceQuery draws a query over a random subspace of [0,m).
+func randSubspaceQuery(rng *rand.Rand, m, qlen int) vec.Query {
+	dims := rng.Perm(m)[:qlen]
+	weights := make([]float64, qlen)
+	for i := range weights {
+		weights[i] = 0.05 + 0.95*rng.Float64()
+	}
+	return vec.MustQuery(dims, weights)
+}
+
+// TestApplyPropertyFreshEquivalence is the acceptance property test:
+// after a random sequence of inserts, updates and deletes, every
+// /analyze and /topk answer — whether a certified cache survivor or a
+// recompute — is bit-identical to a fresh engine built on the
+// post-update dataset. The trial count is tuned so both verdicts
+// (survive and evict) are exercised many times.
+func TestApplyPropertyFreshEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(90125))
+	var survived, evicted int64
+	for trial := 0; trial < 12; trial++ {
+		cs := fixture.RandCase(rng, 50+rng.Intn(40), 6, 3, 1+rng.Intn(4))
+		shadow := cloneTuples(cs.Tuples)
+		eng := memEngine(cloneTuples(cs.Tuples), cs.M, Config{})
+
+		type req struct {
+			q    vec.Query
+			opts Options
+		}
+		reqs := []req{{cs.Q, Options{Options: core.Options{Method: core.MethodCPT}}}}
+		for i := 0; i < 3; i++ {
+			phi := 0
+			if i == 2 {
+				phi = 2
+			}
+			reqs = append(reqs, req{
+				q:    randSubspaceQuery(rng, cs.M, 2+rng.Intn(2)),
+				opts: Options{Options: core.Options{Method: core.MethodCPT, Phi: phi}},
+			})
+		}
+		for _, r := range reqs {
+			analyzeMust(t, eng, r.q, cs.K, r.opts)
+		}
+
+		// A random op batch, mirrored into the shadow dataset.
+		var ops []Op
+		for len(ops) < 6 {
+			switch rng.Intn(3) {
+			case 0:
+				tu := randOpTuple(rng, cs.M)
+				ops = append(ops, Op{Kind: OpInsert, Tuple: tu})
+				shadow = append(shadow, tu)
+			case 1:
+				id := rng.Intn(len(cs.Tuples))
+				if shadow[id] == nil {
+					continue
+				}
+				tu := randOpTuple(rng, cs.M)
+				ops = append(ops, Op{Kind: OpUpdate, ID: id, Tuple: tu})
+				shadow[id] = tu
+			default:
+				id := rng.Intn(len(cs.Tuples))
+				if shadow[id] == nil {
+					continue
+				}
+				ops = append(ops, Op{Kind: OpDelete, ID: id})
+				shadow[id] = nil
+			}
+		}
+		res := mustApply(t, eng, ops...)
+		survived += int64(res.CacheSurvived)
+		evicted += int64(res.CacheEvicted)
+
+		fresh := memEngine(cloneTuples(shadow), cs.M, Config{CacheEntries: -1})
+		for _, r := range reqs {
+			assertSameAnswers(t, eng, fresh, r.q, cs.K, r.opts)
+		}
+		// A query never analyzed before the update must agree too.
+		qNew := randSubspaceQuery(rng, cs.M, 2)
+		assertSameAnswers(t, eng, fresh, qNew, cs.K, Options{Options: core.Options{Method: core.MethodCPT}})
+	}
+	if survived == 0 {
+		t.Fatal("no cache entry ever survived: the certificate was never exercised")
+	}
+	if evicted == 0 {
+		t.Fatal("no cache entry was ever evicted: the test is too weak")
+	}
+}
+
+// TestApplyInvalidationZeroIndexIO: over an in-memory index the whole
+// Apply batch — mutations plus the per-entry certificate checks — runs
+// without a single logical index I/O: the check works entirely on
+// cached projections.
+func TestApplyInvalidationZeroIndexIO(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	eng := memEngine(cloneTuples(tuples), 2, Config{})
+	analyzeMust(t, eng, q, k, Options{Options: core.Options{Method: core.MethodCPT}})
+
+	seq0, rnd0, by0 := eng.Stats().Snapshot()
+	mustApply(t, eng,
+		Op{Kind: OpUpdate, ID: 3, Tuple: vec.MustSparse(vec.Entry{Dim: 1, Val: 0.55})},
+		Op{Kind: OpInsert, Tuple: vec.MustSparse(vec.Entry{Dim: 0, Val: 0.9}, vec.Entry{Dim: 1, Val: 0.9})},
+		Op{Kind: OpDelete, ID: 3},
+	)
+	if seq1, rnd1, by1 := eng.Stats().Snapshot(); seq1 != seq0 || rnd1 != rnd0 || by1 != by0 {
+		t.Fatalf("apply touched the index meter: seq %d→%d rand %d→%d bytes %d→%d", seq0, seq1, rnd0, rnd1, by0, by1)
+	}
+}
+
+// TestApplyErrors pins the failure modes: read-only engines, empty
+// batches, per-op failures that leave the rest of the batch applied.
+func TestApplyErrors(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+
+	ro := memEngine(cloneTuples(tuples), 2, Config{ReadOnly: true})
+	if _, err := ro.Apply([]Op{{Kind: OpDelete, ID: 0}}); !errors.Is(err, ErrImmutable) {
+		t.Fatalf("read-only Apply err %v, want ErrImmutable", err)
+	}
+
+	eng := memEngine(cloneTuples(tuples), 2, Config{})
+	if _, err := eng.Apply(nil); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty Apply err %v, want ErrInvalid", err)
+	}
+	res, err := eng.Apply([]Op{
+		{Kind: OpDelete, ID: 99}, // out of range
+		{Kind: OpInsert, Tuple: vec.MustSparse(vec.Entry{Dim: 0, Val: 0.3})}, // fine
+		{Kind: OpKind(7)}, // unknown
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results[0].Err == nil || res.Results[2].Err == nil {
+		t.Fatalf("per-op errors missing: %+v", res.Results)
+	}
+	if res.Results[1].Err != nil || res.Results[1].ID != 4 || res.Applied != 1 {
+		t.Fatalf("valid op in failing batch: %+v", res)
+	}
+	if _, _, err := eng.TopK(context.Background(), q, k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyDiskOverlayEngine: the full write path over a persisted
+// dataset — engine.Open wraps the disk index in the delta overlay, and
+// post-update answers match a fresh in-memory engine on the updated
+// dataset.
+func TestApplyDiskOverlayEngine(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	dir := t.TempDir()
+	tp, lp := filepath.Join(dir, "tuples.dat"), filepath.Join(dir, "lists.dat")
+	if err := lists.SaveDataset(tp, lp, tuples, 2); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Open(tp, lp, 64, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if !eng.Mutable() {
+		t.Fatal("opened engine is not mutable")
+	}
+
+	opts := Options{Options: core.Options{Method: core.MethodCPT}}
+	analyzeMust(t, eng, q, k, opts)
+
+	shadow := cloneTuples(tuples)
+	nudged := vec.MustSparse(vec.Entry{Dim: 0, Val: 0.1}, vec.Entry{Dim: 1, Val: 0.55})
+	res := mustApply(t, eng,
+		Op{Kind: OpUpdate, ID: 3, Tuple: nudged},
+		Op{Kind: OpInsert, Tuple: vec.MustSparse(vec.Entry{Dim: 1, Val: 0.95})},
+		Op{Kind: OpDelete, ID: 0},
+	)
+	shadow[3] = nudged
+	shadow = append(shadow, vec.MustSparse(vec.Entry{Dim: 1, Val: 0.95}))
+	shadow[0] = nil
+	if res.Applied != 3 {
+		t.Fatalf("applied %d, want 3", res.Applied)
+	}
+
+	fresh := memEngine(cloneTuples(shadow), 2, Config{CacheEntries: -1})
+	assertSameAnswers(t, eng, fresh, q, k, opts)
+
+	// ReadOnly open serves the raw disk index: immutable.
+	ro, err := Open(tp, lp, 64, Config{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if ro.Mutable() {
+		t.Fatal("read-only open produced a mutable engine")
+	}
+}
+
+// TestApplyConcurrentWithQueries hammers the write path against live
+// query traffic (run under -race): readers must always see a coherent
+// index, and the final state must match a fresh engine.
+func TestApplyConcurrentWithQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	cs := fixture.RandCase(rng, 80, 6, 3, 5)
+	eng := memEngine(cloneTuples(cs.Tuples), cs.M, Config{})
+	shadow := cloneTuples(cs.Tuples)
+	opts := Options{Options: core.Options{Method: core.MethodCPT}}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := cs.Q
+				if r.Intn(2) == 0 {
+					q = randSubspaceQuery(r, cs.M, 2)
+				}
+				if _, err := eng.Analyze(context.Background(), q, cs.K, opts); err != nil {
+					t.Errorf("analyze: %v", err)
+					return
+				}
+				if _, _, err := eng.TopK(context.Background(), q, cs.K); err != nil {
+					t.Errorf("topk: %v", err)
+					return
+				}
+			}
+		}(int64(1000 + w))
+	}
+
+	// The writer owns the shadow: updates and inserts only, so every op
+	// is always valid.
+	for i := 0; i < 25; i++ {
+		var ops []Op
+		for j := 0; j < 3; j++ {
+			tu := randOpTuple(rng, cs.M)
+			if rng.Intn(2) == 0 {
+				id := rng.Intn(len(cs.Tuples))
+				ops = append(ops, Op{Kind: OpUpdate, ID: id, Tuple: tu})
+				shadow[id] = tu
+			} else {
+				ops = append(ops, Op{Kind: OpInsert, Tuple: tu})
+				shadow = append(shadow, tu)
+			}
+		}
+		mustApply(t, eng, ops...)
+	}
+	close(stop)
+	wg.Wait()
+
+	fresh := memEngine(cloneTuples(shadow), cs.M, Config{CacheEntries: -1})
+	assertSameAnswers(t, eng, fresh, cs.Q, cs.K, opts)
+}

@@ -138,6 +138,9 @@ type MemIndex struct {
 	lists  map[int]PostingList
 	m      int
 	stats  *storage.IOStats
+	// dead marks tombstoned ids (see Mutable); nil until the first
+	// Delete. Deleted tuples keep their slot but have no postings.
+	dead map[int]bool
 }
 
 // NewMemIndex builds an in-memory index over tuples in [0,1]^m.

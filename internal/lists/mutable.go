@@ -1,0 +1,157 @@
+// Mutable indexes: the write path of the system. The paper treats the
+// dataset as static — immutable regions certify result validity against
+// *weight* change — but the orthogonal axis, *data* change, is what the
+// engine's region-certified cache invalidation is built on, and it needs
+// an index that can apply inserts, updates and deletes while keeping the
+// inverted lists sorted exactly as BuildPostings would produce them
+// (descending value, ties by ascending id), so a mutated index and a
+// freshly built one are bit-for-bit interchangeable to the query path.
+//
+// Concurrency model: mutations are NOT internally synchronized — they
+// must be serialized externally against each other and against any
+// in-flight readers (cursors, Tuple fetches). The engine provides that
+// discipline with a reader-writer lock: queries hold the read side for
+// their whole execution, Apply holds the write side. Once a mutation
+// batch completes, any newly opened cursor or view observes the updated
+// lists.
+package lists
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// Mutable is an Index that accepts live data changes. Tuple ids are
+// stable: Insert assigns the next id, Delete tombstones its slot (the id
+// is never reused and NumTuples does not shrink), Update replaces the
+// tuple in place. Update and Delete return the previous version of the
+// tuple — the raw material of the engine's cache-invalidation
+// certificate. MemIndex serves previous versions from memory for free;
+// the disk overlay charges the one base read it must perform.
+//
+// MemIndex mutations write through the tuple slice handed to
+// NewMemIndex (slots are reassigned in place). A caller that keeps
+// using that slice independently should pass a copy.
+type Mutable interface {
+	Index
+	// Insert adds a new tuple and returns its assigned id.
+	Insert(t vec.Sparse) (int, error)
+	// Update replaces tuple id and returns the previous version.
+	Update(id int, t vec.Sparse) (vec.Sparse, error)
+	// Delete removes tuple id (tombstoning its slot) and returns the
+	// deleted version.
+	Delete(id int) (vec.Sparse, error)
+}
+
+// validateTuple checks a mutation payload against the index geometry.
+func validateTuple(t vec.Sparse, m int) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if d := t.MaxDim(); d >= m {
+		return fmt.Errorf("lists: tuple dimension %d outside dataset [0,%d)", d, m)
+	}
+	return nil
+}
+
+// insertPosting places (id, val) at its sorted position: descending
+// value, ties by ascending id — the BuildPostings order.
+func insertPosting(pl PostingList, id int32, val float64) PostingList {
+	i := sort.Search(pl.Len(), func(i int) bool {
+		if pl.Vals[i] != val {
+			return pl.Vals[i] < val
+		}
+		return pl.IDs[i] > id
+	})
+	pl.IDs = slices.Insert(pl.IDs, i, id)
+	pl.Vals = slices.Insert(pl.Vals, i, val)
+	return pl
+}
+
+// removePosting deletes the (id, val) posting, located by binary search
+// on the (val desc, id asc) order.
+func removePosting(pl PostingList, id int32, val float64) (PostingList, bool) {
+	i := sort.Search(pl.Len(), func(i int) bool {
+		if pl.Vals[i] != val {
+			return pl.Vals[i] < val
+		}
+		return pl.IDs[i] >= id
+	})
+	if i >= pl.Len() || pl.IDs[i] != id || pl.Vals[i] != val {
+		return pl, false
+	}
+	pl.IDs = slices.Delete(pl.IDs, i, i+1)
+	pl.Vals = slices.Delete(pl.Vals, i, i+1)
+	return pl, true
+}
+
+// addPostings files every non-zero coordinate of tuple id.
+func (ix *MemIndex) addPostings(id int, t vec.Sparse) {
+	for _, e := range t {
+		ix.lists[e.Dim] = insertPosting(ix.lists[e.Dim], int32(id), e.Val)
+	}
+}
+
+// dropPostings unfiles every non-zero coordinate of tuple id.
+func (ix *MemIndex) dropPostings(id int, t vec.Sparse) {
+	for _, e := range t {
+		pl, ok := removePosting(ix.lists[e.Dim], int32(id), e.Val)
+		if !ok {
+			panic(fmt.Sprintf("lists: posting (%d, %v) missing from dim %d", id, e.Val, e.Dim))
+		}
+		ix.lists[e.Dim] = pl
+	}
+}
+
+// Insert adds a new tuple, returning its id. See Mutable for the
+// synchronization contract.
+func (ix *MemIndex) Insert(t vec.Sparse) (int, error) {
+	if err := validateTuple(t, ix.m); err != nil {
+		return -1, err
+	}
+	id := len(ix.tuples)
+	ix.tuples = append(ix.tuples, t.Clone())
+	ix.addPostings(id, t)
+	return id, nil
+}
+
+// Update replaces tuple id and returns the previous version.
+func (ix *MemIndex) Update(id int, t vec.Sparse) (vec.Sparse, error) {
+	if id < 0 || id >= len(ix.tuples) {
+		return nil, fmt.Errorf("lists: tuple %d out of range [0,%d)", id, len(ix.tuples))
+	}
+	if ix.dead[id] {
+		return nil, fmt.Errorf("lists: tuple %d is deleted", id)
+	}
+	if err := validateTuple(t, ix.m); err != nil {
+		return nil, err
+	}
+	old := ix.tuples[id]
+	ix.dropPostings(id, old)
+	ix.tuples[id] = t.Clone()
+	ix.addPostings(id, t)
+	return old, nil
+}
+
+// Delete tombstones tuple id and returns the deleted version. The id
+// keeps its slot (NumTuples is unchanged); it simply disappears from
+// every inverted list, so no query can encounter it again.
+func (ix *MemIndex) Delete(id int) (vec.Sparse, error) {
+	if id < 0 || id >= len(ix.tuples) {
+		return nil, fmt.Errorf("lists: tuple %d out of range [0,%d)", id, len(ix.tuples))
+	}
+	if ix.dead[id] {
+		return nil, fmt.Errorf("lists: tuple %d is already deleted", id)
+	}
+	old := ix.tuples[id]
+	ix.dropPostings(id, old)
+	ix.tuples[id] = nil
+	if ix.dead == nil {
+		ix.dead = make(map[int]bool)
+	}
+	ix.dead[id] = true
+	return old, nil
+}

@@ -1,0 +1,246 @@
+package lists
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fixture"
+	"repro/internal/vec"
+)
+
+// randTuple draws a sparse tuple over m dimensions.
+func randTuple(rng *rand.Rand, m int) vec.Sparse {
+	var entries []vec.Entry
+	for d := 0; d < m; d++ {
+		if rng.Float64() < 0.5 {
+			entries = append(entries, vec.Entry{Dim: d, Val: 0.05 + 0.95*rng.Float64()})
+		}
+	}
+	t, err := vec.NewSparse(entries)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// applyRandomOps drives a random mutation sequence against ix while
+// mirroring it in shadow (nil = deleted). Returns the shadow.
+func applyRandomOps(t *testing.T, rng *rand.Rand, ix Mutable, shadow []vec.Sparse, m, nOps int) []vec.Sparse {
+	t.Helper()
+	live := func() []int {
+		var ids []int
+		for id, tu := range shadow {
+			if tu != nil {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+	for op := 0; op < nOps; op++ {
+		switch ids := live(); {
+		case len(ids) == 0 || rng.Float64() < 0.4:
+			tu := randTuple(rng, m)
+			id, err := ix.Insert(tu)
+			if err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+			if id != len(shadow) {
+				t.Fatalf("insert id %d, want %d", id, len(shadow))
+			}
+			shadow = append(shadow, tu)
+		case rng.Float64() < 0.6:
+			id := ids[rng.Intn(len(ids))]
+			tu := randTuple(rng, m)
+			old, err := ix.Update(id, tu)
+			if err != nil {
+				t.Fatalf("update %d: %v", id, err)
+			}
+			if old.String() != shadow[id].String() {
+				t.Fatalf("update %d returned old %v, want %v", id, old, shadow[id])
+			}
+			shadow[id] = tu
+		default:
+			id := ids[rng.Intn(len(ids))]
+			old, err := ix.Delete(id)
+			if err != nil {
+				t.Fatalf("delete %d: %v", id, err)
+			}
+			if old.String() != shadow[id].String() {
+				t.Fatalf("delete %d returned old %v, want %v", id, old, shadow[id])
+			}
+			shadow[id] = nil
+		}
+	}
+	return shadow
+}
+
+// assertIndexEquals checks that got serves exactly the same postings,
+// list lengths and tuples as a MemIndex freshly built on shadow.
+func assertIndexEquals(t *testing.T, got Index, shadow []vec.Sparse, m int) {
+	t.Helper()
+	want := NewMemIndex(shadow, m)
+	if got.NumTuples() != want.NumTuples() {
+		t.Fatalf("NumTuples %d, want %d", got.NumTuples(), want.NumTuples())
+	}
+	for d := 0; d < m; d++ {
+		if got.ListLen(d) != want.ListLen(d) {
+			t.Fatalf("ListLen(%d) = %d, want %d", d, got.ListLen(d), want.ListLen(d))
+		}
+		gc, wc := got.Cursor(d), want.Cursor(d)
+		for i := 0; ; i++ {
+			gp, gok := gc.Next()
+			wp, wok := wc.Next()
+			if gok != wok {
+				t.Fatalf("dim %d posting %d: ok %v vs %v", d, i, gok, wok)
+			}
+			if !gok {
+				break
+			}
+			if gp != wp {
+				t.Fatalf("dim %d posting %d: %v, want %v", d, i, gp, wp)
+			}
+		}
+	}
+	for id := range shadow {
+		g, w := got.Tuple(id), want.Tuple(id)
+		if g.String() != w.String() {
+			t.Fatalf("tuple %d: %v, want %v", id, g, w)
+		}
+	}
+}
+
+// TestMemIndexMutationsMatchRebuild: after a random op sequence the
+// mutated MemIndex is bit-for-bit the index a fresh build on the
+// post-update dataset would produce — same posting order (val desc, id
+// asc), same list lengths, same tuples.
+func TestMemIndexMutationsMatchRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const m = 5
+	for trial := 0; trial < 20; trial++ {
+		var shadow []vec.Sparse
+		for i := 0; i < 8; i++ {
+			shadow = append(shadow, randTuple(rng, m))
+		}
+		ix := NewMemIndex(cloneTuples(shadow), m)
+		shadow = applyRandomOps(t, rng, ix, shadow, m, 30)
+		assertIndexEquals(t, ix, shadow, m)
+	}
+}
+
+func cloneTuples(ts []vec.Sparse) []vec.Sparse {
+	out := make([]vec.Sparse, len(ts))
+	for i, t := range ts {
+		if t != nil {
+			out[i] = t.Clone()
+		}
+	}
+	return out
+}
+
+// TestMemIndexMutationErrors pins the rejection paths: out-of-range
+// ids, double deletes, updates of deleted tuples, and out-of-domain
+// payloads.
+func TestMemIndexMutationErrors(t *testing.T) {
+	tuples, _, _ := fixture.RunningExample()
+	ix := NewMemIndex(cloneTuples(tuples), 2)
+
+	if _, err := ix.Update(99, vec.MustSparse(vec.Entry{Dim: 0, Val: 0.5})); err == nil {
+		t.Fatal("update out of range accepted")
+	}
+	if _, err := ix.Delete(-1); err == nil {
+		t.Fatal("delete out of range accepted")
+	}
+	if _, err := ix.Insert(vec.MustSparse(vec.Entry{Dim: 2, Val: 0.5})); err == nil {
+		t.Fatal("insert with dim ≥ m accepted")
+	}
+	if _, err := ix.Insert(vec.Sparse{{Dim: 0, Val: 1.5}}); err == nil {
+		t.Fatal("insert with value > 1 accepted")
+	}
+	if _, err := ix.Delete(3); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := ix.Delete(3); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, err := ix.Update(3, vec.MustSparse(vec.Entry{Dim: 0, Val: 0.5})); err == nil {
+		t.Fatal("update of deleted tuple accepted")
+	}
+	if got := ix.Tuple(3); len(got) != 0 {
+		t.Fatalf("deleted tuple reads %v, want empty", got)
+	}
+}
+
+// TestOverlayMatchesRebuild: the disk-backed write overlay, driven by
+// the same random op sequence, serves exactly what a fresh in-memory
+// index on the post-update dataset serves.
+func TestOverlayMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const m = 4
+	var base []vec.Sparse
+	for i := 0; i < 10; i++ {
+		base = append(base, randTuple(rng, m))
+	}
+	dir := t.TempDir()
+	tp, lp := filepath.Join(dir, "tuples.dat"), filepath.Join(dir, "lists.dat")
+	if err := SaveDataset(tp, lp, base, m); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenDiskIndex(tp, lp, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	ov := NewOverlay(disk)
+	shadow := applyRandomOps(t, rng, ov, cloneTuples(base), m, 40)
+	assertIndexEquals(t, ov, shadow, m)
+
+	// Cursor clones resume independently at the merge position.
+	c := ov.Cursor(0)
+	c.Next()
+	cl := c.Clone()
+	for {
+		p1, ok1 := c.Next()
+		p2, ok2 := cl.Next()
+		if ok1 != ok2 || p1 != p2 {
+			t.Fatalf("clone diverged: %v/%v vs %v/%v", p1, ok1, p2, ok2)
+		}
+		if !ok1 {
+			break
+		}
+	}
+}
+
+// TestOverlayErrorPaths pins the overlay's rejection paths, including
+// deletes and updates of overlay-resident (inserted) tuples.
+func TestOverlayErrorPaths(t *testing.T) {
+	tuples, _, _ := fixture.RunningExample()
+	ov := NewOverlay(NewMemIndex(cloneTuples(tuples), 2))
+
+	id, err := ov.Insert(vec.MustSparse(vec.Entry{Dim: 0, Val: 0.4}))
+	if err != nil || id != 4 {
+		t.Fatalf("insert: id %d err %v", id, err)
+	}
+	if _, err := ov.Delete(id); err != nil {
+		t.Fatalf("delete inserted: %v", err)
+	}
+	if _, err := ov.Delete(id); err == nil {
+		t.Fatal("double delete of inserted tuple accepted")
+	}
+	if _, err := ov.Update(id, vec.MustSparse(vec.Entry{Dim: 1, Val: 0.2})); err == nil {
+		t.Fatal("update of deleted inserted tuple accepted")
+	}
+	if _, err := ov.Delete(1); err != nil {
+		t.Fatalf("delete base: %v", err)
+	}
+	if _, err := ov.Delete(1); err == nil {
+		t.Fatal("double delete of base tuple accepted")
+	}
+	if _, err := ov.Update(1, vec.MustSparse(vec.Entry{Dim: 1, Val: 0.2})); err == nil {
+		t.Fatal("update of deleted base tuple accepted")
+	}
+	if _, err := ov.Update(99, nil); err == nil {
+		t.Fatal("update out of range accepted")
+	}
+}

@@ -1,0 +1,294 @@
+// Overlay: a write layer over a read-only Index (typically a DiskIndex)
+// that makes it Mutable without touching the underlying files. New and
+// updated tuples live in memory as delta posting lists; base postings of
+// updated or deleted tuples are tombstoned and skipped by the merged
+// cursor. The merged sorted order is exactly BuildPostings' (descending
+// value, ties by ascending id), so to the query path an overlay is
+// indistinguishable from an index freshly built on the post-update
+// dataset.
+//
+// The overlay follows the same synchronization contract as every other
+// Mutable: mutations must be externally serialized against readers (the
+// engine's reader-writer lock does this). Durability is out of scope —
+// the delta is memory-only; persisting it through a write-ahead log on
+// the DiskIndex files is the roadmap follow-up.
+package lists
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+// overlayTuple is the overlay's version of a base tuple: a replacement,
+// or a tombstone when dead is set.
+type overlayTuple struct {
+	t    vec.Sparse
+	dead bool
+}
+
+// Overlay is a Mutable Index layering in-memory changes over a read-only
+// base.
+type Overlay struct {
+	base  Index
+	baseN int
+	m     int
+	stats *storage.IOStats
+
+	// added holds inserted tuples; id = baseN + slice index. A nil slot
+	// is a deleted insert (ids are never reused).
+	added []vec.Sparse
+	// over maps base ids to their overlay version (update or tombstone).
+	over map[int]overlayTuple
+	// deadBase flags base ids whose base postings are stale; merged
+	// cursors skip them. One bit per base tuple.
+	deadBase []uint64
+	// deadPerDim counts skipped base postings per dimension, so ListLen
+	// reports the live length.
+	deadPerDim map[int]int
+	// delta holds the postings of added and updated tuples, sorted.
+	delta map[int]PostingList
+}
+
+// NewOverlay builds a write overlay over base. The base index must not
+// change underneath it.
+func NewOverlay(base Index) *Overlay {
+	return &Overlay{
+		base:       base,
+		baseN:      base.NumTuples(),
+		m:          base.Dim(),
+		stats:      base.Stats(),
+		over:       make(map[int]overlayTuple),
+		deadBase:   make([]uint64, (base.NumTuples()+63)/64),
+		deadPerDim: make(map[int]int),
+		delta:      make(map[int]PostingList),
+	}
+}
+
+// NumTuples returns the dataset cardinality including inserted tuples
+// (tombstoned slots are counted: ids are stable).
+func (ov *Overlay) NumTuples() int { return ov.baseN + len(ov.added) }
+
+// Dim returns the dimensionality m.
+func (ov *Overlay) Dim() int { return ov.m }
+
+// ListLen returns the live length of dim's inverted list: base postings
+// minus tombstoned ones plus delta postings.
+func (ov *Overlay) ListLen(dim int) int {
+	return ov.base.ListLen(dim) - ov.deadPerDim[dim] + ov.delta[dim].Len()
+}
+
+// Stats returns the I/O meter (shared with the base index).
+func (ov *Overlay) Stats() *storage.IOStats { return ov.stats }
+
+// WithStats returns a view whose base and delta accesses both charge st.
+func (ov *Overlay) WithStats(st *storage.IOStats) Index {
+	cp := *ov
+	cp.base = ov.base.WithStats(st)
+	cp.stats = st
+	return &cp
+}
+
+// Tuple fetches a tuple, charging one random read. Overlay-resident
+// versions are charged like MemIndex tuples.
+func (ov *Overlay) Tuple(id int) vec.Sparse {
+	if id >= ov.baseN {
+		t := ov.added[id-ov.baseN]
+		ov.stats.AddRandRead(4 + 12*len(t))
+		return t
+	}
+	if e, ok := ov.over[id]; ok {
+		ov.stats.AddRandRead(4 + 12*len(e.t))
+		return e.t
+	}
+	return ov.base.Tuple(id)
+}
+
+// Cursor opens a merged sorted-access cursor on dim.
+func (ov *Overlay) Cursor(dim int) Cursor {
+	pl := ov.delta[dim]
+	return &overlayCursor{
+		base:  ov.base.Cursor(dim),
+		dead:  ov.deadBase,
+		ids:   pl.IDs,
+		vals:  pl.Vals,
+		stats: ov.stats,
+	}
+}
+
+// current returns the live version of a base id (nil when tombstoned)
+// plus whether its base postings are already dead.
+func (ov *Overlay) current(id int) (t vec.Sparse, overridden bool, err error) {
+	if e, ok := ov.over[id]; ok {
+		if e.dead {
+			return nil, true, fmt.Errorf("lists: tuple %d is deleted", id)
+		}
+		return e.t, true, nil
+	}
+	return ov.base.Tuple(id), false, nil
+}
+
+// tombstoneBase marks a base tuple's postings dead (first override only).
+func (ov *Overlay) tombstoneBase(id int, base vec.Sparse) {
+	ov.deadBase[id>>6] |= 1 << (uint(id) & 63)
+	for _, e := range base {
+		ov.deadPerDim[e.Dim]++
+	}
+}
+
+func (ov *Overlay) addDelta(id int, t vec.Sparse) {
+	for _, e := range t {
+		ov.delta[e.Dim] = insertPosting(ov.delta[e.Dim], int32(id), e.Val)
+	}
+}
+
+func (ov *Overlay) dropDelta(id int, t vec.Sparse) {
+	for _, e := range t {
+		pl, ok := removePosting(ov.delta[e.Dim], int32(id), e.Val)
+		if !ok {
+			panic(fmt.Sprintf("lists: delta posting (%d, %v) missing from dim %d", id, e.Val, e.Dim))
+		}
+		ov.delta[e.Dim] = pl
+	}
+}
+
+// Insert adds a new tuple to the overlay, returning its id.
+func (ov *Overlay) Insert(t vec.Sparse) (int, error) {
+	if err := validateTuple(t, ov.m); err != nil {
+		return -1, err
+	}
+	id := ov.baseN + len(ov.added)
+	ov.added = append(ov.added, t.Clone())
+	ov.addDelta(id, t)
+	return id, nil
+}
+
+// Update replaces tuple id and returns the previous version.
+func (ov *Overlay) Update(id int, t vec.Sparse) (vec.Sparse, error) {
+	if id < 0 || id >= ov.NumTuples() {
+		return nil, fmt.Errorf("lists: tuple %d out of range [0,%d)", id, ov.NumTuples())
+	}
+	if err := validateTuple(t, ov.m); err != nil {
+		return nil, err
+	}
+	if id >= ov.baseN {
+		old := ov.added[id-ov.baseN]
+		if old == nil {
+			return nil, fmt.Errorf("lists: tuple %d is deleted", id)
+		}
+		ov.dropDelta(id, old)
+		ov.added[id-ov.baseN] = t.Clone()
+		ov.addDelta(id, t)
+		return old, nil
+	}
+	old, overridden, err := ov.current(id)
+	if err != nil {
+		return nil, err
+	}
+	if overridden {
+		ov.dropDelta(id, old)
+	} else {
+		ov.tombstoneBase(id, old)
+	}
+	ov.over[id] = overlayTuple{t: t.Clone()}
+	ov.addDelta(id, t)
+	return old, nil
+}
+
+// Delete tombstones tuple id and returns the deleted version.
+func (ov *Overlay) Delete(id int) (vec.Sparse, error) {
+	if id < 0 || id >= ov.NumTuples() {
+		return nil, fmt.Errorf("lists: tuple %d out of range [0,%d)", id, ov.NumTuples())
+	}
+	if id >= ov.baseN {
+		old := ov.added[id-ov.baseN]
+		if old == nil {
+			return nil, fmt.Errorf("lists: tuple %d is already deleted", id)
+		}
+		ov.dropDelta(id, old)
+		ov.added[id-ov.baseN] = nil
+		return old, nil
+	}
+	old, overridden, err := ov.current(id)
+	if err != nil {
+		return nil, fmt.Errorf("lists: tuple %d is already deleted", id)
+	}
+	if overridden {
+		ov.dropDelta(id, old)
+	} else {
+		ov.tombstoneBase(id, old)
+	}
+	ov.over[id] = overlayTuple{dead: true}
+	return old, nil
+}
+
+// overlayCursor merges the base cursor (skipping tombstoned ids) with
+// the dimension's delta postings, preserving the (val desc, id asc)
+// order. An id never appears on both sides: delta postings belong to
+// added or overridden tuples, whose base postings are tombstoned.
+type overlayCursor struct {
+	base  Cursor
+	dead  []uint64
+	ids   []int32
+	vals  []float64
+	pos   int // delta position
+	n     int // merged postings consumed
+	stats *storage.IOStats
+}
+
+// skipDead consumes base postings of tombstoned tuples. Reading past
+// them is charged to the base cursor: the scan physically visits them.
+func (c *overlayCursor) skipDead() {
+	for {
+		p, ok := c.base.Peek()
+		if !ok || c.dead[p.ID>>6]&(1<<(uint(p.ID)&63)) == 0 {
+			return
+		}
+		c.base.Next()
+	}
+}
+
+// peek returns the next merged posting and whether it comes from the
+// delta side.
+func (c *overlayCursor) peek() (p storage.Posting, fromDelta, ok bool) {
+	c.skipDead()
+	bp, bok := c.base.Peek()
+	if c.pos < len(c.ids) {
+		dp := storage.Posting{ID: int(c.ids[c.pos]), Val: c.vals[c.pos]}
+		if !bok || dp.Val > bp.Val || (dp.Val == bp.Val && dp.ID < bp.ID) {
+			return dp, true, true
+		}
+	}
+	return bp, false, bok
+}
+
+func (c *overlayCursor) Peek() (storage.Posting, bool) {
+	p, _, ok := c.peek()
+	return p, ok
+}
+
+func (c *overlayCursor) Next() (storage.Posting, bool) {
+	p, fromDelta, ok := c.peek()
+	if !ok {
+		return storage.Posting{}, false
+	}
+	c.n++
+	if fromDelta {
+		// Charge the delta side like MemIndex postings.
+		if c.pos%postingsPerPage == 0 {
+			c.stats.AddSeqPage(1)
+		}
+		c.pos++
+		return p, true
+	}
+	return c.base.Next()
+}
+
+func (c *overlayCursor) Consumed() int { return c.n }
+
+func (c *overlayCursor) Clone() Cursor {
+	cp := *c
+	cp.base = c.base.Clone()
+	return &cp
+}

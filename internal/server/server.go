@@ -18,7 +18,13 @@
 //	POST /batchanalyze  {queries: [analyze bodies]}  → per-query
 //	                    responses; duplicates are de-duplicated and
 //	                    repeats served from the answer cache
-//	GET  /stats         → cumulative I/O counters + cache counters
+//	POST /update        {ops: [{id?, tuple: [{dim, val}]}]} → per-op
+//	                    results; an op without id inserts, with id
+//	                    updates. Cached analyses survive whenever the
+//	                    region certificate proves them unaffected.
+//	POST /delete        {ids: [...]}                 → per-op results
+//	GET  /stats         → cumulative I/O counters + cache counters +
+//	                    mutation counters (mutable engines)
 //	GET  /healthz       → 200 ok
 //
 // # Concurrency model
@@ -61,6 +67,9 @@ type Config struct {
 	CacheEntries int
 	// CacheBytes bounds the cache's estimated footprint (0 = default).
 	CacheBytes int64
+	// ReadOnly disables the write endpoints (/update, /delete answer
+	// 409) even when the index itself could accept writes.
+	ReadOnly bool
 }
 
 // Server handles the HTTP API over one engine.
@@ -78,6 +87,7 @@ func NewWithConfig(ix lists.Index, cfg Config) *Server {
 		Parallelism:   cfg.Parallelism,
 		CacheEntries:  cfg.CacheEntries,
 		CacheBytes:    cfg.CacheBytes,
+		ReadOnly:      cfg.ReadOnly,
 	}))
 }
 
@@ -95,6 +105,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/topk", s.handleTopK)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/batchanalyze", s.handleBatchAnalyze)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -180,6 +192,59 @@ type BatchAnalyzeResponse struct {
 	Responses []BatchEntryResponse `json:"responses"`
 }
 
+// TupleEntryJSON is one non-zero coordinate of a tuple payload.
+type TupleEntryJSON struct {
+	Dim int     `json:"dim"`
+	Val float64 `json:"val"`
+}
+
+// UpdateOpJSON is one element of /update's ops: without an id the tuple
+// is inserted, with an id it replaces that tuple.
+type UpdateOpJSON struct {
+	ID    *int             `json:"id,omitempty"`
+	Tuple []TupleEntryJSON `json:"tuple"`
+}
+
+// UpdateRequest is the body of /update.
+type UpdateRequest struct {
+	Ops []UpdateOpJSON `json:"ops"`
+}
+
+// DeleteRequest is the body of /delete.
+type DeleteRequest struct {
+	IDs []int `json:"ids"`
+}
+
+// OpResultJSON is one per-op outcome of /update or /delete: the
+// assigned (insert) or targeted id, or the op's error.
+type OpResultJSON struct {
+	ID    int    `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+// MutateResponse is the body of a successful /update or /delete:
+// per-op results plus the cache-invalidation accounting — how many
+// cached analyses were checked against the region certificate, how many
+// were evicted, and how many provably survived the batch.
+type MutateResponse struct {
+	Results       []OpResultJSON `json:"results"`
+	Applied       int            `json:"applied"`
+	CacheChecked  int            `json:"cache_checked"`
+	CacheEvicted  int            `json:"cache_evicted"`
+	CacheSurvived int            `json:"cache_survived"`
+}
+
+// MutationStatsJSON mirrors engine.MutationStats.
+type MutationStatsJSON struct {
+	Inserts       int64 `json:"inserts"`
+	Updates       int64 `json:"updates"`
+	Deletes       int64 `json:"deletes"`
+	Batches       int64 `json:"batches"`
+	CacheChecked  int64 `json:"cache_checked"`
+	CacheEvicted  int64 `json:"cache_evicted"`
+	CacheSurvived int64 `json:"cache_survived"`
+}
+
 // CacheStatsJSON mirrors engine.CacheStats.
 type CacheStatsJSON struct {
 	Hits       int64 `json:"hits"`
@@ -193,10 +258,11 @@ type CacheStatsJSON struct {
 
 // StatsResponse is the body of /stats.
 type StatsResponse struct {
-	SeqPages  int64           `json:"seq_pages"`
-	RandReads int64           `json:"rand_reads"`
-	BytesRead int64           `json:"bytes_read"`
-	Cache     *CacheStatsJSON `json:"cache,omitempty"`
+	SeqPages  int64              `json:"seq_pages"`
+	RandReads int64              `json:"rand_reads"`
+	BytesRead int64              `json:"bytes_read"`
+	Cache     *CacheStatsJSON    `json:"cache,omitempty"`
+	Mutations *MutationStatsJSON `json:"mutations,omitempty"`
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -317,9 +383,129 @@ func (s *Server) handleBatchAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleUpdate applies a batch of inserts and in-place updates through
+// the engine's write path.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	if len(req.Ops) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty op batch"))
+		return
+	}
+	// Tuple-shape errors (duplicate dims, bad values) are reported in
+	// place; well-formed ops still run, like /batchanalyze's per-item
+	// errors.
+	results := make([]OpResultJSON, len(req.Ops))
+	ops := make([]engine.Op, 0, len(req.Ops))
+	opIdx := make([]int, 0, len(req.Ops))
+	for i, op := range req.Ops {
+		entries := make([]vec.Entry, len(op.Tuple))
+		for j, e := range op.Tuple {
+			entries[j] = vec.Entry{Dim: e.Dim, Val: e.Val}
+		}
+		t, err := vec.NewSparse(entries)
+		if err == nil && t.NNZ() == 0 {
+			// An op without coordinates is almost always a malformed
+			// request (a typoed field, or delete intent aimed at the
+			// wrong endpoint); silently zeroing the target would destroy
+			// it with a 200.
+			err = fmt.Errorf("empty tuple (use /delete to remove a tuple)")
+		}
+		if err != nil {
+			id := -1
+			if op.ID != nil {
+				id = *op.ID
+			}
+			results[i] = OpResultJSON{ID: id, Error: err.Error()}
+			continue
+		}
+		if op.ID != nil {
+			ops = append(ops, engine.Op{Kind: engine.OpUpdate, ID: *op.ID, Tuple: t})
+		} else {
+			ops = append(ops, engine.Op{Kind: engine.OpInsert, Tuple: t})
+		}
+		opIdx = append(opIdx, i)
+	}
+	s.applyOps(w, ops, opIdx, results)
+}
+
+// handleDelete removes tuples by id through the engine's write path.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req DeleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty id list"))
+		return
+	}
+	ops := make([]engine.Op, len(req.IDs))
+	opIdx := make([]int, len(req.IDs))
+	for i, id := range req.IDs {
+		ops[i] = engine.Op{Kind: engine.OpDelete, ID: id}
+		opIdx[i] = i
+	}
+	s.applyOps(w, ops, opIdx, make([]OpResultJSON, len(req.IDs)))
+}
+
+// applyOps runs the batch and renders the shared mutation response.
+// results arrives pre-filled with any per-op shape errors; opIdx maps
+// each engine op back to its response slot.
+func (s *Server) applyOps(w http.ResponseWriter, ops []engine.Op, opIdx []int, results []OpResultJSON) {
+	if !s.eng.Mutable() {
+		// Report read-only consistently (409) no matter the payload
+		// shape — even when every op already failed parsing.
+		engineError(w, fmt.Errorf("server: %w", engine.ErrImmutable))
+		return
+	}
+	resp := MutateResponse{Results: results}
+	if len(ops) > 0 {
+		res, err := s.eng.Apply(ops)
+		if err != nil {
+			engineError(w, err)
+			return
+		}
+		for j, or := range res.Results {
+			results[opIdx[j]] = OpResultJSON{ID: or.ID}
+			if or.Err != nil {
+				results[opIdx[j]].Error = or.Err.Error()
+			}
+		}
+		resp.Applied = res.Applied
+		resp.CacheChecked = res.CacheChecked
+		resp.CacheEvicted = res.CacheEvicted
+		resp.CacheSurvived = res.CacheSurvived
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	seq, rnd, bytes := s.eng.Stats().Snapshot()
 	resp := StatsResponse{SeqPages: seq, RandReads: rnd, BytesRead: bytes}
+	if s.eng.Mutable() {
+		ms := s.eng.MutationStats()
+		resp.Mutations = &MutationStatsJSON{
+			Inserts:       ms.Inserts,
+			Updates:       ms.Updates,
+			Deletes:       ms.Deletes,
+			Batches:       ms.Batches,
+			CacheChecked:  ms.CacheChecked,
+			CacheEvicted:  ms.CacheEvicted,
+			CacheSurvived: ms.CacheSurvived,
+		}
+	}
 	if s.eng.CacheEnabled() {
 		cs := s.eng.CacheStats()
 		resp.Cache = &CacheStatsJSON{
@@ -399,6 +585,8 @@ func engineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrInvalid):
 		httpError(w, http.StatusBadRequest, err)
+	case errors.Is(err, engine.ErrImmutable):
+		httpError(w, http.StatusConflict, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusServiceUnavailable, err)
 	default:

@@ -46,7 +46,11 @@ type Session struct {
 	// cumDevs tracks the weight deviations accumulated since the last
 	// full analysis, parallel to q.Dims.
 	cumDevs []float64
-	stats   Stats
+	// stale is set by Invalidate: the dataset changed under the session,
+	// so the cached analysis certifies nothing and the next adjustment
+	// must recompute.
+	stale bool
+	stats Stats
 }
 
 // New starts a session: runs the initial analysis with the given method
@@ -86,6 +90,13 @@ func (s *Session) Regions() []core.Regions { return s.analysis.Regions }
 // Stats returns the adjustment accounting.
 func (s *Session) Stats() Stats { return s.stats }
 
+// Invalidate marks the session's analysis stale — the client-side
+// reaction to a server-side data update, which voids every safe-region
+// and perturbation-schedule guarantee the session holds. Result and
+// Regions keep reporting the stale state until the next AdjustWeight,
+// which recomputes unconditionally.
+func (s *Session) Invalidate() { s.stale = true }
+
 // AdjustWeight shifts the weight of dim by delta and returns whether the
 // ranked result changed. The session serves the adjustment by the
 // cheapest sound mechanism available.
@@ -97,6 +108,18 @@ func (s *Session) AdjustWeight(dim int, delta float64) (changed bool, err error)
 	w := s.q.Weights[jx] + delta
 	if w < 0 || w > 1 {
 		return false, fmt.Errorf("session: weight %v for dim %d outside [0,1]", w, dim)
+	}
+
+	// 0. Stale session (Invalidate was called): no cached guarantee
+	// holds, recompute at the adjusted weights.
+	if s.stale {
+		before := s.ranked
+		s.q.Weights[jx] = w
+		if err := s.recompute(); err != nil {
+			return false, err
+		}
+		s.stale = false
+		return !equalIDs(before, s.ranked), nil
 	}
 
 	// 1. Safe skip: cumulative deviation still inside the concurrent

@@ -195,3 +195,72 @@ func TestSessionErrors(t *testing.T) {
 		t.Error("weight below 0 accepted")
 	}
 }
+
+// TestSessionInvalidate: after a data update voids the client-side
+// certificates, Invalidate must force the next adjustment to recompute
+// even when it would otherwise be a safe skip or local hit, and the
+// session must track the post-update dataset.
+func TestSessionInvalidate(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	cp := make([]vec.Sparse, len(tuples))
+	for i, tu := range tuples {
+		cp[i] = tu.Clone()
+	}
+	ix := lists.NewMemIndex(cp, 2)
+	eng := engine.New(ix, engine.Config{MaxConcurrent: -1, CacheEntries: -1})
+	calls := 0
+	analyze := func(q vec.Query, k int, opts core.Options) (*core.Output, error) {
+		calls++
+		a, err := eng.Analyze(context.Background(), q, k, engine.Options{Options: opts})
+		if err != nil {
+			return nil, err
+		}
+		return a.Output, nil
+	}
+	s, err := New(analyze, q, k, core.Options{Method: core.MethodCPT, Phi: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Result()
+
+	// An in-region nudge is a safe skip while the certificate holds...
+	if _, err := s.AdjustWeight(0, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || s.Stats().SafeSkips != 1 {
+		t.Fatalf("calls %d stats %+v, want a safe skip", calls, s.Stats())
+	}
+
+	// ...then the server's dataset changes: a new dominant tuple takes
+	// the lead, which the stale session cannot know.
+	if _, err := eng.Apply([]engine.Op{{Kind: engine.OpInsert,
+		Tuple: vec.MustSparse(vec.Entry{Dim: 0, Val: 0.95}, vec.Entry{Dim: 1, Val: 0.95})}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate()
+
+	// The same nudge back would have been a safe skip; now it must
+	// recompute and surface the new leader.
+	changed, err := s.AdjustWeight(0, -0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || s.Stats().Recomputes != 2 {
+		t.Fatalf("calls %d stats %+v, want a forced recompute", calls, s.Stats())
+	}
+	if !changed {
+		t.Fatal("post-update adjustment reported no change")
+	}
+	got := s.Result()
+	if got[0] != 4 {
+		t.Fatalf("post-update result %v (was %v), want new tuple 4 first", got, base)
+	}
+
+	// The session is live again: the next in-region nudge safe-skips.
+	if _, err := s.AdjustWeight(0, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("post-recompute nudge recomputed (calls %d)", calls)
+	}
+}

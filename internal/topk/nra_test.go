@@ -4,9 +4,11 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/fixture"
 	"repro/internal/lists"
+	"repro/internal/vec"
 )
 
 // TestNRAMatchesNaive: NRA must return the exact ranked top-k (ids in
@@ -127,4 +129,88 @@ func TestNRAResultBeforeRun(t *testing.T) {
 		}
 	}()
 	nra.Result()
+}
+
+// TestNRAExactTiesTermination pins the tie-handling semantics: with
+// scores that are exactly equal (binary fractions, no float slack) the
+// certainty conditions — all strict inequalities — must still
+// terminate, and the outcome must be deterministic.
+//
+// The dataset scores d0 = d1 = d2 = 0.5 exactly and d3 = 0.0625:
+//
+//	L0: d0(0.75) d2(0.5) d1(0.25) d3(0.125)    L1: d1(0.75) d2(0.5) d0(0.25)
+//
+// Two behaviors are pinned. (1) A fully-resolved tuple may win rank k
+// over tied outsiders whose upper bound merely EQUALS the k-th lower
+// bound: at k=1, d2 resolves to exactly 0.5 while d0/d1 can no longer
+// exceed it, so NRA certifies [d2] without exhausting the lists — the
+// deterministic greedy outcome of strict-inequality certainty. (2) Ties
+// that survive into the ranking break by ascending id, like TA: k=2
+// returns [d0 d1], k=3 [d0 d1 d2], and k=4 — which forces full
+// exhaustion, collapsing every bound to its exact score — [d0 d1 d2 d3].
+func TestNRAExactTiesTermination(t *testing.T) {
+	tuples := []vec.Sparse{
+		vec.MustSparse(vec.Entry{Dim: 0, Val: 0.75}, vec.Entry{Dim: 1, Val: 0.25}),
+		vec.MustSparse(vec.Entry{Dim: 0, Val: 0.25}, vec.Entry{Dim: 1, Val: 0.75}),
+		vec.MustSparse(vec.Entry{Dim: 0, Val: 0.5}, vec.Entry{Dim: 1, Val: 0.5}),
+		vec.MustSparse(vec.Entry{Dim: 0, Val: 0.125}),
+	}
+	q := vec.MustQuery([]int{0, 1}, []float64{0.5, 0.5})
+	cases := []struct {
+		k        int
+		wantIDs  []int
+		accesses int // pinned sorted-access count at termination
+	}{
+		{1, []int{2}, 4},
+		{2, []int{0, 1}, 6},
+		{3, []int{0, 1, 2}, 6},
+		{4, []int{0, 1, 2, 3}, 7}, // exhausted lists: all bounds exact
+	}
+	for _, tc := range cases {
+		// Two runs: the result must be deterministic despite the internal
+		// map iteration.
+		var prev []NRAResult
+		for run := 0; run < 2; run++ {
+			nra := NewNRA(lists.NewMemIndex(tuples, 2), q, tc.k)
+			done := make(chan struct{})
+			go func() { nra.Run(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("k=%d: NRA did not terminate on exact ties", tc.k)
+			}
+			got := nra.Result()
+			if len(got) != len(tc.wantIDs) {
+				t.Fatalf("k=%d: %d results, want %d", tc.k, len(got), len(tc.wantIDs))
+			}
+			for i, r := range got {
+				if r.ID != tc.wantIDs[i] {
+					t.Fatalf("k=%d rank %d: id %d, want %d", tc.k, i, r.ID, tc.wantIDs[i])
+				}
+			}
+			if n := nra.SortedAccesses(); n != tc.accesses {
+				t.Fatalf("k=%d: %d sorted accesses, want %d", tc.k, n, tc.accesses)
+			}
+			if run == 1 {
+				for i := range got {
+					if got[i] != prev[i] {
+						t.Fatalf("k=%d rank %d: nondeterministic result %+v vs %+v", tc.k, i, got[i], prev[i])
+					}
+				}
+			}
+			prev = got
+		}
+		// Tied members that made the ranking carry exact, equal bounds.
+		nra := NewNRA(lists.NewMemIndex(tuples, 2), q, tc.k)
+		nra.Run()
+		for i, r := range nra.Result() {
+			want := 0.5
+			if r.ID == 3 {
+				want = 0.0625
+			}
+			if r.Lower != want || r.Upper != want {
+				t.Fatalf("k=%d rank %d (id %d): bounds [%v, %v], want exact %v", tc.k, i, r.ID, r.Lower, r.Upper, want)
+			}
+		}
+	}
 }

@@ -55,6 +55,14 @@ func NewTuple(entries []Entry) (Tuple, error) { return vec.NewSparse(entries) }
 // FromDense converts dense coordinates to a Tuple.
 func FromDense(coords []float64) Tuple { return vec.FromDense(coords) }
 
+// ErrInvalid tags query-validation failures (bad k, out-of-range,
+// duplicate or >64 dimensions, bad weights); test with errors.Is.
+var ErrInvalid = engine.ErrInvalid
+
+// ErrImmutable tags Apply calls on an engine without a write path
+// (EngineConfig.ReadOnly); test with errors.Is.
+var ErrImmutable = engine.ErrImmutable
+
 // Method selects the region-computation algorithm.
 type Method = core.Method
 
@@ -105,6 +113,9 @@ type EngineConfig struct {
 	// VerifyChecksums makes OpenEngineWithConfig validate the dataset
 	// files' integrity trailers before serving them.
 	VerifyChecksums bool
+	// ReadOnly disables the write path (Apply); opened datasets are then
+	// served without the in-memory write overlay.
+	ReadOnly bool
 }
 
 func (c EngineConfig) internal() engine.Config {
@@ -114,6 +125,7 @@ func (c EngineConfig) internal() engine.Config {
 		CacheEntries:    c.CacheEntries,
 		CacheBytes:      c.CacheBytes,
 		VerifyChecksums: c.VerifyChecksums,
+		ReadOnly:        c.ReadOnly,
 	}
 }
 
@@ -132,7 +144,17 @@ func NewEngine(tuples []Tuple, m int) *Engine {
 }
 
 // NewEngineWithConfig indexes tuples in memory with explicit settings.
+// Unless cfg.ReadOnly is set the engine is mutable, so the tuples are
+// deep-copied: Apply must write through engine-owned memory, never the
+// caller's slice.
 func NewEngineWithConfig(tuples []Tuple, m int, cfg EngineConfig) *Engine {
+	if !cfg.ReadOnly {
+		cp := make([]Tuple, len(tuples))
+		for i, t := range tuples {
+			cp[i] = t.Clone()
+		}
+		tuples = cp
+	}
 	return &Engine{eng: engine.New(lists.NewMemIndex(tuples, m), cfg.internal())}
 }
 
@@ -184,13 +206,23 @@ func (e *Engine) Tuple(id int) Tuple { return e.eng.Tuple(id) }
 // ranked result. If a prior analysis' immutable regions contain the
 // weight vector, the result is served from the answer cache without
 // touching the index. It panics on an invalid query (k < 1 or a
-// dimension outside the dataset), like indexing out of range.
+// dimension outside the dataset), like indexing out of range; use
+// TopKContext for an error-returning (and cancelable) variant.
 func (e *Engine) TopK(q Query, k int) []Scored {
-	res, _, err := e.eng.TopK(context.Background(), q, k)
+	res, err := e.TopKContext(context.Background(), q, k)
 	if err != nil {
 		panic(fmt.Sprintf("repro: TopK: %v", err))
 	}
 	return res
+}
+
+// TopKContext is TopK under a context, returning errors instead of
+// panicking: an invalid query reports ErrInvalid (test with
+// errors.Is), and cancellation aborts the scan mid-run with the
+// context's error.
+func (e *Engine) TopKContext(ctx context.Context, q Query, k int) ([]Scored, error) {
+	res, _, err := e.eng.TopK(ctx, q, k)
+	return res, err
 }
 
 // TraceStep is one row of a TA execution trace (the paper's Fig. 2).
@@ -199,13 +231,21 @@ type TraceStep = topk.TraceStep
 // TopKTrace answers the query while recording every sorted access,
 // returning the ranked result and the execution trace. Round-robin
 // probing is used so traces match the paper's presentation. It panics
-// on an invalid query, like TopK.
+// on an invalid query, like TopK; use TopKTraceContext for an
+// error-returning variant.
 func (e *Engine) TopKTrace(q Query, k int) ([]Scored, []TraceStep) {
-	res, steps, err := e.eng.TopKTrace(q, k)
+	res, steps, err := e.TopKTraceContext(context.Background(), q, k)
 	if err != nil {
 		panic(fmt.Sprintf("repro: TopKTrace: %v", err))
 	}
 	return res, steps
+}
+
+// TopKTraceContext is TopKTrace under a context, returning errors
+// instead of panicking on invalid queries and aborting cleanly on
+// cancellation.
+func (e *Engine) TopKTraceContext(ctx context.Context, q Query, k int) ([]Scored, []TraceStep, error) {
+	return e.eng.TopKTrace(ctx, q, k)
 }
 
 // Analyze answers the query and computes the immutable regions of every
@@ -222,6 +262,45 @@ func (e *Engine) Analyze(q Query, k int, opts Options) (*Analysis, error) {
 func (e *Engine) AnalyzeContext(ctx context.Context, q Query, k int, opts Options) (*Analysis, error) {
 	return e.eng.Analyze(ctx, q, k, engine.Options{Options: opts})
 }
+
+// Op is one mutation of an Apply batch; OpKind selects insert, update
+// or delete.
+type Op = engine.Op
+
+// OpKind selects a mutation.
+type OpKind = engine.OpKind
+
+// Mutation kinds for Op.Kind.
+const (
+	OpInsert = engine.OpInsert
+	OpUpdate = engine.OpUpdate
+	OpDelete = engine.OpDelete
+)
+
+// OpResult is the per-op outcome of an Apply batch.
+type OpResult = engine.OpResult
+
+// ApplyResult summarizes one Apply batch, including how many cached
+// analyses survived the region-certified invalidation check.
+type ApplyResult = engine.ApplyResult
+
+// MutationStats snapshots the engine's write-path counters.
+type MutationStats = engine.MutationStats
+
+// Mutable reports whether this engine accepts Apply (in-memory engines
+// do by default; opened datasets go through a write overlay unless
+// EngineConfig.ReadOnly is set).
+func (e *Engine) Mutable() bool { return e.eng.Mutable() }
+
+// Apply executes a batch of tuple mutations. Cached analyses are kept
+// serving whenever the immutable-region certificate proves the change
+// cannot alter their result anywhere in their region polytope; only the
+// rest are evicted. Ops apply independently in order, with per-op
+// errors in ApplyResult.Results.
+func (e *Engine) Apply(ops []Op) (ApplyResult, error) { return e.eng.Apply(ops) }
+
+// MutationStats snapshots the write-path counters.
+func (e *Engine) MutationStats() MutationStats { return e.eng.MutationStats() }
 
 // Session is an iterative query-refinement session (§1's motivating
 // workflow): weight adjustments are served without recomputation

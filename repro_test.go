@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"path/filepath"
 	"reflect"
@@ -185,4 +187,76 @@ func TestRenderSlider(t *testing.T) {
 	if short := repro.RenderSlider(q, a.Regions[1], 3); !strings.Contains(short, "dim") {
 		t.Fatalf("short slider: %q", short)
 	}
+}
+
+// TestTopKContextErrorPaths: the error-returning facade variants must
+// report invalid queries and cancellation as errors — the legacy
+// panicking TopK/TopKTrace are for literal-style code only.
+func TestTopKContextErrorPaths(t *testing.T) {
+	eng, q, k := exampleEngine()
+
+	if _, err := eng.TopKContext(context.Background(), q, 0); !errors.Is(err, repro.ErrInvalid) {
+		t.Fatalf("k=0 err %v, want ErrInvalid", err)
+	}
+	bad := repro.Query{Dims: []int{0, 99}, Weights: []float64{0.5, 0.5}}
+	if _, err := eng.TopKContext(context.Background(), bad, k); !errors.Is(err, repro.ErrInvalid) {
+		t.Fatalf("out-of-range dim err %v, want ErrInvalid", err)
+	}
+	if _, _, err := eng.TopKTraceContext(context.Background(), bad, k); !errors.Is(err, repro.ErrInvalid) {
+		t.Fatalf("trace out-of-range dim err %v, want ErrInvalid", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.TopKContext(ctx, q, k); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx err %v, want context.Canceled", err)
+	}
+	if _, _, err := eng.TopKTraceContext(ctx, q, k); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled trace err %v, want context.Canceled", err)
+	}
+
+	// Valid paths still agree with the panicking variants.
+	got, err := eng.TopKContext(context.Background(), q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, eng.TopK(q, k)) {
+		t.Fatal("TopKContext and TopK diverge")
+	}
+}
+
+// TestFacadeApply: the write path end to end through the public facade.
+func TestFacadeApply(t *testing.T) {
+	eng, q, k := exampleEngine()
+	if !eng.Mutable() {
+		t.Fatal("in-memory facade engine is not mutable")
+	}
+	before := eng.TopK(q, k)
+
+	res, err := eng.Apply([]repro.Op{
+		{Kind: repro.OpInsert, Tuple: repro.FromDense([]float64{0.95, 0.95})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Results[0].ID != 4 {
+		t.Fatalf("apply result %+v", res)
+	}
+	after := eng.TopK(q, k)
+	if after[0].ID != 4 || reflect.DeepEqual(before, after) {
+		t.Fatalf("insert invisible: before %v after %v", before, after)
+	}
+	if st := eng.MutationStats(); st.Inserts != 1 || st.Batches != 1 {
+		t.Fatalf("mutation stats %+v", st)
+	}
+
+	ro := repro.NewEngineWithConfig(fixtureTuples(), 2, repro.EngineConfig{ReadOnly: true})
+	if _, err := ro.Apply([]repro.Op{{Kind: repro.OpDelete, ID: 0}}); !errors.Is(err, repro.ErrImmutable) {
+		t.Fatalf("read-only facade err %v, want ErrImmutable", err)
+	}
+}
+
+func fixtureTuples() []repro.Tuple {
+	tuples, _, _ := fixture.RunningExample()
+	return tuples
 }
