@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke ci
+.PHONY: all build test race vet bench-smoke test-wal ci
 
 all: ci
 
@@ -24,5 +24,13 @@ vet:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig10|BenchmarkParallelCompute|BenchmarkServerAnalyzeParallel' \
 		-benchmem -benchtime=200ms .
+
+# Durability focus: the WAL package under -race, the crash-recovery and
+# checkpoint property tests, and a bench smoke so the fsync overhead of
+# the write path stays tracked.
+test-wal:
+	$(GO) test -race ./internal/wal/...
+	$(GO) test -race -run 'TestDurable|TestCheckpoint|TestStatsDurable' ./internal/engine/... ./internal/server/...
+	$(GO) test -run '^$$' -bench 'BenchmarkApplyWAL' -benchmem -benchtime=50ms ./internal/engine/
 
 ci: build vet test race

@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -25,7 +24,7 @@ import (
 
 func main() {
 	var (
-		data    = flag.String("data", "", "directory containing tuples.dat and lists.dat")
+		data    = flag.String("data", "", "dataset directory (tuples/lists files, optionally a checkpoint MANIFEST)")
 		demo    = flag.Bool("demo", false, "run the paper's running example instead of -data")
 		dimsF   = flag.String("dims", "", "comma-separated query dimensions")
 		wF      = flag.String("weights", "", "comma-separated query weights in (0,1]")
@@ -51,12 +50,10 @@ func main() {
 			*k = dk
 		}
 	case *data != "":
-		eng, err = repro.OpenEngineWithConfig(
-			filepath.Join(*data, "tuples.dat"),
-			filepath.Join(*data, "lists.dat"),
-			256,
-			repro.EngineConfig{VerifyChecksums: *verify},
-		)
+		// Directory-aware open: follow the checkpoint MANIFEST to the
+		// live file generation and replay any wal.log, so irquery and a
+		// durable irserver pointed at the same directory agree.
+		eng, err = repro.OpenEngineDir(*data, 256, repro.EngineConfig{VerifyChecksums: *verify})
 		if err != nil {
 			fatal(err)
 		}

@@ -3,36 +3,50 @@
 // POST /update, POST /delete, GET /stats, GET /healthz. Queries execute
 // through the unified engine layer, so repeated and in-region weight
 // vectors are answered from the immutable-region cache without touching
-// the index. Writes go through a memory-resident overlay on the disk
-// files (the files themselves never change); cached analyses survive a
-// write whenever the region certificate proves them unaffected.
+// the index.
+//
+// Writes go through an overlay on the disk files (the files themselves
+// only change at checkpoints); with -wal every /update and /delete
+// batch is appended to wal.log before it applies, replayed on restart,
+// and folded into fresh dataset files once the log or overlay outgrows
+// -checkpoint-bytes. Cached analyses survive a write whenever the
+// region certificate proves them unaffected.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests (bounded by
+// -shutdown-timeout) and then flushes and closes the write-ahead log.
 //
 // Usage:
 //
 //	irgen -dataset kb -out /tmp/kb
-//	irserver -data /tmp/kb -addr :8080
+//	irserver -data /tmp/kb -addr :8080 -wal
 //	curl -s localhost:8080/analyze -d '{"dims":[3,17],"weights":[0.8,0.5],"k":10,"phi":1}'
-//	curl -s localhost:8080/batchanalyze -d '{"queries":[{"dims":[3,17],"weights":[0.8,0.5],"k":10}]}'
+//	curl -s localhost:8080/update -d '{"ops":[{"tuple":[{"dim":3,"val":0.9}]}]}'
 //
 // With -demo it serves the paper's running example.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"path/filepath"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/fixture"
 	"repro/internal/lists"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		data         = flag.String("data", "", "directory containing tuples.dat and lists.dat")
+		data         = flag.String("data", "", "dataset directory (tuples/lists files, MANIFEST, wal.log)")
 		demo         = flag.Bool("demo", false, "serve the paper's running example")
 		addr         = flag.String("addr", ":8080", "listen address")
 		pool         = flag.Int("pool", 1024, "buffer pool pages for the disk index")
@@ -43,9 +57,17 @@ func main() {
 		noCache      = flag.Bool("no-cache", false, "disable the immutable-region answer cache")
 		verify       = flag.Bool("verify", false, "verify dataset file checksums before serving")
 		readonly     = flag.Bool("readonly", false, "disable POST /update and /delete (disk datasets are then served without the write overlay)")
+		useWAL       = flag.Bool("wal", false, "write-ahead log: persist update batches to wal.log beside the dataset files and replay them on start")
+		syncF        = flag.String("sync", "batch", "WAL fsync policy: batch (per update batch), none, or an interval like 250ms")
+		ckptBytes    = flag.Int64("checkpoint-bytes", 0, "compact the WAL + overlay into fresh dataset files past this size (0 = default 64MiB, negative = never)")
+		shutdownTo   = flag.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
 	)
 	flag.Parse()
 
+	syncPolicy, err := wal.ParseSyncPolicy(*syncF)
+	if err != nil {
+		log.Fatalf("irserver: %v", err)
+	}
 	cfg := engine.Config{
 		MaxConcurrent:   *maxConc,
 		Parallelism:     *parallelism,
@@ -53,6 +75,9 @@ func main() {
 		CacheBytes:      *cacheBytes,
 		VerifyChecksums: *verify,
 		ReadOnly:        *readonly,
+		WAL:             *useWAL,
+		WALSync:         syncPolicy,
+		CheckpointBytes: *ckptBytes,
 	}
 	if *noCache {
 		cfg.CacheEntries = -1
@@ -64,23 +89,56 @@ func main() {
 		tuples, _, _ := fixture.RunningExample()
 		eng = engine.New(lists.NewMemIndex(tuples, 2), cfg)
 	case *data != "":
-		var err error
-		eng, err = engine.Open(
-			filepath.Join(*data, "tuples.dat"),
-			filepath.Join(*data, "lists.dat"),
-			*pool,
-			cfg,
-		)
+		eng, err = engine.OpenDir(*data, *pool, cfg)
 		if err != nil {
 			log.Fatalf("irserver: %v", err)
 		}
-		defer eng.Close()
 	default:
 		log.Fatal("irserver: need -data DIR or -demo")
 	}
 
 	srv := server.FromEngine(eng)
-	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v mutable=%v)\n",
-		eng.N(), eng.Dim(), *addr, *maxConc, *parallelism, eng.CacheEnabled(), eng.Mutable())
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v mutable=%v wal=%v)\n",
+		eng.N(), eng.Dim(), *addr, *maxConc, *parallelism, eng.CacheEnabled(), eng.Mutable(), eng.Durable())
+	if ds := eng.DurabilityStats(); ds.Enabled && (ds.ReplayedRecords > 0 || ds.TruncatedBytes > 0) {
+		fmt.Printf("irserver: recovered %d ops from %d wal records (%d torn bytes repaired)\n",
+			ds.ReplayedOps, ds.ReplayedRecords, ds.TruncatedBytes)
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
+	// closing the engine — the WAL flush must come after the last
+	// /update handler has returned.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		eng.Close()
+		log.Fatalf("irserver: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("irserver: shutting down, draining in-flight requests")
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTo)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Stragglers used up the grace period: sever their
+			// connections so their request contexts fire and they abort;
+			// eng.Close below still waits for them to finish unwinding
+			// before it touches the files.
+			log.Printf("irserver: shutdown timeout after %v, closing connections", *shutdownTo)
+			httpSrv.Close()
+		} else {
+			log.Printf("irserver: shutdown: %v", err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatalf("irserver: close engine: %v", err)
+	}
+	fmt.Println("irserver: bye")
 }

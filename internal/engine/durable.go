@@ -1,0 +1,516 @@
+// Durability: the engine side of the write-ahead-log subsystem
+// (internal/wal). A durable engine opens a data *directory* instead of
+// two file paths, because the set of live files is itself mutable state:
+// the manifest names the current tuple/list generation, wal.log holds
+// every Apply batch since that generation was cut, and checkpoint
+// compaction atomically advances both.
+//
+// # Recovery (OpenDir)
+//
+// OpenDir resolves the manifest, opens the named tuple/list files,
+// wraps them in the write overlay and replays wal.log into it — records
+// at or below the manifest's LastSeq are already folded into the files
+// and are skipped, a torn final record is truncated away, and anything
+// worse is refused as corruption. After replay the engine serves
+// exactly the state of the last acknowledged batch (minus whatever the
+// sync policy had not yet pushed to stable storage).
+//
+// # Checkpoint compaction
+//
+// When the log or the overlay delta crosses Config.CheckpointBytes, the
+// engine folds the live view into fresh dataset files. The ordering is
+// crash-safe; a crash between any two steps recovers to a consistent
+// state:
+//
+//  1. write tuples.gNNNNNN.dat / lists.gNNNNNN.dat from the overlay's
+//     materialized view and fsync them (crash here: manifest still
+//     names the old generation, the full log replays — the orphan files
+//     are ignored and overwritten by the next attempt);
+//  2. atomically replace MANIFEST naming the new files and the last
+//     sequence they contain (crash here: the new generation serves, and
+//     replay skips every record at or below LastSeq instead of
+//     double-applying);
+//  3. truncate the log (crash here: the log is already empty — nothing
+//     to replay);
+//  4. swap the live index to the new generation and drop the previous
+//     checkpoint's files (in-memory only; a crash just reopens).
+//
+// The expensive rewrite runs off the engine's write lock (queries keep
+// flowing; only the publish steps drain them briefly); see checkpoint()
+// for the phase structure. The cached analyses survive: the logical
+// dataset is unchanged, only its physical layout moved.
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lists"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// DefaultCheckpointBytes is the compaction threshold applied when
+// Config.CheckpointBytes is zero: the log or overlay delta crossing it
+// triggers a checkpoint.
+const DefaultCheckpointBytes = 64 << 20
+
+// durable bundles the engine's WAL state; nil on non-durable engines.
+type durable struct {
+	log       *wal.Writer
+	lock      *wal.DirLock // the directory's exclusive writer role
+	dir       string
+	gen       uint64
+	poolPages int
+
+	replayedRecords int
+	replayedOps     int
+	tornBytes       int64
+
+	// ckptMu serializes checkpoints against each other (they span lock
+	// regions, so the engine's RWMutex alone cannot).
+	ckptMu          sync.Mutex
+	checkpoints     atomic.Int64
+	checkpointBytes int64        // resolved threshold; <= 0 disables auto-compaction
+	lastCkptErr     atomic.Value // string: last auto-checkpoint failure
+
+	// ckptHook, when non-nil, is called after each named checkpoint step
+	// ("files", "manifest", "truncate"); returning an error aborts the
+	// checkpoint there. Crash-injection tests use it to stop the
+	// sequence mid-flight and reopen the directory as a fresh process
+	// would.
+	ckptHook func(step string) error
+}
+
+// DurabilityStats is a point-in-time snapshot of the WAL subsystem.
+type DurabilityStats struct {
+	// Enabled reports whether this engine has a write-ahead log.
+	Enabled bool
+	// Dir is the data directory; Generation the live checkpoint
+	// generation (0 = original files).
+	Dir        string
+	Generation uint64
+	// SyncPolicy renders the writer's fsync policy.
+	SyncPolicy string
+	// NextSeq is the sequence number the next batch will get; LogBytes
+	// the current log length; Appends/Syncs the writer's counters.
+	NextSeq  uint64
+	LogBytes int64
+	Appends  int64
+	Syncs    int64
+	// ReplayedRecords/ReplayedOps count what recovery applied at open;
+	// TruncatedBytes is the torn tail repaired then.
+	ReplayedRecords int
+	ReplayedOps     int
+	TruncatedBytes  int64
+	// Checkpoints counts completed compactions; CheckpointBytes is the
+	// auto-compaction threshold (<= 0 disabled); LastCheckpointError is
+	// the most recent auto-compaction failure ("" when none).
+	Checkpoints         int64
+	CheckpointBytes     int64
+	LastCheckpointError string
+}
+
+// Durable reports whether the engine has a write-ahead log.
+func (e *Engine) Durable() bool { return e.dur != nil }
+
+// DurabilityStats snapshots the WAL subsystem (zero value when the
+// engine is not durable).
+func (e *Engine) DurabilityStats() DurabilityStats {
+	if e.dur == nil {
+		return DurabilityStats{}
+	}
+	d := e.dur
+	st := DurabilityStats{
+		Enabled:         true,
+		Dir:             d.dir,
+		SyncPolicy:      d.log.Policy().String(),
+		NextSeq:         d.log.NextSeq(),
+		LogBytes:        d.log.Size(),
+		Appends:         d.log.Appends(),
+		Syncs:           d.log.Syncs(),
+		ReplayedRecords: d.replayedRecords,
+		ReplayedOps:     d.replayedOps,
+		TruncatedBytes:  d.tornBytes,
+		Checkpoints:     d.checkpoints.Load(),
+		CheckpointBytes: d.checkpointBytes,
+	}
+	e.mu.RLock()
+	st.Generation = d.gen
+	e.mu.RUnlock()
+	if s, _ := d.lastCkptErr.Load().(string); s != "" {
+		st.LastCheckpointError = s
+	}
+	return st
+}
+
+// OverlayStats measures the write overlay's in-memory delta; ok is
+// false when the index is not overlay-backed (MemIndex engines).
+func (e *Engine) OverlayStats() (lists.DeltaStats, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ov, ok := e.ix.(*lists.Overlay)
+	if !ok {
+		return lists.DeltaStats{}, false
+	}
+	return ov.DeltaStats(), true
+}
+
+// OpenDir opens a persisted dataset directory, following its manifest
+// to the live tuple/list generation. With Config.WAL set (and not
+// ReadOnly) the engine takes the directory's writer lock (one durable
+// writer per directory — a second one would interleave log frames and
+// corrupt it), appends every Apply batch to wal.log and compacts past
+// Config.CheckpointBytes; recovery replays the log before serving.
+// Without WAL the directory is still opened manifest-aware and an
+// existing log is replayed read-only, so neither a -wal=false restart
+// nor a side-car tool ever serves state missing acknowledged batches;
+// these snapshot opens retry when a concurrent writer's checkpoint
+// moves the manifest mid-open.
+func OpenDir(dir string, poolPages int, cfg Config) (*Engine, error) {
+	if cfg.WAL && !cfg.ReadOnly {
+		return openDurableDir(dir, poolPages, cfg)
+	}
+	// Snapshot open: no lock is held, so a live writer can publish a
+	// checkpoint (new manifest, truncated log, removed old generation)
+	// at any point while we read. Detect it — the manifest differing
+	// after the open, or the open tripping over vanishing files — and
+	// start over against the new generation.
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		before, e, err := openSnapshot(dir, poolPages, cfg)
+		if err == nil {
+			after, aerr := currentManifest(dir)
+			if aerr == nil && after == before {
+				return e, nil
+			}
+			e.Close()
+			lastErr = fmt.Errorf("engine: %s: checkpoint published during open", dir)
+			continue
+		}
+		lastErr = err
+		if after, aerr := currentManifest(dir); aerr != nil || after == before {
+			return nil, err // a real failure, not checkpoint churn
+		}
+	}
+	return nil, lastErr
+}
+
+// currentManifest reads dir's manifest (the implied default when none
+// exists) for the snapshot open's moved-under-us check.
+func currentManifest(dir string) (wal.Manifest, error) {
+	m, ok, err := wal.LoadManifest(dir)
+	if err != nil {
+		return wal.Manifest{}, err
+	}
+	if !ok {
+		m = wal.DefaultManifest()
+	}
+	return m, nil
+}
+
+// openSnapshot performs one manifest-resolved, log-replaying open
+// without taking the writer lock, returning the manifest it started
+// from so the caller can detect a concurrent checkpoint.
+func openSnapshot(dir string, poolPages int, cfg Config) (wal.Manifest, *Engine, error) {
+	tuplePath, listPath, man, err := wal.ResolveDataset(dir)
+	if err != nil {
+		return man, nil, fmt.Errorf("engine: %w", err)
+	}
+	if cfg.VerifyChecksums {
+		for _, p := range []string{tuplePath, listPath} {
+			if err := storage.VerifyChecksum(p); err != nil {
+				return man, nil, fmt.Errorf("engine: verify %s: %w", p, err)
+			}
+		}
+	}
+	ix, err := lists.OpenDiskIndex(tuplePath, listPath, poolPages)
+	if err != nil {
+		return man, nil, err
+	}
+	// An existing log holds committed batches the dataset files lack;
+	// serve them even though this open will not write.
+	ov := lists.NewOverlay(ix)
+	replayedOps := 0
+	res, err := wal.Replay(filepath.Join(dir, wal.LogName), man.LastSeq, replayInto(ov, &replayedOps))
+	if err != nil {
+		ix.Close()
+		return man, nil, fmt.Errorf("engine: replay %s: %w", wal.LogName, err)
+	}
+	var top lists.Index = ov
+	if cfg.ReadOnly && res.Records == 0 {
+		top = ix // nothing replayed: serve the raw files
+	}
+	e := New(top, cfg)
+	e.closer = ix.Close
+	return man, e, nil
+}
+
+// openDurableDir is the writer-role open: lock, resolve, replay, attach
+// the log.
+func openDurableDir(dir string, poolPages int, cfg Config) (*Engine, error) {
+	// The lock comes first: once held, no other writer can move the
+	// manifest or the log underneath the steps below.
+	lock, err := wal.AcquireDirLock(dir)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	fail := func(err error) (*Engine, error) {
+		lock.Release()
+		return nil, err
+	}
+	tuplePath, listPath, man, err := wal.ResolveDataset(dir)
+	if err != nil {
+		return fail(fmt.Errorf("engine: %w", err))
+	}
+	// With the writer role secured, garbage from interrupted checkpoints
+	// (generation files no manifest references) can be swept.
+	wal.RemoveStaleGenerations(dir, man.Gen)
+	if cfg.VerifyChecksums {
+		for _, p := range []string{tuplePath, listPath} {
+			if err := storage.VerifyChecksum(p); err != nil {
+				return fail(fmt.Errorf("engine: verify %s: %w", p, err))
+			}
+		}
+	}
+	ix, err := lists.OpenDiskIndex(tuplePath, listPath, poolPages)
+	if err != nil {
+		return fail(err)
+	}
+	ov := lists.NewOverlay(ix)
+	replayedOps := 0
+	w, res, err := wal.Open(filepath.Join(dir, wal.LogName), cfg.WALSync, man.LastSeq, replayInto(ov, &replayedOps))
+	if err != nil {
+		ix.Close()
+		return fail(fmt.Errorf("engine: open wal: %w", err))
+	}
+	e := New(ov, cfg)
+	e.closer = ix.Close
+	threshold := cfg.CheckpointBytes
+	if threshold == 0 {
+		threshold = DefaultCheckpointBytes
+	}
+	e.dur = &durable{
+		log:             w,
+		lock:            lock,
+		dir:             dir,
+		gen:             man.Gen,
+		poolPages:       poolPages,
+		replayedRecords: res.Records,
+		replayedOps:     replayedOps,
+		tornBytes:       res.TruncatedBytes,
+		checkpointBytes: threshold,
+	}
+	return e, nil
+}
+
+// replayInto adapts a logged batch back onto the overlay through the
+// same mutation entry points live Apply uses. Per-op failures are
+// skipped, not fatal: they failed identically when first applied (the
+// mutation code is deterministic), so skipping reproduces the committed
+// state exactly — including insert-id assignment, which only advances
+// on success.
+func replayInto(ov *lists.Overlay, applied *int) func(seq uint64, ops []wal.Op) error {
+	return func(seq uint64, ops []wal.Op) error {
+		for _, op := range ops {
+			var err error
+			switch op.Kind {
+			case wal.OpInsert:
+				_, err = ov.Insert(op.Tuple)
+			case wal.OpUpdate:
+				_, err = ov.Update(int(op.ID), op.Tuple)
+			case wal.OpDelete:
+				_, err = ov.Delete(int(op.ID))
+			}
+			if err == nil {
+				*applied++
+			}
+		}
+		return nil
+	}
+}
+
+// walOps converts a batch for logging. Ops the engine will reject
+// outright (unknown kinds) are dropped: they cannot mutate, so the log
+// stays a record of effective mutations only.
+func walOps(ops []Op) []wal.Op {
+	out := make([]wal.Op, 0, len(ops))
+	for _, op := range ops {
+		var k wal.OpKind
+		switch op.Kind {
+		case OpInsert:
+			k = wal.OpInsert
+		case OpUpdate:
+			k = wal.OpUpdate
+		case OpDelete:
+			k = wal.OpDelete
+		default:
+			continue
+		}
+		out = append(out, wal.Op{Kind: k, ID: int64(op.ID), Tuple: op.Tuple})
+	}
+	return out
+}
+
+// Checkpoint forces a compaction now, regardless of thresholds.
+func (e *Engine) Checkpoint() error {
+	if e.dur == nil {
+		return fmt.Errorf("engine: checkpoint requires a durable engine (OpenDir with Config.WAL)")
+	}
+	return e.checkpoint(true)
+}
+
+// maybeCheckpoint runs a compaction when the log or the overlay delta
+// has outgrown the threshold. Called by Apply AFTER it releases the
+// write lock, so queries keep flowing during the dataset rewrite. A
+// failure is recorded in DurabilityStats rather than failing the Apply:
+// the batch itself is already durable in the log, and the next batch
+// retries the compaction.
+func (e *Engine) maybeCheckpoint() {
+	d := e.dur
+	if d == nil || d.checkpointBytes <= 0 || !e.checkpointDue() {
+		return
+	}
+	if err := e.checkpoint(false); err != nil {
+		d.lastCkptErr.Store(err.Error())
+	} else {
+		d.lastCkptErr.Store("")
+	}
+}
+
+// checkpointDue reports whether the log or overlay delta crossed the
+// compaction threshold.
+func (e *Engine) checkpointDue() bool {
+	d := e.dur
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ov, ok := e.ix.(*lists.Overlay)
+	if !ok {
+		return false
+	}
+	return d.log.Size() >= d.checkpointBytes || ov.DeltaStats().Bytes >= d.checkpointBytes
+}
+
+// checkpoint performs the compaction sequence of the package comment in
+// three phases, keeping the expensive dataset rewrite off the engine's
+// write lock:
+//
+//   - snapshot (read lock): materialize the live view and pin the log
+//     position — queries run concurrently, mutations are excluded;
+//   - rewrite (no lock): write and fsync the new generation's files;
+//   - publish (write lock): manifest rename, log truncation, live-index
+//     swap, stale-generation sweep.
+//
+// If a batch lands between snapshot and publish, the new files are
+// missing it: the manifest is still published (the files plus the
+// intact log are consistent — replay skips only what they fold), but
+// the truncation and swap are skipped and the next trigger retries.
+// force skips the threshold re-check.
+func (e *Engine) checkpoint(force bool) error {
+	d := e.dur
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if !force && !e.checkpointDue() {
+		return nil // another trigger compacted while we queued
+	}
+	hook := func(step string) error {
+		if d.ckptHook != nil {
+			return d.ckptHook(step)
+		}
+		return nil
+	}
+
+	// Phase 1: snapshot. ckptMu is held, so d.gen cannot move under us.
+	e.mu.RLock()
+	ov, ok := e.ix.(*lists.Overlay)
+	if !ok {
+		e.mu.RUnlock()
+		return fmt.Errorf("engine: checkpoint needs an overlay-backed index")
+	}
+	snap := ov.Materialize()
+	seq := d.log.LastSeq()
+	dim := e.ix.Dim()
+	e.mu.RUnlock()
+
+	// Phase 2: write and fsync the new generation's files.
+	gen := d.gen + 1
+	tn, ln := wal.GenFileNames(gen)
+	tuplePath, listPath := filepath.Join(d.dir, tn), filepath.Join(d.dir, ln)
+	if err := lists.SaveDataset(tuplePath, listPath, snap, dim); err != nil {
+		return fmt.Errorf("engine: checkpoint write: %w", err)
+	}
+	for _, p := range []string{tuplePath, listPath} {
+		if err := wal.SyncFile(p); err != nil {
+			return fmt.Errorf("engine: checkpoint sync %s: %w", p, err)
+		}
+	}
+	if err := wal.SyncDir(d.dir); err != nil {
+		return fmt.Errorf("engine: checkpoint sync dir: %w", err)
+	}
+	if err := hook("files"); err != nil {
+		return err
+	}
+
+	// Phase 3: publish. The write lock drains in-flight queries for the
+	// cheap steps only.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// The manifest names the snapshot's log position: replay skips
+	// exactly what the files fold, so publishing is safe even if more
+	// batches have landed since. The in-memory generation advances with
+	// the manifest: if any later step fails, a retry must mint a FRESH
+	// generation rather than rewrite files the published manifest
+	// already names (an in-place rewrite is not atomic — a crash
+	// mid-rewrite would leave the manifest pointing at half-written
+	// files).
+	man := wal.Manifest{Gen: gen, Tuples: tn, Lists: ln, LastSeq: seq}
+	if err := man.Save(d.dir); err != nil {
+		return fmt.Errorf("engine: checkpoint manifest: %w", err)
+	}
+	d.gen = gen
+	if err := hook("manifest"); err != nil {
+		return err
+	}
+
+	if d.log.LastSeq() != seq {
+		// Batches landed during the rewrite; the new files miss them, so
+		// the log must keep its records and the served overlay its
+		// delta. Everything is still consistent — the next trigger
+		// compacts the remainder onto this generation.
+		return nil
+	}
+
+	// The log's records are all folded in; drop them.
+	if err := d.log.Truncate(); err != nil {
+		return fmt.Errorf("engine: checkpoint truncate wal: %w", err)
+	}
+	if err := hook("truncate"); err != nil {
+		return err
+	}
+
+	// Swap the live index to the new generation. The engine-wide I/O
+	// meter carries over, so /stats stays cumulative across compactions.
+	// Failing here is recoverable: the old index keeps serving the same
+	// logical data, and the next open follows the manifest.
+	disk, err := lists.OpenDiskIndex(tuplePath, listPath, d.poolPages)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint reopen: %w", err)
+	}
+	newOv := lists.NewOverlay(disk.WithStats(e.ix.Stats()))
+	oldClose := e.closer
+	e.ix = newOv
+	e.mut = newOv
+	e.closer = disk.Close
+	if oldClose != nil {
+		oldClose() // release the previous generation's files
+	}
+	// Sweep every generation but the live one: the superseded
+	// generation plus any orphans earlier failed checkpoints left. The
+	// original irgen files (generation 0) never match the pattern.
+	wal.RemoveStaleGenerations(d.dir, gen)
+	d.checkpoints.Add(1)
+	return nil
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/topk"
 	"repro/internal/vec"
+	"repro/internal/wal"
 )
 
 // ErrInvalid tags query-validation failures (bad k, out-of-range
@@ -78,6 +79,19 @@ type Config struct {
 	// even over a mutable index, and Open serves the disk files directly
 	// instead of wrapping them in a write overlay.
 	ReadOnly bool
+	// WAL enables the durability subsystem when opening a dataset
+	// directory via OpenDir: Apply batches are appended to wal.log
+	// before they mutate the overlay, and recovery replays the log on
+	// open. Ignored by New and the path-based Open.
+	WAL bool
+	// WALSync selects when appended batches are fsynced (the zero value
+	// is wal.SyncBatch: fsync per Apply).
+	WALSync wal.SyncPolicy
+	// CheckpointBytes triggers checkpoint compaction when the log or the
+	// overlay delta crosses it. 0 picks DefaultCheckpointBytes; a
+	// negative value disables automatic compaction (Engine.Checkpoint
+	// still works).
+	CheckpointBytes int64
 }
 
 // Engine executes subspace top-k queries and immutable-region analyses
@@ -89,6 +103,7 @@ type Engine struct {
 	sem    chan struct{} // nil when unlimited
 	cache  *cache        // nil when disabled
 	closer func() error
+	dur    *durable // non-nil when the engine has a write-ahead log
 
 	// mu serializes mutations against queries: every execution that
 	// touches the index holds the read side for its whole run, Apply
@@ -160,12 +175,31 @@ func Open(tuplePath, listPath string, poolPages int, cfg Config) (*Engine, error
 	return e, nil
 }
 
-// Close releases the underlying files (no-op for in-memory indexes).
+// Close flushes and closes the write-ahead log (durable engines), then
+// releases the underlying files (no-op for in-memory indexes). It takes
+// the engine's write lock first, so it waits for in-flight queries and
+// Apply batches to drain instead of closing files under them; cancel
+// their contexts (e.g. by force-closing the HTTP server) to bound the
+// wait.
 func (e *Engine) Close() error {
-	if e.closer != nil {
-		return e.closer()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var firstErr error
+	if e.dur != nil {
+		firstErr = e.dur.log.Close()
 	}
-	return nil
+	if e.closer != nil {
+		if err := e.closer(); firstErr == nil {
+			firstErr = err
+		}
+		e.closer = nil
+	}
+	if e.dur != nil {
+		if err := e.dur.lock.Release(); firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Index exposes the underlying index (read-only).

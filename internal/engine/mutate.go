@@ -147,7 +147,10 @@ type tupleChange struct {
 // it waits for in-flight queries to drain, and once Apply returns every
 // answer — cached or computed — reflects the post-batch dataset. Ops
 // apply independently in order; per-op failures are reported in
-// Results and do not fail the batch.
+// Results and do not fail the batch. On a durable engine the batch is
+// appended to the write-ahead log before any mutation, and an outgrown
+// log or overlay triggers checkpoint compaction before Apply returns
+// (see durable.go).
 func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	if e.mut == nil {
 		return ApplyResult{}, fmt.Errorf("engine: %w", ErrImmutable)
@@ -155,11 +158,33 @@ func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	if len(ops) == 0 {
 		return ApplyResult{}, fmt.Errorf("engine: empty op batch: %w", ErrInvalid)
 	}
+	res, err := e.applyLocked(ops)
+	if err == nil {
+		// Compaction happens after the write lock is released, so
+		// queries are not stalled behind the dataset rewrite.
+		e.maybeCheckpoint()
+	}
+	return res, err
+}
+
+// applyLocked is Apply's critical section: log, mutate, invalidate.
+func (e *Engine) applyLocked(ops []Op) (ApplyResult, error) {
 	res := ApplyResult{Results: make([]OpResult, len(ops))}
 	changes := make([]tupleChange, 0, len(ops))
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Write-ahead: the batch reaches the log (and, under the fsync-
+	// per-batch policy, stable storage) before any overlay state
+	// changes, so an acknowledged batch can always be replayed. A log
+	// failure aborts the batch untouched.
+	if e.dur != nil {
+		if wops := walOps(ops); len(wops) > 0 {
+			if _, err := e.dur.log.Append(wops); err != nil {
+				return ApplyResult{}, fmt.Errorf("engine: wal append: %w", err)
+			}
+		}
+	}
 	for i, op := range ops {
 		switch op.Kind {
 		case OpInsert:

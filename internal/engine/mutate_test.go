@@ -169,17 +169,20 @@ func TestApplyRunningExampleCertificates(t *testing.T) {
 	}
 }
 
-// randOpTuple draws a mutation payload; half the draws are low-valued
-// so the certificate has genuine survivors to prove.
+// randOpTuple draws a non-empty mutation payload (empty tuples are
+// rejected: they are the on-disk tombstone encoding); half the draws
+// are low-valued so the certificate has genuine survivors to prove.
 func randOpTuple(rng *rand.Rand, m int) vec.Sparse {
 	scale := 1.0
 	if rng.Float64() < 0.5 {
 		scale = 0.2
 	}
 	var entries []vec.Entry
-	for d := 0; d < m; d++ {
-		if rng.Float64() < 0.5 {
-			entries = append(entries, vec.Entry{Dim: d, Val: scale * (0.05 + 0.9*rng.Float64())})
+	for len(entries) == 0 {
+		for d := 0; d < m; d++ {
+			if rng.Float64() < 0.5 {
+				entries = append(entries, vec.Entry{Dim: d, Val: scale * (0.05 + 0.9*rng.Float64())})
+			}
 		}
 	}
 	t, err := vec.NewSparse(entries)

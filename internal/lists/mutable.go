@@ -47,9 +47,16 @@ type Mutable interface {
 }
 
 // validateTuple checks a mutation payload against the index geometry.
+// Empty tuples are rejected: an all-zero vector can never appear in any
+// inverted list or result, and empty records on disk are how checkpoint
+// compaction persists TOMBSTONES — allowing one as a payload would make
+// a live tuple indistinguishable from a deleted id after compaction.
 func validateTuple(t vec.Sparse, m int) error {
 	if err := t.Validate(); err != nil {
 		return err
+	}
+	if len(t) == 0 {
+		return fmt.Errorf("lists: empty tuple (delete the id instead)")
 	}
 	if d := t.MaxDim(); d >= m {
 		return fmt.Errorf("lists: tuple dimension %d outside dataset [0,%d)", d, m)

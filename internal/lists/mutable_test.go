@@ -9,12 +9,15 @@ import (
 	"repro/internal/vec"
 )
 
-// randTuple draws a sparse tuple over m dimensions.
+// randTuple draws a non-empty sparse tuple over m dimensions (empty
+// tuples are rejected payloads: they encode tombstones on disk).
 func randTuple(rng *rand.Rand, m int) vec.Sparse {
 	var entries []vec.Entry
-	for d := 0; d < m; d++ {
-		if rng.Float64() < 0.5 {
-			entries = append(entries, vec.Entry{Dim: d, Val: 0.05 + 0.95*rng.Float64()})
+	for len(entries) == 0 {
+		for d := 0; d < m; d++ {
+			if rng.Float64() < 0.5 {
+				entries = append(entries, vec.Entry{Dim: d, Val: 0.05 + 0.95*rng.Float64()})
+			}
 		}
 	}
 	t, err := vec.NewSparse(entries)
@@ -243,4 +246,143 @@ func TestOverlayErrorPaths(t *testing.T) {
 	if _, err := ov.Update(99, nil); err == nil {
 		t.Fatal("update out of range accepted")
 	}
+}
+
+// TestOverlayDeltaStats pins the observable delta accounting the
+// checkpointer triggers on: counts track live inserts, overrides and
+// tombstones exactly, and the byte estimate grows with the delta.
+func TestOverlayDeltaStats(t *testing.T) {
+	tuples, _, _ := fixture.RunningExample()
+	ov := NewOverlay(NewMemIndex(cloneTuples(tuples), 2))
+
+	if st := ov.DeltaStats(); st != (DeltaStats{Bytes: st.Bytes}) || st.Bytes < 0 {
+		t.Fatalf("fresh overlay delta %+v, want zero counts", st)
+	}
+
+	id, err := ov.Insert(vec.MustSparse(vec.Entry{Dim: 0, Val: 0.4}, vec.Entry{Dim: 1, Val: 0.3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ov.DeltaStats()
+	if st.Added != 1 || st.Overridden != 0 || st.Tombstoned != 0 || st.DeltaPostings != 2 {
+		t.Fatalf("after insert: %+v", st)
+	}
+	prevBytes := st.Bytes
+
+	if _, err := ov.Update(0, vec.MustSparse(vec.Entry{Dim: 0, Val: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+	st = ov.DeltaStats()
+	if st.Added != 1 || st.Overridden != 1 || st.Tombstoned != 0 || st.DeltaPostings != 3 {
+		t.Fatalf("after update: %+v", st)
+	}
+	if st.Bytes <= prevBytes {
+		t.Fatalf("bytes did not grow: %d -> %d", prevBytes, st.Bytes)
+	}
+
+	if _, err := ov.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ov.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	st = ov.DeltaStats()
+	if st.Added != 0 || st.Overridden != 1 || st.Tombstoned != 2 || st.DeltaPostings != 1 {
+		t.Fatalf("after deletes: %+v", st)
+	}
+
+	// The accounting is incremental; a long random op sequence must not
+	// let it drift from a from-scratch recount.
+	rng := rand.New(rand.NewSource(7))
+	applyRandomOps(t, rng, ov, cloneTuples(ov.Materialize()), 2, 200)
+	if got, want := ov.DeltaStats(), recountDelta(ov); got != want {
+		t.Fatalf("incremental delta stats drifted:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// recountDelta recomputes DeltaStats by scanning the overlay's internal
+// state — the oracle the incremental counters are checked against.
+func recountDelta(ov *Overlay) DeltaStats {
+	var st DeltaStats
+	for _, t := range ov.added {
+		if t == nil {
+			st.Tombstoned++
+			st.Bytes += tombBytes
+			continue
+		}
+		st.Added++
+		st.Bytes += tupleBytes(t)
+	}
+	for _, e := range ov.over {
+		if e.dead {
+			st.Tombstoned++
+			st.Bytes += tombBytes
+			continue
+		}
+		st.Overridden++
+		st.Bytes += tupleBytes(e.t)
+	}
+	for _, pl := range ov.delta {
+		st.DeltaPostings += pl.Len()
+		st.Bytes += 12 * int64(pl.Len())
+	}
+	st.Bytes += 8 * int64(len(ov.deadBase))
+	return st
+}
+
+// TestOverlayMaterialize: the materialized snapshot is exactly the live
+// view (nil at tombstoned slots), it leaves the overlay's meter
+// untouched, and a dataset saved from it round-trips through the disk
+// format to the same answers.
+func TestOverlayMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const m = 4
+	var base []vec.Sparse
+	for i := 0; i < 12; i++ {
+		base = append(base, randTuple(rng, m))
+	}
+	dir := t.TempDir()
+	tp, lp := filepath.Join(dir, "tuples.dat"), filepath.Join(dir, "lists.dat")
+	if err := SaveDataset(tp, lp, base, m); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenDiskIndex(tp, lp, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	ov := NewOverlay(disk)
+	shadow := applyRandomOps(t, rng, ov, cloneTuples(base), m, 30)
+
+	seq0, rnd0, by0 := ov.Stats().Snapshot()
+	mat := ov.Materialize()
+	if seq1, rnd1, by1 := ov.Stats().Snapshot(); seq1 != seq0 || rnd1 != rnd0 || by1 != by0 {
+		t.Fatalf("materialize charged the overlay meter: seq %d→%d rand %d→%d", seq0, seq1, rnd0, rnd1)
+	}
+	if len(mat) != len(shadow) {
+		t.Fatalf("materialized %d tuples, want %d", len(mat), len(shadow))
+	}
+	for id := range shadow {
+		if (mat[id] == nil) != (shadow[id] == nil) {
+			t.Fatalf("tuple %d: materialized nil=%v, shadow nil=%v", id, mat[id] == nil, shadow[id] == nil)
+		}
+		if mat[id].String() != shadow[id].String() {
+			t.Fatalf("tuple %d: %v, want %v", id, mat[id], shadow[id])
+		}
+	}
+
+	// The snapshot survives the disk round-trip: ids stay stable (nil
+	// slots become empty records) and the reopened files serve the same
+	// index state.
+	tp2, lp2 := filepath.Join(dir, "tuples2.dat"), filepath.Join(dir, "lists2.dat")
+	if err := SaveDataset(tp2, lp2, mat, m); err != nil {
+		t.Fatal(err)
+	}
+	disk2, err := OpenDiskIndex(tp2, lp2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk2.Close()
+	assertIndexEquals(t, disk2, shadow, m)
 }

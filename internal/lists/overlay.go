@@ -9,9 +9,12 @@
 //
 // The overlay follows the same synchronization contract as every other
 // Mutable: mutations must be externally serialized against readers (the
-// engine's reader-writer lock does this). Durability is out of scope —
-// the delta is memory-only; persisting it through a write-ahead log on
-// the DiskIndex files is the roadmap follow-up.
+// engine's reader-writer lock does this). The delta itself is
+// memory-only; durability comes from the engine's write-ahead log
+// (internal/wal), which replays into a fresh overlay on open, and from
+// checkpoint compaction, which folds the live view (Materialize) into
+// fresh tuple/list files. DeltaStats makes the overlay's growth
+// observable so the checkpointer can bound it.
 package lists
 
 import (
@@ -49,12 +52,16 @@ type Overlay struct {
 	deadPerDim map[int]int
 	// delta holds the postings of added and updated tuples, sorted.
 	delta map[int]PostingList
+	// ds is the delta accounting, maintained incrementally by every
+	// mutation so DeltaStats (and the engine's per-Apply checkpoint
+	// trigger) is O(1) instead of a scan of the whole delta.
+	ds DeltaStats
 }
 
 // NewOverlay builds a write overlay over base. The base index must not
 // change underneath it.
 func NewOverlay(base Index) *Overlay {
-	return &Overlay{
+	ov := &Overlay{
 		base:       base,
 		baseN:      base.NumTuples(),
 		m:          base.Dim(),
@@ -64,6 +71,8 @@ func NewOverlay(base Index) *Overlay {
 		deadPerDim: make(map[int]int),
 		delta:      make(map[int]PostingList),
 	}
+	ov.ds.Bytes = 8 * int64(len(ov.deadBase))
+	return ov
 }
 
 // NumTuples returns the dataset cardinality including inserted tuples
@@ -105,6 +114,66 @@ func (ov *Overlay) Tuple(id int) vec.Sparse {
 	return ov.base.Tuple(id)
 }
 
+// DeltaStats is a point-in-time measure of an overlay's in-memory
+// delta, the raw material of checkpoint-trigger decisions and /stats.
+type DeltaStats struct {
+	// Added counts live inserted tuples (deleted inserts excluded).
+	Added int
+	// Overridden counts base tuples replaced by an updated version.
+	Overridden int
+	// Tombstoned counts dead slots: deleted base tuples plus deleted
+	// inserts.
+	Tombstoned int
+	// DeltaPostings counts postings in the delta lists.
+	DeltaPostings int
+	// Bytes approximates the delta's memory footprint: tuple payloads at
+	// 12 B/entry plus delta postings at 12 B plus fixed per-slot
+	// overheads. It is an estimate for bounding growth, not an exact
+	// accounting.
+	Bytes int64
+}
+
+// DeltaStats measures the overlay's current delta. The accounting is
+// maintained incrementally by the mutation paths, so reading it is
+// O(1) — cheap enough for the engine to consult on every Apply. Like
+// mutations, it must be serialized against writers (the engine calls
+// it under its lock).
+func (ov *Overlay) DeltaStats() DeltaStats { return ov.ds }
+
+// tupleBytes is the per-slot estimate of an overlay-resident tuple:
+// slice header + map/slot overhead plus 12 B per entry.
+func tupleBytes(t vec.Sparse) int64 { return 48 + 12*int64(len(t)) }
+
+// tombBytes is the per-slot estimate of a tombstone.
+const tombBytes = 16
+
+// Materialize snapshots the live dataset view: a slice of NumTuples()
+// tuples with nil at tombstoned slots, in id order — exactly what a
+// checkpoint writes to fresh tuple/list files (nil slots become empty
+// records, keeping ids stable across compaction). Base reads are
+// charged to a throwaway meter so a checkpoint's physical scan does not
+// distort query metering.
+func (ov *Overlay) Materialize() []vec.Sparse {
+	base := ov.base.WithStats(&storage.IOStats{})
+	out := make([]vec.Sparse, ov.NumTuples())
+	for id := 0; id < ov.baseN; id++ {
+		if e, ok := ov.over[id]; ok {
+			if !e.dead {
+				out[id] = e.t
+			}
+			continue
+		}
+		if ov.deadBase[id>>6]&(1<<(uint(id)&63)) != 0 {
+			continue
+		}
+		if t := base.Tuple(id); len(t) > 0 {
+			out[id] = t // empty base records are prior-compaction tombstones
+		}
+	}
+	copy(out[ov.baseN:], ov.added)
+	return out
+}
+
 // Cursor opens a merged sorted-access cursor on dim.
 func (ov *Overlay) Cursor(dim int) Cursor {
 	pl := ov.delta[dim]
@@ -118,7 +187,11 @@ func (ov *Overlay) Cursor(dim int) Cursor {
 }
 
 // current returns the live version of a base id (nil when tombstoned)
-// plus whether its base postings are already dead.
+// plus whether its base postings are already dead. An EMPTY base tuple
+// is a tombstone: checkpoint compaction persists deleted slots as empty
+// records (ids must stay stable), and validateTuple guarantees no live
+// tuple is ever empty — so without this check a delete would stop being
+// one after the next compaction.
 func (ov *Overlay) current(id int) (t vec.Sparse, overridden bool, err error) {
 	if e, ok := ov.over[id]; ok {
 		if e.dead {
@@ -126,7 +199,11 @@ func (ov *Overlay) current(id int) (t vec.Sparse, overridden bool, err error) {
 		}
 		return e.t, true, nil
 	}
-	return ov.base.Tuple(id), false, nil
+	t = ov.base.Tuple(id)
+	if len(t) == 0 {
+		return nil, false, fmt.Errorf("lists: tuple %d is deleted", id)
+	}
+	return t, false, nil
 }
 
 // tombstoneBase marks a base tuple's postings dead (first override only).
@@ -141,6 +218,8 @@ func (ov *Overlay) addDelta(id int, t vec.Sparse) {
 	for _, e := range t {
 		ov.delta[e.Dim] = insertPosting(ov.delta[e.Dim], int32(id), e.Val)
 	}
+	ov.ds.DeltaPostings += len(t)
+	ov.ds.Bytes += 12 * int64(len(t))
 }
 
 func (ov *Overlay) dropDelta(id int, t vec.Sparse) {
@@ -151,6 +230,8 @@ func (ov *Overlay) dropDelta(id int, t vec.Sparse) {
 		}
 		ov.delta[e.Dim] = pl
 	}
+	ov.ds.DeltaPostings -= len(t)
+	ov.ds.Bytes -= 12 * int64(len(t))
 }
 
 // Insert adds a new tuple to the overlay, returning its id.
@@ -161,6 +242,8 @@ func (ov *Overlay) Insert(t vec.Sparse) (int, error) {
 	id := ov.baseN + len(ov.added)
 	ov.added = append(ov.added, t.Clone())
 	ov.addDelta(id, t)
+	ov.ds.Added++
+	ov.ds.Bytes += tupleBytes(t)
 	return id, nil
 }
 
@@ -180,6 +263,7 @@ func (ov *Overlay) Update(id int, t vec.Sparse) (vec.Sparse, error) {
 		ov.dropDelta(id, old)
 		ov.added[id-ov.baseN] = t.Clone()
 		ov.addDelta(id, t)
+		ov.ds.Bytes += tupleBytes(t) - tupleBytes(old)
 		return old, nil
 	}
 	old, overridden, err := ov.current(id)
@@ -188,8 +272,11 @@ func (ov *Overlay) Update(id int, t vec.Sparse) (vec.Sparse, error) {
 	}
 	if overridden {
 		ov.dropDelta(id, old)
+		ov.ds.Bytes += tupleBytes(t) - tupleBytes(old)
 	} else {
 		ov.tombstoneBase(id, old)
+		ov.ds.Overridden++
+		ov.ds.Bytes += tupleBytes(t)
 	}
 	ov.over[id] = overlayTuple{t: t.Clone()}
 	ov.addDelta(id, t)
@@ -208,6 +295,9 @@ func (ov *Overlay) Delete(id int) (vec.Sparse, error) {
 		}
 		ov.dropDelta(id, old)
 		ov.added[id-ov.baseN] = nil
+		ov.ds.Added--
+		ov.ds.Tombstoned++
+		ov.ds.Bytes += tombBytes - tupleBytes(old)
 		return old, nil
 	}
 	old, overridden, err := ov.current(id)
@@ -216,10 +306,14 @@ func (ov *Overlay) Delete(id int) (vec.Sparse, error) {
 	}
 	if overridden {
 		ov.dropDelta(id, old)
+		ov.ds.Overridden--
+		ov.ds.Bytes += tombBytes - tupleBytes(old)
 	} else {
 		ov.tombstoneBase(id, old)
+		ov.ds.Bytes += tombBytes
 	}
 	ov.over[id] = overlayTuple{dead: true}
+	ov.ds.Tombstoned++
 	return old, nil
 }
 

@@ -24,7 +24,8 @@
 //	                    region certificate proves them unaffected.
 //	POST /delete        {ids: [...]}                 → per-op results
 //	GET  /stats         → cumulative I/O counters + cache counters +
-//	                    mutation counters (mutable engines)
+//	                    mutation counters (mutable engines) + WAL and
+//	                    overlay-delta counters (durable engines)
 //	GET  /healthz       → 200 ok
 //
 // # Concurrency model
@@ -256,6 +257,32 @@ type CacheStatsJSON struct {
 	Bytes      int64 `json:"bytes"`
 }
 
+// WALStatsJSON mirrors engine.DurabilityStats.
+type WALStatsJSON struct {
+	Generation          uint64 `json:"generation"`
+	SyncPolicy          string `json:"sync_policy"`
+	NextSeq             uint64 `json:"next_seq"`
+	LogBytes            int64  `json:"log_bytes"`
+	Appends             int64  `json:"appends"`
+	Syncs               int64  `json:"syncs"`
+	ReplayedRecords     int    `json:"replayed_records"`
+	ReplayedOps         int    `json:"replayed_ops"`
+	TruncatedBytes      int64  `json:"truncated_bytes"`
+	Checkpoints         int64  `json:"checkpoints"`
+	CheckpointBytes     int64  `json:"checkpoint_bytes"`
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+}
+
+// OverlayStatsJSON mirrors lists.DeltaStats: the write overlay's
+// in-memory delta, the quantity checkpointing bounds.
+type OverlayStatsJSON struct {
+	Added         int   `json:"added"`
+	Overridden    int   `json:"overridden"`
+	Tombstoned    int   `json:"tombstoned"`
+	DeltaPostings int   `json:"delta_postings"`
+	Bytes         int64 `json:"bytes"`
+}
+
 // StatsResponse is the body of /stats.
 type StatsResponse struct {
 	SeqPages  int64              `json:"seq_pages"`
@@ -263,6 +290,8 @@ type StatsResponse struct {
 	BytesRead int64              `json:"bytes_read"`
 	Cache     *CacheStatsJSON    `json:"cache,omitempty"`
 	Mutations *MutationStatsJSON `json:"mutations,omitempty"`
+	WAL       *WALStatsJSON      `json:"wal,omitempty"`
+	Overlay   *OverlayStatsJSON  `json:"overlay,omitempty"`
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -504,6 +533,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CacheChecked:  ms.CacheChecked,
 			CacheEvicted:  ms.CacheEvicted,
 			CacheSurvived: ms.CacheSurvived,
+		}
+	}
+	if s.eng.Durable() {
+		ds := s.eng.DurabilityStats()
+		resp.WAL = &WALStatsJSON{
+			Generation:          ds.Generation,
+			SyncPolicy:          ds.SyncPolicy,
+			NextSeq:             ds.NextSeq,
+			LogBytes:            ds.LogBytes,
+			Appends:             ds.Appends,
+			Syncs:               ds.Syncs,
+			ReplayedRecords:     ds.ReplayedRecords,
+			ReplayedOps:         ds.ReplayedOps,
+			TruncatedBytes:      ds.TruncatedBytes,
+			Checkpoints:         ds.Checkpoints,
+			CheckpointBytes:     ds.CheckpointBytes,
+			LastCheckpointError: ds.LastCheckpointError,
+		}
+	}
+	if ov, ok := s.eng.OverlayStats(); ok {
+		resp.Overlay = &OverlayStatsJSON{
+			Added:         ov.Added,
+			Overridden:    ov.Overridden,
+			Tombstoned:    ov.Tombstoned,
+			DeltaPostings: ov.DeltaPostings,
+			Bytes:         ov.Bytes,
 		}
 	}
 	if s.eng.CacheEnabled() {

@@ -1,0 +1,49 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// DirLock is an exclusive advisory lock on a data directory's writer
+// role. Two writers appending to (or checkpointing) the same wal.log
+// would interleave frames at overlapping offsets and corrupt the log
+// beyond recovery, so a durable engine takes this lock before it reads
+// the manifest and holds it until Close. The lock is flock-based: a
+// crashed process releases it automatically with its file descriptors.
+type DirLock struct {
+	f *os.File
+}
+
+// AcquireDirLock takes the writer lock of dir without blocking; a held
+// lock is an error naming the lock file so the operator can find the
+// other process.
+func AcquireDirLock(dir string) (*DirLock, error) {
+	path := filepath.Join(dir, LockName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK {
+			return nil, fmt.Errorf("wal: %s is locked — another writer is serving this directory", path)
+		}
+		return nil, fmt.Errorf("wal: lock %s: %w", path, err)
+	}
+	return &DirLock{f: f}, nil
+}
+
+// Release drops the lock. Safe to call once; the lock also dies with
+// the process.
+func (l *DirLock) Release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return f.Close()
+}

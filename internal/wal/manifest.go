@@ -1,0 +1,162 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the file naming the live dataset generation inside a
+// data directory. Directories without one serve the irgen defaults
+// (tuples.dat / lists.dat); the first checkpoint creates it.
+const ManifestName = "MANIFEST"
+
+// LogName is the write-ahead log's file name inside a data directory.
+const LogName = "wal.log"
+
+// LockName is the writer lock file's name inside a data directory.
+const LockName = "wal.lock"
+
+// Manifest names the current dataset generation. It is replaced
+// atomically (write temp + fsync + rename + fsync dir), so an opener
+// sees either the old or the new generation, never a mix — the pivot of
+// the checkpoint's crash-safe ordering.
+type Manifest struct {
+	// Gen is the checkpoint generation, 0 for the original irgen files.
+	Gen uint64 `json:"gen"`
+	// Tuples and Lists are file names relative to the data directory.
+	Tuples string `json:"tuples"`
+	Lists  string `json:"lists"`
+	// LastSeq is the highest WAL sequence number folded into this
+	// generation's files; replay skips records at or below it.
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// DefaultManifest is the implied manifest of a directory that has none.
+func DefaultManifest() Manifest {
+	return Manifest{Tuples: "tuples.dat", Lists: "lists.dat"}
+}
+
+// GenFileNames returns the tuple/list file names of a checkpoint
+// generation.
+func GenFileNames(gen uint64) (tuples, lists string) {
+	return fmt.Sprintf("tuples.g%06d.dat", gen), fmt.Sprintf("lists.g%06d.dat", gen)
+}
+
+// LoadManifest reads dir's manifest; ok is false when the directory has
+// none (callers then use DefaultManifest). A stale temp file from an
+// interrupted Save is ignored: the rename never happened, so the old
+// manifest is still the truth.
+func LoadManifest(dir string) (m Manifest, ok bool, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("wal: manifest corrupt: %v", err)
+	}
+	if m.Tuples == "" || m.Lists == "" {
+		return Manifest{}, false, fmt.Errorf("wal: manifest missing file names")
+	}
+	return m, true, nil
+}
+
+// Save atomically replaces dir's manifest: the temp file is written and
+// fsynced first, the rename publishes it, and the directory fsync makes
+// the rename itself durable.
+func (m Manifest) Save(dir string) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(raw, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// ResolveDataset maps a data directory to the tuple/list paths of its
+// live generation, following the manifest when one exists.
+func ResolveDataset(dir string) (tuplePath, listPath string, m Manifest, err error) {
+	m, ok, err := LoadManifest(dir)
+	if err != nil {
+		return "", "", Manifest{}, err
+	}
+	if !ok {
+		m = DefaultManifest()
+	}
+	return filepath.Join(dir, m.Tuples), filepath.Join(dir, m.Lists), m, nil
+}
+
+// RemoveStaleGenerations deletes checkpoint generation files (the
+// tuples.gN/lists.gN pattern) whose generation is not keep: leftovers
+// of interrupted or superseded checkpoints, which no manifest
+// references. The original generation-0 files are never touched (they
+// do not match the pattern). Returns how many files were removed;
+// removal errors are ignored — a leftover is garbage either way, and
+// the next sweep retries.
+func RemoveStaleGenerations(dir string, keep uint64) int {
+	removed := 0
+	for _, pat := range []string{"tuples.g*.dat", "lists.g*.dat"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			continue
+		}
+		for _, p := range matches {
+			var gen uint64
+			base := filepath.Base(p)
+			kind := "tuples"
+			if base[0] == 'l' {
+				kind = "lists"
+			}
+			if _, err := fmt.Sscanf(base, kind+".g%d.dat", &gen); err != nil || gen == keep {
+				continue
+			}
+			if os.Remove(p) == nil {
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// SyncDir fsyncs a directory, making renames inside it durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// SyncFile fsyncs an existing file by path (the dataset writers flush
+// but do not sync; the checkpointer must).
+func SyncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

@@ -174,6 +174,24 @@ func OpenEngineWithConfig(tuplePath, listPath string, poolPages int, cfg EngineC
 	return &Engine{eng: eng}, nil
 }
 
+// OpenEngineDir opens a dataset directory read-only, following its
+// checkpoint MANIFEST to the live file generation and replaying any
+// write-ahead log so acknowledged update batches are served — the open
+// every tool pointed at a durable irserver directory should use. The
+// engine is always read-only: a facade Apply here would mutate state
+// the directory's log never records (silently non-durable writes), so
+// writes must go through the owning server (or engine.OpenDir with
+// Config.WAL).
+func OpenEngineDir(dir string, poolPages int, cfg EngineConfig) (*Engine, error) {
+	icfg := cfg.internal()
+	icfg.ReadOnly = true
+	eng, err := engine.OpenDir(dir, poolPages, icfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng}, nil
+}
+
 // SaveDataset persists tuples and their inverted lists in the on-disk
 // format OpenEngine reads.
 func SaveDataset(tuplePath, listPath string, tuples []Tuple, m int) error {

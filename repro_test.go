@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/engine"
 	"repro/internal/fixture"
 	"repro/internal/topk"
 )
@@ -259,4 +260,39 @@ func TestFacadeApply(t *testing.T) {
 func fixtureTuples() []repro.Tuple {
 	tuples, _, _ := fixture.RunningExample()
 	return tuples
+}
+
+// TestOpenEngineDirReplaysWAL is the two-tools-one-directory pin: a
+// durable server (engine.OpenDir with WAL) acknowledges a write that is
+// not yet checkpointed; any other tool opening the directory through
+// the facade must serve it — following the manifest alone and reading
+// the stale files would silently drop acknowledged batches.
+func TestOpenEngineDirReplaysWAL(t *testing.T) {
+	tuples, q, k := fixture.RunningExample()
+	dir := t.TempDir()
+	if err := repro.SaveDataset(filepath.Join(dir, "tuples.dat"), filepath.Join(dir, "lists.dat"), tuples, 2); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := engine.OpenDir(dir, 64, engine.Config{WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Apply([]engine.Op{
+		{Kind: engine.OpInsert, Tuple: repro.FromDense([]float64{0.95, 0.95})},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := repro.OpenEngineDir(dir, 64, repro.EngineConfig{VerifyChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res := eng.TopK(q, k)
+	if len(res) == 0 || res[0].ID != 4 {
+		t.Fatalf("facade dir open missed the WAL-resident insert: %+v", res)
+	}
 }
