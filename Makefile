@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke test-wal ci
+.PHONY: all build test race vet bench-smoke test-wal test-replication check-docs ci
 
 all: ci
 
@@ -32,5 +32,18 @@ test-wal:
 	$(GO) test -race ./internal/wal/...
 	$(GO) test -race -run 'TestDurable|TestCheckpoint|TestStatsDurable' ./internal/engine/... ./internal/server/...
 	$(GO) test -run '^$$' -bench 'BenchmarkApplyWAL' -benchmem -benchtime=50ms ./internal/engine/
+
+# Replication focus: the shipping/follower package under -race (stream,
+# resume, snapshot-fallback and quorum property tests), the engine-side
+# hooks, and the standby HTTP posture.
+test-replication:
+	$(GO) test -race ./internal/replication/...
+	$(GO) test -race -run 'TestCommit|TestApplyReplicated|TestCheckpointEventSink|TestOpenDirManifestMoved' ./internal/engine/
+	$(GO) test -race -run 'TestStandbyHTTP|TestNilEngine' ./internal/server/
+
+# Docs drift check: markdown cross-references must resolve and every
+# flag the docs mention must exist in the binaries.
+check-docs:
+	$(GO) run ./cmd/docscheck
 
 ci: build vet test race

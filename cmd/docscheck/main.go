@@ -1,0 +1,175 @@
+// Command docscheck is the CI documentation linter: it fails when the
+// markdown docs drift from the code they describe.
+//
+// Two checks, over README.md and docs/*.md:
+//
+//  1. Cross-references: every relative markdown link [text](path)
+//     must point at a file that exists (anchors are stripped;
+//     absolute URLs are ignored).
+//  2. Flags: every command-line flag mentioned in inline code
+//     (`-flag` or `-flag=value` inside single backticks, outside
+//     fenced code blocks) must exist in the source of cmd/irserver
+//     for the docs/ files, or in any cmd/* main for the README.
+//     Fenced blocks are exempt — they hold full shell transcripts
+//     whose tokens (curl options, jq filters) are not flag claims.
+//
+// Usage: go run ./cmd/docscheck [-root DIR]   (default: the repo root)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// flagDefRe matches a std flag package definition and captures the
+	// flag's name.
+	flagDefRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration)\(\s*"([^"]+)"`)
+	// inlineCodeRe captures single-backtick inline code spans.
+	inlineCodeRe = regexp.MustCompile("`([^`]+)`")
+	// linkRe captures markdown link targets.
+	linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)]+)\)`)
+	// flagTokenRe decides whether one word inside inline code claims a
+	// command-line flag: -name or -name=value, name starting with a
+	// letter (so "kill -9" and negative numbers never match).
+	flagTokenRe = regexp.MustCompile(`^-([a-zA-Z][a-zA-Z0-9-]*)(?:=\S*)?$`)
+)
+
+// goToolFlags are inline-mentionable flags that belong to the go tool
+// chain, not to our binaries.
+var goToolFlags = map[string]bool{
+	"race": true, "run": true, "bench": true, "benchmem": true,
+	"benchtime": true, "count": true, "v": true,
+}
+
+// collectFlags parses the flag definitions of one main package file.
+func collectFlags(path string, into map[string]bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, m := range flagDefRe.FindAllStringSubmatch(string(raw), -1) {
+		into[m[1]] = true
+	}
+	return nil
+}
+
+// checkFile lints one markdown file; problems are returned as
+// human-readable strings prefixed with file:line.
+func checkFile(path string, known map[string]bool) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		// Links resolve even inside inline code (they never are); flags
+		// count only inside inline code.
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+			}
+		}
+		for _, span := range inlineCodeRe.FindAllStringSubmatch(line, -1) {
+			for _, word := range strings.Fields(span[1]) {
+				fm := flagTokenRe.FindStringSubmatch(word)
+				if fm == nil {
+					continue
+				}
+				name := fm[1]
+				if !known[name] && !goToolFlags[name] {
+					problems = append(problems, fmt.Sprintf("%s:%d: flag `-%s` is documented but not defined", path, i+1, name))
+				}
+			}
+		}
+	}
+	return problems, nil
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	// Flag universes: irserver's own flags for the docs/ tree (the
+	// operator docs document irserver), the union of every command's
+	// flags for the README (which also shows irgen/irquery usage).
+	irserver := map[string]bool{}
+	if err := collectFlags(filepath.Join(*root, "cmd", "irserver", "main.go"), irserver); err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	union := map[string]bool{}
+	mains, err := filepath.Glob(filepath.Join(*root, "cmd", "*", "main.go"))
+	if err != nil || len(mains) == 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: no cmd/*/main.go found")
+		os.Exit(2)
+	}
+	for _, m := range mains {
+		if err := collectFlags(m, union); err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	targets := map[string]map[string]bool{
+		filepath.Join(*root, "README.md"): union,
+	}
+	docs, _ := filepath.Glob(filepath.Join(*root, "docs", "*.md"))
+	if len(docs) == 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: docs/*.md missing")
+		os.Exit(1)
+	}
+	for _, d := range docs {
+		targets[d] = irserver
+	}
+	// The spec and the operator guide are load-bearing: their absence
+	// is a failure, not a skip.
+	for _, required := range []string{"replication.md", "operations.md", "architecture.md"} {
+		if _, err := os.Stat(filepath.Join(*root, "docs", required)); err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: required doc docs/%s missing\n", required)
+			os.Exit(1)
+		}
+	}
+
+	var all []string
+	for path, known := range targets {
+		problems, err := checkFile(path, known)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		all = append(all, problems...)
+	}
+	if len(all) > 0 {
+		for _, p := range all {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(all))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d files clean (%d irserver flags, %d total flags)\n", len(targets), len(irserver), len(union))
+}

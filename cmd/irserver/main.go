@@ -12,13 +12,24 @@
 // -checkpoint-bytes. Cached analyses survive a write whenever the
 // region certificate proves them unaffected.
 //
+// With -replicate-listen a -wal server additionally acts as a
+// replication primary: it streams committed WAL frames to followers,
+// and with -ack=quorum each write batch is acknowledged only after a
+// majority of connected followers confirm an fsync. With -follow the
+// server is a warm read-only standby: it replicates the named primary
+// into -data (bootstrapping via snapshot transfer when needed), serves
+// the read endpoints from its replayed state, and answers writes with
+// 409 plus a Location pointer to the primary. See docs/replication.md
+// and docs/operations.md.
+//
 // On SIGINT/SIGTERM the server drains in-flight requests (bounded by
 // -shutdown-timeout) and then flushes and closes the write-ahead log.
 //
 // Usage:
 //
 //	irgen -dataset kb -out /tmp/kb
-//	irserver -data /tmp/kb -addr :8080 -wal
+//	irserver -data /tmp/kb -addr :8080 -wal -replicate-listen :7070
+//	irserver -data /tmp/kb-standby -addr :8081 -follow localhost:7070
 //	curl -s localhost:8080/analyze -d '{"dims":[3,17],"weights":[0.8,0.5],"k":10,"phi":1}'
 //	curl -s localhost:8080/update -d '{"ops":[{"tuple":[{"dim":3,"val":0.9}]}]}'
 //
@@ -31,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,6 +52,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fixture"
 	"repro/internal/lists"
+	"repro/internal/replication"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -61,10 +74,18 @@ func main() {
 		syncF        = flag.String("sync", "batch", "WAL fsync policy: batch (per update batch), none, or an interval like 250ms")
 		ckptBytes    = flag.Int64("checkpoint-bytes", 0, "compact the WAL + overlay into fresh dataset files past this size (0 = default 64MiB, negative = never)")
 		shutdownTo   = flag.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
+		replListen   = flag.String("replicate-listen", "", "replication primary: accept follower connections on this address (requires -wal)")
+		follow       = flag.String("follow", "", "replication standby: replicate from this primary replication address into -data and serve read-only")
+		ackF         = flag.String("ack", "async", "primary replication ack mode: async, or quorum (writes wait for ⌈n/2⌉ follower fsyncs)")
+		ackTimeout   = flag.Duration("ack-timeout", 5*time.Second, "quorum ack wait bound before a write reports a missed quorum")
 	)
 	flag.Parse()
 
 	syncPolicy, err := wal.ParseSyncPolicy(*syncF)
+	if err != nil {
+		log.Fatalf("irserver: %v", err)
+	}
+	ackMode, err := replication.ParseAckMode(*ackF)
 	if err != nil {
 		log.Fatalf("irserver: %v", err)
 	}
@@ -83,21 +104,108 @@ func main() {
 		cfg.CacheEntries = -1
 	}
 
-	var eng *engine.Engine
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var (
+		srv      *server.Server
+		eng      *engine.Engine
+		prim     *replication.Primary
+		fol      *replication.Follower
+		shutdown func() // post-drain resource teardown, in order
+	)
 	switch {
+	case *follow != "":
+		// Replication standby: the follower owns the engine lifecycle
+		// (it may replace it on a snapshot re-seed), the server resolves
+		// it per request, and writes are redirected to the primary.
+		if *data == "" {
+			log.Fatal("irserver: -follow needs -data DIR (the standby's own directory)")
+		}
+		if *demo || *replListen != "" || *useWAL || *readonly {
+			log.Fatal("irserver: -follow is exclusive with -demo, -replicate-listen, -wal and -readonly (the standby is always durable and read-only)")
+		}
+		fol = replication.NewFollower(replication.FollowerConfig{
+			Dir:         *data,
+			PrimaryAddr: *follow,
+			PoolPages:   *pool,
+			Engine:      cfg,
+		})
+		go fol.Run(ctx)
+		readyCtx, cancel := context.WithTimeout(ctx, time.Minute)
+		e, err := fol.WaitReady(readyCtx)
+		cancel()
+		if err != nil {
+			log.Fatalf("irserver: %v", err)
+		}
+		eng = e
+		srv = server.FromEngineFunc(fol.Engine)
+		if url := fol.PrimaryHTTPURL(); url != "" {
+			srv.SetWriteRedirect(url)
+		} else {
+			srv.SetWriteRedirect("http://" + *follow) // best effort pointer
+		}
+		srv.SetReplicationStats(func() any { return fol.Stats() })
+		shutdown = func() {
+			stop() // ensure ctx is canceled so Run unwinds
+			<-fol.Done()
+			if err := fol.Close(); err != nil {
+				log.Printf("irserver: close follower: %v", err)
+			}
+		}
+		fmt.Printf("irserver: standby of %s (dataset %s), lag %d\n", *follow, *data, fol.Stats().SeqDelta)
+
 	case *demo:
 		tuples, _, _ := fixture.RunningExample()
 		eng = engine.New(lists.NewMemIndex(tuples, 2), cfg)
+		srv = server.FromEngine(eng)
+		shutdown = func() { eng.Close() }
+
 	case *data != "":
 		eng, err = engine.OpenDir(*data, *pool, cfg)
 		if err != nil {
 			log.Fatalf("irserver: %v", err)
 		}
+		srv = server.FromEngine(eng)
+		shutdown = func() { eng.Close() }
+		if *replListen != "" {
+			if !*useWAL {
+				log.Fatal("irserver: -replicate-listen requires -wal (the shipped stream IS the write-ahead log)")
+			}
+			prim, err = replication.NewPrimary(eng, *data, replication.PrimaryConfig{
+				HTTPAddr:   *addr,
+				AckMode:    ackMode,
+				AckTimeout: *ackTimeout,
+			})
+			if err != nil {
+				log.Fatalf("irserver: %v", err)
+			}
+			eng.SetReplicationSink(prim)
+			if ackMode == replication.AckQuorum {
+				eng.SetCommitGate(prim.Gate)
+			}
+			ln, err := net.Listen("tcp", *replListen)
+			if err != nil {
+				log.Fatalf("irserver: replication listen: %v", err)
+			}
+			go func() {
+				if err := prim.Serve(ln); err != nil {
+					log.Printf("irserver: replication serve: %v", err)
+				}
+			}()
+			srv.SetReplicationStats(func() any { return prim.Stats() })
+			closeEng := shutdown
+			shutdown = func() {
+				prim.Close() // sever followers + fail pending quorum waits first
+				closeEng()
+			}
+			fmt.Printf("irserver: replication primary on %s (ack=%s, dataset %s)\n", *replListen, ackMode, prim.DatasetID())
+		}
+
 	default:
-		log.Fatal("irserver: need -data DIR or -demo")
+		log.Fatal("irserver: need -data DIR, -demo, or -follow PRIMARY")
 	}
 
-	srv := server.FromEngine(eng)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v mutable=%v wal=%v)\n",
@@ -110,14 +218,12 @@ func main() {
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
 	// closing the engine — the WAL flush must come after the last
 	// /update handler has returned.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
 	select {
 	case err := <-errCh:
-		eng.Close()
+		shutdown()
 		log.Fatalf("irserver: %v", err)
 	case <-ctx.Done():
 	}
@@ -129,16 +235,14 @@ func main() {
 		if errors.Is(err, context.DeadlineExceeded) {
 			// Stragglers used up the grace period: sever their
 			// connections so their request contexts fire and they abort;
-			// eng.Close below still waits for them to finish unwinding
-			// before it touches the files.
+			// the engine close below still waits for them to finish
+			// unwinding before it touches the files.
 			log.Printf("irserver: shutdown timeout after %v, closing connections", *shutdownTo)
 			httpSrv.Close()
 		} else {
 			log.Printf("irserver: shutdown: %v", err)
 		}
 	}
-	if err := eng.Close(); err != nil {
-		log.Fatalf("irserver: close engine: %v", err)
-	}
+	shutdown()
 	fmt.Println("irserver: bye")
 }

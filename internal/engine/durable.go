@@ -42,6 +42,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -51,6 +52,19 @@ import (
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
+
+// ErrManifestMoved tags a snapshot (lock-free) OpenDir that kept racing
+// a concurrent writer's checkpoints: every one of its
+// SnapshotOpenAttempts attempts found the manifest replaced (or the
+// generation files swept) mid-open. Callers can retry later or back
+// off; the directory itself is healthy — it is just being compacted
+// faster than the open can complete.
+var ErrManifestMoved = errors.New("manifest moved by a concurrent checkpoint")
+
+// SnapshotOpenAttempts is how many times a lock-free snapshot open
+// retries when a concurrent checkpoint publication moves the manifest
+// under it before giving up with ErrManifestMoved.
+const SnapshotOpenAttempts = 4
 
 // DefaultCheckpointBytes is the compaction threshold applied when
 // Config.CheckpointBytes is zero: the log or overlay delta crossing it
@@ -177,9 +191,12 @@ func OpenDir(dir string, poolPages int, cfg Config) (*Engine, error) {
 	// checkpoint (new manifest, truncated log, removed old generation)
 	// at any point while we read. Detect it — the manifest differing
 	// after the open, or the open tripping over vanishing files — and
-	// start over against the new generation.
+	// start over against the new generation. After SnapshotOpenAttempts
+	// consecutive races the open gives up with the typed
+	// ErrManifestMoved (never the last raw I/O error, which would
+	// misread checkpoint churn as corruption).
 	var lastErr error
-	for attempt := 0; attempt < 4; attempt++ {
+	for attempt := 0; attempt < SnapshotOpenAttempts; attempt++ {
 		before, e, err := openSnapshot(dir, poolPages, cfg)
 		if err == nil {
 			after, aerr := currentManifest(dir)
@@ -187,7 +204,7 @@ func OpenDir(dir string, poolPages int, cfg Config) (*Engine, error) {
 				return e, nil
 			}
 			e.Close()
-			lastErr = fmt.Errorf("engine: %s: checkpoint published during open", dir)
+			lastErr = fmt.Errorf("checkpoint published during open")
 			continue
 		}
 		lastErr = err
@@ -195,7 +212,8 @@ func OpenDir(dir string, poolPages int, cfg Config) (*Engine, error) {
 			return nil, err // a real failure, not checkpoint churn
 		}
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("engine: %s: open raced concurrent checkpoints %d times (last: %v): %w",
+		dir, SnapshotOpenAttempts, lastErr, ErrManifestMoved)
 }
 
 // currentManifest reads dir's manifest (the implied default when none
@@ -211,6 +229,11 @@ func currentManifest(dir string) (wal.Manifest, error) {
 	return m, nil
 }
 
+// openSnapshotRaceHook, when non-nil, runs right after the manifest is
+// resolved — the window a concurrent checkpoint publication races.
+// Tests use it to move the manifest deterministically.
+var openSnapshotRaceHook func()
+
 // openSnapshot performs one manifest-resolved, log-replaying open
 // without taking the writer lock, returning the manifest it started
 // from so the caller can detect a concurrent checkpoint.
@@ -218,6 +241,9 @@ func openSnapshot(dir string, poolPages int, cfg Config) (wal.Manifest, *Engine,
 	tuplePath, listPath, man, err := wal.ResolveDataset(dir)
 	if err != nil {
 		return man, nil, fmt.Errorf("engine: %w", err)
+	}
+	if openSnapshotRaceHook != nil {
+		openSnapshotRaceHook()
 	}
 	if cfg.VerifyChecksums {
 		for _, p := range []string{tuplePath, listPath} {
@@ -479,7 +505,12 @@ func (e *Engine) checkpoint(force bool) error {
 		// Batches landed during the rewrite; the new files miss them, so
 		// the log must keep its records and the served overlay its
 		// delta. Everything is still consistent — the next trigger
-		// compacts the remainder onto this generation.
+		// compacts the remainder onto this generation. Followers still
+		// learn the manifest (they may fold their own overlays), but the
+		// shipper must keep its frame history: the log was not emptied.
+		if e.replSink != nil {
+			e.replSink.CheckpointEvent(man, false)
+		}
 		return nil
 	}
 
@@ -489,6 +520,12 @@ func (e *Engine) checkpoint(force bool) error {
 	}
 	if err := hook("truncate"); err != nil {
 		return err
+	}
+	// The shipper can now drop frames at or below the folded sequence;
+	// a follower behind them resyncs via snapshot transfer. Delivered
+	// under the write lock, so the event is ordered against CommitFrame.
+	if e.replSink != nil {
+		e.replSink.CheckpointEvent(man, true)
 	}
 
 	// Swap the live index to the new generation. The engine-wide I/O

@@ -20,9 +20,35 @@
 //   - batch execution (batch.go): AnalyzeBatch fans a slice of queries
 //     over the worker pool with cache-aware de-duplication.
 //
-// The Engine is safe for any number of concurrent callers: the index is
-// immutable, per-query state is private, and the cache is internally
-// synchronized.
+// The Engine is safe for any number of concurrent callers: per-query
+// state is private, the cache is internally synchronized, and
+// mutations are serialized against queries by the engine-wide RWMutex.
+//
+// # Lock ordering
+//
+// The engine-wide mu is the outermost lock. Query executions hold its
+// read side across compute AND cache admission; Apply holds the write
+// side across WAL append, replication shipping, index mutation and
+// cache invalidation, so no pre-update analysis can be admitted or
+// served once Apply has returned. Everything acquired below mu — the
+// cache's own mutex, the WAL writer's mutex, a replication sink's
+// internal lock — is leaf-level: no code path takes mu while holding
+// one of them. The checkpoint mutex (durable.ckptMu) is taken before
+// mu (checkpoints span lock regions); the quorum commit gate runs with
+// mu released so waiting on follower acks never stalls queries. Cache
+// hits take no lock at all beyond the cache's own.
+//
+// # Cache-invalidation certificate
+//
+// A cached analysis is a validity certificate: every weight vector in
+// its cross-polytope provably has the cached ranked result. Apply
+// keeps an entry serving only if, for every changed tuple, the maximum
+// of the linear score gap against every cached result line over the
+// whole polytope is safely negative (closed form over the cached
+// projections, O(k·qlen), zero index I/O — see mutate.go). The same
+// certificate is what makes replication standbys trustworthy: a
+// standby replays Apply batches through the identical path, so its
+// cache is invalidated exactly as the primary's was.
 package engine
 
 import (
@@ -104,6 +130,13 @@ type Engine struct {
 	cache  *cache        // nil when disabled
 	closer func() error
 	dur    *durable // non-nil when the engine has a write-ahead log
+
+	// Replication hooks (replicate.go). Both are set once, before the
+	// engine serves traffic, and never change afterwards: replSink
+	// observes commits/checkpoints under the write lock, commitGate runs
+	// after Apply releases it.
+	replSink   ReplicationSink
+	commitGate func(seq uint64) error
 
 	// mu serializes mutations against queries: every execution that
 	// touches the index holds the read side for its whole run, Apply

@@ -158,33 +158,70 @@ func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	if len(ops) == 0 {
 		return ApplyResult{}, fmt.Errorf("engine: empty op batch: %w", ErrInvalid)
 	}
-	res, err := e.applyLocked(ops)
-	if err == nil {
-		// Compaction happens after the write lock is released, so
-		// queries are not stalled behind the dataset rewrite.
-		e.maybeCheckpoint()
+	res, seq, err := e.applyLocked(ops)
+	if err != nil {
+		return res, err
 	}
-	return res, err
+	// Quorum gate: with the write lock released (queries keep flowing),
+	// wait for followers to confirm fsync of the batch's frame. A gate
+	// failure does not undo the batch — it is committed locally and
+	// will replicate eventually — but the caller is told its
+	// replication-durability guarantee was not met (ErrQuorum).
+	var gateErr error
+	if e.commitGate != nil && seq != 0 {
+		if gerr := e.commitGate(seq); gerr != nil {
+			gateErr = fmt.Errorf("engine: batch %d applied locally but %w: %v", seq, ErrQuorum, gerr)
+		}
+	}
+	// Compaction happens after the write lock is released, so queries
+	// are not stalled behind the dataset rewrite. It must run even when
+	// the quorum gate failed: during a follower outage the batches keep
+	// committing locally, and skipping compaction would let the log,
+	// overlay and the shipper's frame buffer grow without bound.
+	e.maybeCheckpoint()
+	return res, gateErr
 }
 
-// applyLocked is Apply's critical section: log, mutate, invalidate.
-func (e *Engine) applyLocked(ops []Op) (ApplyResult, error) {
-	res := ApplyResult{Results: make([]OpResult, len(ops))}
-	changes := make([]tupleChange, 0, len(ops))
-
+// applyLocked is Apply's critical section: log, ship, mutate,
+// invalidate. It returns the batch's WAL sequence number (0 when the
+// engine is not durable or nothing was logged).
+func (e *Engine) applyLocked(ops []Op) (ApplyResult, uint64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var seq uint64
 	// Write-ahead: the batch reaches the log (and, under the fsync-
 	// per-batch policy, stable storage) before any overlay state
 	// changes, so an acknowledged batch can always be replayed. A log
 	// failure aborts the batch untouched.
 	if e.dur != nil {
 		if wops := walOps(ops); len(wops) > 0 {
-			if _, err := e.dur.log.Append(wops); err != nil {
-				return ApplyResult{}, fmt.Errorf("engine: wal append: %w", err)
+			s, frame, err := e.dur.log.AppendFrame(wops)
+			if err != nil {
+				return ApplyResult{}, 0, fmt.Errorf("engine: wal append: %w", err)
+			}
+			seq = s
+			// Ship the committed frame while still under the write lock:
+			// the sink's event order must be the log's sequence order,
+			// and the bytes are exactly what the log holds (no second
+			// serialization, no way to skip a frame and tear a gap into
+			// the stream).
+			if e.replSink != nil {
+				e.replSink.CommitFrame(seq, frame)
 			}
 		}
 	}
+	return e.runOpsLocked(ops), seq, nil
+}
+
+// runOpsLocked applies a batch's ops to the index and runs the
+// region-certified cache invalidation. Callers hold the write lock and
+// have already committed the batch to the WAL (durable engines);
+// Apply and ApplyReplicated share this path, which is what makes a
+// standby's replay behaviorally identical to the primary's original
+// execution.
+func (e *Engine) runOpsLocked(ops []Op) ApplyResult {
+	res := ApplyResult{Results: make([]OpResult, len(ops))}
+	changes := make([]tupleChange, 0, len(ops))
 	for i, op := range ops {
 		switch op.Kind {
 		case OpInsert:
@@ -224,7 +261,7 @@ func (e *Engine) applyLocked(ops []Op) (ApplyResult, error) {
 		e.invEvicted.Add(int64(evicted))
 		e.invSurvived.Add(int64(checked - evicted))
 	}
-	return res, nil
+	return res
 }
 
 // invalidateCertified drops every cached entry whose certificate does

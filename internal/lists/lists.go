@@ -7,14 +7,37 @@
 // in for the memory-resident setting, §7.1), and DiskIndex reads the
 // storage package's on-disk formats.
 //
-// Concurrency model: an Index is immutable after construction and safe
-// for any number of concurrent queries; only its I/O meter is written,
-// and that meter is atomic. Cursors are single-query state and are NOT
-// safe for sharing — each query (or each forked per-dimension scan)
-// opens or Clones its own. WithStats derives a view of the index whose
-// accesses are charged to a separate meter; a concurrent server gives
-// each query a view over a Child of the shared meter so per-query deltas
-// stay exact while the global counters keep aggregating.
+// # Mutability and overlay merge rules
+//
+// The write path (Mutable: Insert/Update/Delete) has two
+// implementations. MemIndex mutates its postings in place, keeping each
+// list in exactly the order BuildPostings would produce (descending
+// value, ties by ascending id) via binary-searched splices. Overlay
+// makes a read-only DiskIndex writable without touching its files: it
+// layers (1) delta posting lists, merged into every cursor in the same
+// descending-value order, (2) a tombstone set hiding base postings of
+// changed or deleted ids, and (3) an id-stable tuple override table.
+// The merge invariants: a base id is either served from the base files
+// or tombstoned and re-inserted as a delta — never both; insert ids
+// continue the base numbering and only advance on success (which is
+// what makes WAL replay reproduce id assignment exactly); a deleted id
+// stays allocated forever (its slot reads as an empty tuple).
+// Materialize folds the merged view back into a plain tuple slice —
+// the checkpoint compaction input — and DeltaStats measures the
+// overlay's in-memory footprint incrementally.
+//
+// # Concurrency model
+//
+// Reads are safe for any number of concurrent queries; only the atomic
+// I/O meter is written. Mutations are NOT internally synchronized —
+// the engine serializes them against queries under its RWMutex (see
+// internal/engine's lock ordering). Cursors are single-query state and
+// are not safe for sharing — each query (or each forked per-dimension
+// scan) opens or Clones its own. WithStats derives a view of the index
+// whose accesses are charged to a separate meter; a concurrent server
+// gives each query a view over a Child of the shared meter so
+// per-query deltas stay exact while the global counters keep
+// aggregating.
 package lists
 
 import (

@@ -1,0 +1,559 @@
+// The standby side: a Follower maintains its own durable data
+// directory, connects to the primary, bootstraps via snapshot transfer
+// when needed, and replays the shipped frames through
+// Engine.ApplyReplicated — acking each frame after its own WAL fsync.
+// The engine it exposes serves read-only HTTP traffic.
+package replication
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// FollowerConfig tunes a Follower.
+type FollowerConfig struct {
+	// Dir is the follower's own data directory (its WAL, manifest and
+	// generation files live here). May start empty: the first connect
+	// seeds it with a snapshot transfer.
+	Dir string
+	// PrimaryAddr is the primary's -replicate-listen address.
+	PrimaryAddr string
+	// PoolPages sizes the disk index buffer pool.
+	PoolPages int
+	// Engine is the base engine configuration (cache bounds, worker
+	// pool, parallelism). WAL, sync policy (fsync-per-batch — an ack
+	// must mean stable storage) and writability are forced.
+	Engine engine.Config
+	// DialTimeout bounds one connection attempt (default 5s);
+	// RetryInterval is the reconnect backoff base (default 250ms,
+	// doubling to 5s).
+	DialTimeout   time.Duration
+	RetryInterval time.Duration
+}
+
+// Follower replicates a primary into a local durable engine.
+type Follower struct {
+	cfg  FollowerConfig
+	done chan struct{}
+
+	mu          sync.Mutex
+	eng         *engine.Engine
+	conn        net.Conn
+	primaryHTTP string
+	lastErr     string
+
+	lastApplied    atomic.Uint64
+	primaryTail    atomic.Uint64
+	bytesReceived  atomic.Int64
+	lastFrameNanos atomic.Int64
+	snapshots      atomic.Int64
+	reconnects     atomic.Int64
+	folds          atomic.Int64
+	connected      atomic.Bool
+}
+
+// NewFollower builds a follower; call Run to start it.
+func NewFollower(cfg FollowerConfig) *Follower {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 250 * time.Millisecond
+	}
+	return &Follower{cfg: cfg, done: make(chan struct{})}
+}
+
+// engineConfig is the follower's forced engine configuration: durable,
+// writable (replication is the only writer — the HTTP layer rejects
+// client writes), fsync-per-batch so acks certify stable storage.
+func (f *Follower) engineConfig() engine.Config {
+	cfg := f.cfg.Engine
+	cfg.WAL = true
+	cfg.ReadOnly = false
+	cfg.WALSync = wal.SyncPolicy{Mode: wal.SyncBatch}
+	return cfg
+}
+
+// Engine returns the live standby engine, nil until the first
+// bootstrap completes. The pointer changes when a snapshot re-seed
+// replaces the engine; serve traffic through a func() accessor
+// (server.FromEngineFunc) rather than a captured pointer.
+func (f *Follower) Engine() *engine.Engine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eng
+}
+
+// PrimaryHTTPURL returns the primary's advertised HTTP base URL
+// ("" until a welcome has been received); the read-only HTTP layer
+// points rejected writers here.
+func (f *Follower) PrimaryHTTPURL() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primaryHTTP
+}
+
+// Done is closed when Run returns.
+func (f *Follower) Done() <-chan struct{} { return f.done }
+
+// WaitReady blocks until the follower has a serving engine (bootstrap
+// complete) or ctx fires.
+func (f *Follower) WaitReady(ctx context.Context) (*engine.Engine, error) {
+	t := time.NewTicker(25 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if eng := f.Engine(); eng != nil {
+			return eng, nil
+		}
+		select {
+		case <-ctx.Done():
+			f.mu.Lock()
+			last := f.lastErr
+			f.mu.Unlock()
+			if last != "" {
+				return nil, fmt.Errorf("replication: follower not ready: %v (last error: %s)", ctx.Err(), last)
+			}
+			return nil, fmt.Errorf("replication: follower not ready: %w", ctx.Err())
+		case <-f.done:
+			f.mu.Lock()
+			last := f.lastErr
+			f.mu.Unlock()
+			return nil, fmt.Errorf("replication: follower stopped before becoming ready (last error: %s)", last)
+		case <-t.C:
+		}
+	}
+}
+
+// Run connects, replays and reconnects until ctx fires. It owns the
+// replication lifecycle; call Close afterwards to release the engine.
+func (f *Follower) Run(ctx context.Context) {
+	defer close(f.done)
+	backoff := f.cfg.RetryInterval
+	for {
+		err := f.session(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			f.mu.Lock()
+			f.lastErr = err.Error()
+			f.mu.Unlock()
+		}
+		f.reconnects.Add(1)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// Close severs the connection (if Run is still draining) and closes the
+// standby engine. Call after Run has returned.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	conn, eng := f.conn, f.eng
+	f.conn, f.eng = nil, nil
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if eng != nil {
+		return eng.Close()
+	}
+	return nil
+}
+
+// hasDataset reports whether dir holds an openable dataset (a manifest
+// or the generation-0 default files).
+func hasDataset(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, wal.ManifestName)); err == nil {
+		return true
+	}
+	if _, err := os.Stat(filepath.Join(dir, wal.DefaultManifest().Tuples)); err == nil {
+		return true
+	}
+	return false
+}
+
+// session runs one connection lifecycle: handshake, optional snapshot
+// bootstrap, then the frame stream until an error or ctx.
+func (f *Follower) session(ctx context.Context) error {
+	// Open (or reuse) the local engine before handshaking, so the
+	// resume point reflects everything committed to the local log.
+	f.mu.Lock()
+	eng := f.eng
+	f.mu.Unlock()
+	if eng == nil && hasDataset(f.cfg.Dir) {
+		var err error
+		eng, err = engine.OpenDir(f.cfg.Dir, f.cfg.PoolPages, f.engineConfig())
+		if err != nil {
+			return fmt.Errorf("open %s: %w", f.cfg.Dir, err)
+		}
+		f.mu.Lock()
+		f.eng = eng
+		f.mu.Unlock()
+	}
+	var lastSeq uint64
+	if eng != nil {
+		lastSeq = eng.LastSeq()
+		f.lastApplied.Store(lastSeq)
+	}
+	id, err := ReadDatasetID(f.cfg.Dir)
+	if err != nil {
+		return err
+	}
+
+	d := net.Dialer{Timeout: f.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", f.cfg.PrimaryAddr)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.conn = conn
+	f.mu.Unlock()
+	// Sever the blocking read when ctx fires.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+	defer func() {
+		f.connected.Store(false)
+		f.mu.Lock()
+		if f.conn == conn {
+			f.conn = nil
+		}
+		f.mu.Unlock()
+		conn.Close()
+	}()
+
+	raw, err := json.Marshal(hello{Proto: ProtoVersion, DatasetID: id, LastSeq: lastSeq})
+	if err != nil {
+		return err
+	}
+	if err := writeMsg(conn, msgHello, raw); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	kind, payload, err := readControlMsg(conn)
+	if err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Time{})
+	if kind == msgError {
+		return fmt.Errorf("primary refused: %s", payload)
+	}
+	if kind != msgWelcome {
+		return fmt.Errorf("expected welcome, got %q", kind)
+	}
+	var w welcome
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return err
+	}
+	if w.Proto != ProtoVersion {
+		return fmt.Errorf("primary speaks protocol %d, want %d", w.Proto, ProtoVersion)
+	}
+	if id != "" && w.DatasetID != id {
+		return fmt.Errorf("dataset id mismatch: local %s, primary %s", id, w.DatasetID)
+	}
+	f.primaryTail.Store(w.TailSeq)
+	f.mu.Lock()
+	f.primaryHTTP = primaryHTTPURL(f.cfg.PrimaryAddr, w.HTTPAddr)
+	f.mu.Unlock()
+
+	if w.Mode == ModeSnapshot {
+		if err := f.loadSnapshot(conn, w.DatasetID); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+	} else if f.Engine() == nil {
+		return fmt.Errorf("primary offered %s but follower has no dataset", w.Mode)
+	}
+
+	f.connected.Store(true)
+	ackBuf := make([]byte, 8)
+	for {
+		kind, payload, err := readMsg(conn)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		switch kind {
+		case msgRecord:
+			seq, ops, err := wal.DecodeRecord(payload)
+			if err != nil {
+				return fmt.Errorf("bad frame: %w", err)
+			}
+			eng := f.Engine()
+			if eng == nil {
+				return fmt.Errorf("frame before snapshot completed")
+			}
+			if _, err := eng.ApplyReplicated(seq, ops); err != nil {
+				return fmt.Errorf("apply seq %d: %w", seq, err)
+			}
+			f.lastApplied.Store(seq)
+			f.bytesReceived.Add(int64(len(payload)))
+			f.lastFrameNanos.Store(time.Now().UnixNano())
+			if seq > f.primaryTail.Load() {
+				f.primaryTail.Store(seq)
+			}
+			// The ack certifies the frame is fsynced into the local log
+			// (ApplyReplicated appends under fsync-per-batch).
+			binary.LittleEndian.PutUint64(ackBuf, seq)
+			if err := writeMsg(conn, msgAck, ackBuf); err != nil {
+				return err
+			}
+		case msgManifest:
+			var man wal.Manifest
+			if err := json.Unmarshal(payload, &man); err != nil {
+				return fmt.Errorf("bad manifest: %w", err)
+			}
+			// Fold in lockstep: compact the local overlay + log now that
+			// the primary has. Stream order guarantees every frame at or
+			// below man.LastSeq was applied; guard anyway.
+			if eng := f.Engine(); eng != nil && eng.LastSeq() >= man.LastSeq {
+				if err := eng.Checkpoint(); err != nil {
+					f.mu.Lock()
+					f.lastErr = fmt.Sprintf("local checkpoint: %v", err)
+					f.mu.Unlock()
+				} else {
+					f.folds.Add(1)
+				}
+			}
+		case msgTail:
+			var t tail
+			if err := json.Unmarshal(payload, &t); err == nil && t.TailSeq > f.primaryTail.Load() {
+				f.primaryTail.Store(t.TailSeq)
+			}
+		case msgError:
+			return fmt.Errorf("primary: %s", payload)
+		default:
+			return fmt.Errorf("unexpected message %q mid-stream", kind)
+		}
+	}
+}
+
+// loadSnapshot re-seeds the local directory from a full transfer: the
+// current engine (if any) is closed, the local dataset state wiped, the
+// generation files and base manifest written durably, and a fresh
+// engine opened at the manifest's sequence.
+func (f *Follower) loadSnapshot(conn net.Conn, datasetID string) error {
+	f.mu.Lock()
+	eng := f.eng
+	f.eng = nil
+	f.mu.Unlock()
+	if eng != nil {
+		if err := eng.Close(); err != nil {
+			return fmt.Errorf("close stale engine: %w", err)
+		}
+	}
+	if err := wipeDataset(f.cfg.Dir); err != nil {
+		return err
+	}
+
+	received := map[string]bool{}
+	var man wal.Manifest
+	for {
+		kind, payload, err := readMsg(conn)
+		if err != nil {
+			return err
+		}
+		if kind == msgError {
+			return fmt.Errorf("primary: %s", payload)
+		}
+		if kind == msgManifest {
+			if err := json.Unmarshal(payload, &man); err != nil {
+				return fmt.Errorf("bad manifest: %w", err)
+			}
+			break
+		}
+		if kind != msgFileBegin {
+			return fmt.Errorf("unexpected message %q during snapshot", kind)
+		}
+		var fb fileBegin
+		if err := json.Unmarshal(payload, &fb); err != nil {
+			return fmt.Errorf("bad file header: %w", err)
+		}
+		if err := validSnapshotName(fb.Name); err != nil {
+			return err
+		}
+		if err := f.receiveFile(conn, fb); err != nil {
+			return fmt.Errorf("receive %s: %w", fb.Name, err)
+		}
+		received[fb.Name] = true
+	}
+	if !received[man.Tuples] || !received[man.Lists] {
+		return fmt.Errorf("manifest names %s + %s but transfer delivered %v", man.Tuples, man.Lists, received)
+	}
+	if err := man.Save(f.cfg.Dir); err != nil {
+		return err
+	}
+	if err := writeDatasetID(f.cfg.Dir, datasetID); err != nil {
+		return err
+	}
+	eng, err := engine.OpenDir(f.cfg.Dir, f.cfg.PoolPages, f.engineConfig())
+	if err != nil {
+		return fmt.Errorf("open snapshot: %w", err)
+	}
+	f.mu.Lock()
+	f.eng = eng
+	f.mu.Unlock()
+	f.lastApplied.Store(man.LastSeq)
+	f.snapshots.Add(1)
+	return nil
+}
+
+// receiveFile streams one snapshot file to disk and fsyncs it.
+func (f *Follower) receiveFile(conn net.Conn, fb fileBegin) error {
+	path := filepath.Join(f.cfg.Dir, fb.Name)
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var got int64
+	for got < fb.Size {
+		kind, payload, err := readMsg(conn)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		if kind != msgFileChunk {
+			out.Close()
+			return fmt.Errorf("expected chunk, got %q", kind)
+		}
+		if _, err := out.Write(payload); err != nil {
+			out.Close()
+			return err
+		}
+		got += int64(len(payload))
+	}
+	if got != fb.Size {
+		out.Close()
+		return fmt.Errorf("got %d bytes, want %d", got, fb.Size)
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// validSnapshotName confines transferred files to plain dataset file
+// names inside the follower directory.
+func validSnapshotName(name string) error {
+	if name == "" || name != filepath.Base(name) || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("replication: illegal snapshot file name %q", name)
+	}
+	switch name {
+	case wal.ManifestName, wal.LogName, wal.LockName, DatasetIDName:
+		return fmt.Errorf("replication: snapshot may not overwrite %q", name)
+	}
+	return nil
+}
+
+// wipeDataset removes every piece of dataset state from dir, keeping
+// only the lock file (flock identity must survive).
+func wipeDataset(dir string) error {
+	def := wal.DefaultManifest()
+	for _, name := range []string{wal.ManifestName, wal.LogName, DatasetIDName, def.Tuples, def.Lists} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	for _, pat := range []string{"tuples.g*.dat", "lists.g*.dat"} {
+		matches, _ := filepath.Glob(filepath.Join(dir, pat))
+		for _, p := range matches {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return wal.SyncDir(dir)
+}
+
+// primaryHTTPURL combines the replication address's host with the
+// advertised HTTP address's port.
+func primaryHTTPURL(replAddr, httpAddr string) string {
+	if httpAddr == "" {
+		return ""
+	}
+	host, _, err := net.SplitHostPort(replAddr)
+	if err != nil || host == "" {
+		host = "localhost"
+	}
+	_, port, err := net.SplitHostPort(httpAddr)
+	if err != nil || port == "" {
+		return ""
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// FollowerStats is the standby's /stats replication block.
+type FollowerStats struct {
+	Role            string `json:"role"` // "follower"
+	Primary         string `json:"primary"`
+	PrimaryHTTP     string `json:"primary_http,omitempty"`
+	Connected       bool   `json:"connected"`
+	LastAppliedSeq  uint64 `json:"last_applied_seq"`
+	PrimaryTailSeq  uint64 `json:"primary_tail_seq"`
+	SeqDelta        uint64 `json:"seq_delta"`
+	BytesReceived   int64  `json:"bytes_received"`
+	LastFrameUnixNs int64  `json:"last_frame_unix_ns"`
+	LastFrameAgeMs  int64  `json:"last_frame_age_ms"`
+	SnapshotsLoaded int64  `json:"snapshots_loaded"`
+	Reconnects      int64  `json:"reconnects"`
+	LocalFolds      int64  `json:"local_folds"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Stats snapshots the follower.
+func (f *Follower) Stats() FollowerStats {
+	applied := f.lastApplied.Load()
+	tail := f.primaryTail.Load()
+	var delta uint64
+	if tail > applied {
+		delta = tail - applied
+	}
+	st := FollowerStats{
+		Role:            "follower",
+		Primary:         f.cfg.PrimaryAddr,
+		Connected:       f.connected.Load(),
+		LastAppliedSeq:  applied,
+		PrimaryTailSeq:  tail,
+		SeqDelta:        delta,
+		BytesReceived:   f.bytesReceived.Load(),
+		LastFrameUnixNs: f.lastFrameNanos.Load(),
+		SnapshotsLoaded: f.snapshots.Load(),
+		Reconnects:      f.reconnects.Load(),
+		LocalFolds:      f.folds.Load(),
+	}
+	if st.LastFrameUnixNs != 0 {
+		st.LastFrameAgeMs = time.Since(time.Unix(0, st.LastFrameUnixNs)).Milliseconds()
+	}
+	f.mu.Lock()
+	st.PrimaryHTTP = f.primaryHTTP
+	st.LastError = f.lastErr
+	f.mu.Unlock()
+	return st
+}

@@ -25,8 +25,14 @@
 //	POST /delete        {ids: [...]}                 → per-op results
 //	GET  /stats         → cumulative I/O counters + cache counters +
 //	                    mutation counters (mutable engines) + WAL and
-//	                    overlay-delta counters (durable engines)
+//	                    overlay-delta counters (durable engines) +
+//	                    replication lag (primaries and standbys)
 //	GET  /healthz       → 200 ok
+//
+// A replication standby (irserver -follow) serves the same read
+// endpoints over its replayed state but rejects /update and /delete
+// with 409 plus a Location header pointing at the primary; see
+// docs/replication.md.
 //
 // # Concurrency model
 //
@@ -73,9 +79,19 @@ type Config struct {
 	ReadOnly bool
 }
 
-// Server handles the HTTP API over one engine.
+// Server handles the HTTP API over one engine. The engine is reached
+// through a provider func so a replication follower can atomically
+// swap its engine (a snapshot re-seed replaces it) under a live server.
 type Server struct {
-	eng *engine.Engine
+	get func() *engine.Engine
+	// redirect, when non-empty, turns the write endpoints into 409
+	// responses carrying a Location header that points the client at
+	// the primary (replication standbys). Set once before serving.
+	redirect string
+	// replStats, when set, contributes the /stats "replication" block
+	// (a replication.PrimaryStats or FollowerStats). Set once before
+	// serving.
+	replStats func() any
 }
 
 // New builds a Server over an index with default engine settings.
@@ -95,10 +111,39 @@ func NewWithConfig(ix lists.Index, cfg Config) *Server {
 // FromEngine builds a Server over an existing engine (the path
 // cmd/irserver uses, so open-time options like checksum verification
 // stay with the engine).
-func FromEngine(eng *engine.Engine) *Server { return &Server{eng: eng} }
+func FromEngine(eng *engine.Engine) *Server {
+	return FromEngineFunc(func() *engine.Engine { return eng })
+}
 
-// Engine exposes the underlying engine.
-func (s *Server) Engine() *engine.Engine { return s.eng }
+// FromEngineFunc builds a Server whose engine is resolved per request.
+// A replication follower passes its Follower.Engine accessor here: the
+// served engine changes identity when a snapshot transfer re-seeds the
+// standby, and may briefly be nil mid-swap (requests then answer 503).
+func FromEngineFunc(get func() *engine.Engine) *Server { return &Server{get: get} }
+
+// SetWriteRedirect makes the write endpoints (/update, /delete) answer
+// 409 with a Location header pointing at primaryURL — the read-only
+// standby posture. Must be called before the server handles traffic.
+func (s *Server) SetWriteRedirect(primaryURL string) { s.redirect = primaryURL }
+
+// SetReplicationStats contributes fn's value as the /stats
+// "replication" block. Must be called before the server handles
+// traffic.
+func (s *Server) SetReplicationStats(fn func() any) { s.replStats = fn }
+
+// Engine exposes the underlying engine (nil while a standby re-seeds).
+func (s *Server) Engine() *engine.Engine { return s.get() }
+
+// engine resolves the live engine for one request, answering 503 when
+// a standby is mid-re-seed.
+func (s *Server) engine(w http.ResponseWriter) (*engine.Engine, bool) {
+	eng := s.get()
+	if eng == nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("standby is re-seeding from the primary"))
+		return nil, false
+	}
+	return eng, true
+}
 
 // Handler returns the routed http.Handler.
 func (s *Server) Handler() http.Handler {
@@ -283,15 +328,19 @@ type OverlayStatsJSON struct {
 	Bytes         int64 `json:"bytes"`
 }
 
-// StatsResponse is the body of /stats.
+// StatsResponse is the body of /stats. Replication carries a
+// replication.PrimaryStats or replication.FollowerStats when this
+// server is part of a replication pair (see docs/operations.md for the
+// field glossary).
 type StatsResponse struct {
-	SeqPages  int64              `json:"seq_pages"`
-	RandReads int64              `json:"rand_reads"`
-	BytesRead int64              `json:"bytes_read"`
-	Cache     *CacheStatsJSON    `json:"cache,omitempty"`
-	Mutations *MutationStatsJSON `json:"mutations,omitempty"`
-	WAL       *WALStatsJSON      `json:"wal,omitempty"`
-	Overlay   *OverlayStatsJSON  `json:"overlay,omitempty"`
+	SeqPages    int64              `json:"seq_pages"`
+	RandReads   int64              `json:"rand_reads"`
+	BytesRead   int64              `json:"bytes_read"`
+	Cache       *CacheStatsJSON    `json:"cache,omitempty"`
+	Mutations   *MutationStatsJSON `json:"mutations,omitempty"`
+	WAL         *WALStatsJSON      `json:"wal,omitempty"`
+	Overlay     *OverlayStatsJSON  `json:"overlay,omitempty"`
+	Replication any                `json:"replication,omitempty"`
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -299,7 +348,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, src, err := s.eng.TopK(r.Context(), q, req.K)
+	eng, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	res, src, err := eng.TopK(r.Context(), q, req.K)
 	if err != nil {
 		engineError(w, err)
 		return
@@ -362,7 +415,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		engineError(w, err)
 		return
 	}
-	a, err := s.eng.Analyze(r.Context(), q, req.K, opts)
+	eng, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	a, err := eng.Analyze(r.Context(), q, req.K, opts)
 	if err != nil {
 		engineError(w, err)
 		return
@@ -401,7 +458,11 @@ func (s *Server) handleBatchAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Responses[i] = BatchEntryResponse{Error: err.Error()}
 	}
-	for j, res := range s.eng.AnalyzeBatch(r.Context(), items) {
+	eng, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	for j, res := range eng.AnalyzeBatch(r.Context(), items) {
 		i := itemIdx[j]
 		if res.Err != nil {
 			resp.Responses[i] = BatchEntryResponse{Error: res.Err.Error()}
@@ -462,7 +523,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		opIdx = append(opIdx, i)
 	}
-	s.applyOps(w, ops, opIdx, results)
+	s.applyOps(w, r, ops, opIdx, results)
 }
 
 // handleDelete removes tuples by id through the engine's write path.
@@ -486,14 +547,27 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		ops[i] = engine.Op{Kind: engine.OpDelete, ID: id}
 		opIdx[i] = i
 	}
-	s.applyOps(w, ops, opIdx, make([]OpResultJSON, len(req.IDs)))
+	s.applyOps(w, r, ops, opIdx, make([]OpResultJSON, len(req.IDs)))
 }
 
 // applyOps runs the batch and renders the shared mutation response.
 // results arrives pre-filled with any per-op shape errors; opIdx maps
 // each engine op back to its response slot.
-func (s *Server) applyOps(w http.ResponseWriter, ops []engine.Op, opIdx []int, results []OpResultJSON) {
-	if !s.eng.Mutable() {
+func (s *Server) applyOps(w http.ResponseWriter, r *http.Request, ops []engine.Op, opIdx []int, results []OpResultJSON) {
+	if s.redirect != "" {
+		// Replication standby: the local engine is mutable (the
+		// replication stream writes through it) but clients must not be
+		// — their writes belong on the primary, and the Location header
+		// says where that is.
+		w.Header().Set("Location", s.redirect+r.URL.Path)
+		httpError(w, http.StatusConflict, fmt.Errorf("read-only standby: writes go to the primary at %s", s.redirect))
+		return
+	}
+	eng, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	if !eng.Mutable() {
 		// Report read-only consistently (409) no matter the payload
 		// shape — even when every op already failed parsing.
 		engineError(w, fmt.Errorf("server: %w", engine.ErrImmutable))
@@ -501,7 +575,7 @@ func (s *Server) applyOps(w http.ResponseWriter, ops []engine.Op, opIdx []int, r
 	}
 	resp := MutateResponse{Results: results}
 	if len(ops) > 0 {
-		res, err := s.eng.Apply(ops)
+		res, err := eng.Apply(ops)
 		if err != nil {
 			engineError(w, err)
 			return
@@ -521,10 +595,22 @@ func (s *Server) applyOps(w http.ResponseWriter, ops []engine.Op, opIdx []int, r
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	seq, rnd, bytes := s.eng.Stats().Snapshot()
-	resp := StatsResponse{SeqPages: seq, RandReads: rnd, BytesRead: bytes}
-	if s.eng.Mutable() {
-		ms := s.eng.MutationStats()
+	var resp StatsResponse
+	if s.replStats != nil {
+		resp.Replication = s.replStats()
+	}
+	eng := s.get()
+	if eng == nil {
+		// A standby mid-re-seed has no engine, but its replication
+		// block (connected, snapshots_loaded, last_error) is exactly
+		// what an operator watching the re-seed needs — serve it with
+		// the engine-derived blocks absent instead of a blanket 503.
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.SeqPages, resp.RandReads, resp.BytesRead = eng.Stats().Snapshot()
+	if eng.Mutable() {
+		ms := eng.MutationStats()
 		resp.Mutations = &MutationStatsJSON{
 			Inserts:       ms.Inserts,
 			Updates:       ms.Updates,
@@ -535,8 +621,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CacheSurvived: ms.CacheSurvived,
 		}
 	}
-	if s.eng.Durable() {
-		ds := s.eng.DurabilityStats()
+	if eng.Durable() {
+		ds := eng.DurabilityStats()
 		resp.WAL = &WALStatsJSON{
 			Generation:          ds.Generation,
 			SyncPolicy:          ds.SyncPolicy,
@@ -552,7 +638,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			LastCheckpointError: ds.LastCheckpointError,
 		}
 	}
-	if ov, ok := s.eng.OverlayStats(); ok {
+	if ov, ok := eng.OverlayStats(); ok {
 		resp.Overlay = &OverlayStatsJSON{
 			Added:         ov.Added,
 			Overridden:    ov.Overridden,
@@ -561,8 +647,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Bytes:         ov.Bytes,
 		}
 	}
-	if s.eng.CacheEnabled() {
-		cs := s.eng.CacheStats()
+	if eng.CacheEnabled() {
+		cs := eng.CacheStats()
 		resp.Cache = &CacheStatsJSON{
 			Hits:       cs.Hits,
 			RegionHits: cs.RegionHits,
@@ -634,14 +720,18 @@ func httpError(w http.ResponseWriter, code int, err error) {
 }
 
 // engineError maps an engine failure to an HTTP status: validation
-// faults are the client's, cancellations mean the client is gone, and
-// the rest are ours.
+// faults are the client's, cancellations mean the client is gone, a
+// missed replication quorum is a (dependency-)unavailability the client
+// must treat as indeterminate — the batch is committed locally but not
+// replication-durable — and the rest are ours.
 func engineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrInvalid):
 		httpError(w, http.StatusBadRequest, err)
 	case errors.Is(err, engine.ErrImmutable):
 		httpError(w, http.StatusConflict, err)
+	case errors.Is(err, engine.ErrQuorum):
+		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusServiceUnavailable, err)
 	default:

@@ -117,8 +117,8 @@ func TestUpdateDeleteEndpoints(t *testing.T) {
 	resp = post(t, ts.URL+"/update", UpdateRequest{Ops: []UpdateOpJSON{
 		{ID: &[]int{99}[0], Tuple: []TupleEntryJSON{{Dim: 0, Val: 0.5}}},  // out of range
 		{Tuple: []TupleEntryJSON{{Dim: 0, Val: 0.5}, {Dim: 0, Val: 0.6}}}, // duplicate dim
-		{ID: &id0},                                                        // empty tuple
-		{Tuple: []TupleEntryJSON{{Dim: 1, Val: 0.2}}},                     // fine
+		{ID: &id0}, // empty tuple
+		{Tuple: []TupleEntryJSON{{Dim: 1, Val: 0.2}}}, // fine
 	}}, &mu)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("mixed batch status %d", resp.StatusCode)

@@ -40,6 +40,15 @@
 //     being written is lost.
 //   - SyncInterval: a background goroutine fsyncs every Interval.
 //   - SyncNone: fsync only on Close and Truncate.
+//
+// # Replication
+//
+// The record encoding is deterministic, so frames double as the
+// replication wire format: EncodeRecord/DecodeRecord expose one
+// record's exact bytes, and ReplayFrames re-serializes an existing
+// log's records for shipping. A standby that appends the same (seq,
+// ops) records ends up with a byte-identical log (internal/replication
+// builds on exactly this property).
 package wal
 
 import (
@@ -299,35 +308,44 @@ func (w *Writer) syncLoop() {
 // log and will not resurface on replay; if the rollback itself fails
 // the writer refuses all further appends.
 func (w *Writer) Append(ops []Op) (uint64, error) {
+	seq, _, err := w.AppendFrame(ops)
+	return seq, err
+}
+
+// AppendFrame is Append, additionally returning the exact frame bytes
+// committed to the log — the replication primary ships these verbatim,
+// so the record is serialized exactly once. The returned slice is
+// owned by the caller.
+func (w *Writer) AppendFrame(ops []Op) (uint64, []byte, error) {
 	if len(ops) == 0 {
-		return 0, fmt.Errorf("wal: empty op batch")
+		return 0, nil, fmt.Errorf("wal: empty op batch")
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
-		return 0, w.failed
+		return 0, nil, w.failed
 	}
 	if err, _ := w.syncErr.Load().(error); err != nil {
-		return 0, fmt.Errorf("wal: background sync failed: %w", err)
+		return 0, nil, fmt.Errorf("wal: background sync failed: %w", err)
 	}
 	seq := w.nextSeq
 	frame, err := encodeRecord(seq, ops)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if len(frame)-frameSize > maxRecordBytes {
 		// Never let a record the recovery scan would classify as
 		// corruption (and truncate away) become an acknowledged write.
-		return 0, fmt.Errorf("wal: batch encodes to %d bytes, above the %d-byte record limit — split it", len(frame)-frameSize, maxRecordBytes)
+		return 0, nil, fmt.Errorf("wal: batch encodes to %d bytes, above the %d-byte record limit — split it", len(frame)-frameSize, maxRecordBytes)
 	}
 	if _, err := w.f.Write(frame); err != nil {
-		return 0, w.rollback(err)
+		return 0, nil, w.rollback(err)
 	}
 	if w.policy.Mode == SyncBatch {
 		// The fsync is part of the commit: a record whose durability the
 		// caller was told failed must not replay on restart.
 		if err := w.f.Sync(); err != nil {
-			return 0, w.rollback(err)
+			return 0, nil, w.rollback(err)
 		}
 		w.syncs.Add(1)
 	}
@@ -337,7 +355,7 @@ func (w *Writer) Append(ops []Op) (uint64, error) {
 	if w.policy.Mode == SyncInterval {
 		w.dirty.Store(true)
 	}
-	return seq, nil
+	return seq, frame, nil
 }
 
 // rollback restores the log to its last committed length after a failed
@@ -642,6 +660,88 @@ func zeroTail(f *os.File, off, size int64) bool {
 		off += n
 	}
 	return true
+}
+
+// EncodeRecord builds the full on-disk frame (length prefix + CRC +
+// payload) for one batch. The encoding is deterministic: the same
+// (seq, ops) always yields the same bytes, which is what lets the
+// replication subsystem ship frames verbatim and a follower's log end
+// up byte-identical to the primary's for the same record sequence.
+func EncodeRecord(seq uint64, ops []Op) ([]byte, error) {
+	return encodeRecord(seq, ops)
+}
+
+// DecodeRecord parses one full frame as produced by EncodeRecord (and
+// as stored in the log): it validates the length prefix and CRC, then
+// decodes the sequence number and ops. The replication follower runs
+// every received frame through this before applying it, so a corrupted
+// or truncated frame is rejected at the wire instead of poisoning the
+// standby's log.
+func DecodeRecord(frame []byte) (seq uint64, ops []Op, err error) {
+	if len(frame) < frameSize+12 {
+		return 0, nil, fmt.Errorf("wal: frame too short (%d bytes)", len(frame))
+	}
+	plen := int(binary.LittleEndian.Uint32(frame[0:4]))
+	wantCRC := binary.LittleEndian.Uint32(frame[4:8])
+	if plen != len(frame)-frameSize {
+		return 0, nil, fmt.Errorf("wal: frame length prefix %d does not match %d payload bytes", plen, len(frame)-frameSize)
+	}
+	payload := frame[frameSize:]
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return 0, nil, fmt.Errorf("wal: frame crc mismatch")
+	}
+	seq = binary.LittleEndian.Uint64(payload[0:8])
+	ops, err = decodeOps(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, ops, nil
+}
+
+// ReplayFrames scans the log read-only like Replay, but hands the
+// caller each record's full re-serialized frame (length prefix + CRC +
+// payload) instead of its decoded ops — the form the replication
+// primary ships over the wire. Records with seq <= from are skipped; a
+// torn tail is tolerated without repair; a missing log replays as
+// empty. The frame slice is freshly allocated per record and may be
+// retained.
+func ReplayFrames(path string, from uint64, fn func(seq uint64, frame []byte) error) (ReplayResult, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return ReplayResult{}, nil
+	}
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	if st.Size() == 0 {
+		return ReplayResult{}, nil
+	}
+	var res ReplayResult
+	end, err := scanFrames(f, st.Size(), func(off int64, seq uint64, payload []byte) error {
+		res.LastSeq = seq
+		if seq <= from {
+			res.SkippedRecords++
+			return nil
+		}
+		res.Records++
+		frame := make([]byte, 0, frameSize+len(payload))
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+		frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+		frame = append(frame, payload...)
+		return fn(seq, frame)
+	})
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	if end < st.Size() {
+		res.TruncatedBytes = st.Size() - end
+	}
+	return res, nil
 }
 
 // encodeRecord builds the full frame (header + payload) for one batch.

@@ -174,6 +174,14 @@ func OpenEngineWithConfig(tuplePath, listPath string, poolPages int, cfg EngineC
 	return &Engine{eng: eng}, nil
 }
 
+// ErrManifestMoved is returned by OpenEngineDir (and any lock-free
+// read-only open) when every one of its engine.SnapshotOpenAttempts
+// attempts raced a concurrent writer's checkpoint publication — the
+// manifest moved, or the generation files were swept, mid-open each
+// time. The directory is healthy; retry later or back off. Test with
+// errors.Is(err, repro.ErrManifestMoved).
+var ErrManifestMoved = engine.ErrManifestMoved
+
 // OpenEngineDir opens a dataset directory read-only, following its
 // checkpoint MANIFEST to the live file generation and replaying any
 // write-ahead log so acknowledged update batches are served — the open
@@ -182,6 +190,12 @@ func OpenEngineWithConfig(tuplePath, listPath string, poolPages int, cfg EngineC
 // the directory's log never records (silently non-durable writes), so
 // writes must go through the owning server (or engine.OpenDir with
 // Config.WAL).
+//
+// Because no lock is taken, a live writer can publish a checkpoint
+// mid-open; the open detects the moved manifest and retries against
+// the new generation, up to engine.SnapshotOpenAttempts (4) times,
+// after which it fails with the typed ErrManifestMoved rather than a
+// misleading raw I/O error.
 func OpenEngineDir(dir string, poolPages int, cfg EngineConfig) (*Engine, error) {
 	icfg := cfg.internal()
 	icfg.ReadOnly = true
