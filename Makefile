@@ -3,18 +3,20 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke test-wal test-replication check-docs ci
+.PHONY: all build test race vet bench-smoke test-wal test-replication test-failover check-docs ci
 
 all: ci
 
 build:
 	$(GO) build ./...
 
+# -short keeps the long randomized soaks (failover chaos trials) out of
+# the tier-1 fast path; make test-failover runs them in full.
 test:
-	$(GO) test ./...
+	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -short -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +42,17 @@ test-replication:
 	$(GO) test -race ./internal/replication/...
 	$(GO) test -race -run 'TestCommit|TestApplyReplicated|TestCheckpointEventSink|TestOpenDirManifestMoved' ./internal/engine/
 	$(GO) test -race -run 'TestStandbyHTTP|TestNilEngine' ./internal/server/
+
+# Failover focus: the chaos property suite under -race with a full
+# 50-trial soak (each trial kills/restarts members at random while a
+# client hammers writes, then proves the healed topology bit-identical
+# to a single-node oracle), the deposed-primary regression, the
+# coordinator internals, and the routing client/proxy unit tests.
+test-failover:
+	FAILOVER_SOAK_TRIALS=50 $(GO) test -race -run 'TestClusterFailover|TestDeposedPrimary|TestFailoverChaos' -timeout 20m ./internal/replication/
+	$(GO) test -race -run 'TestBackoffJitter|TestHeartbeatAge|TestQuorumPartitioned|TestHandshakeFences' ./internal/replication/
+	$(GO) test -race -run 'TestFence|TestAdvanceEpoch|TestAdoptEpoch' ./internal/engine/
+	$(GO) test -race ./internal/client/
 
 # Docs drift check: markdown cross-references must resolve and every
 # flag the docs mention must exist in the binaries.

@@ -9,7 +9,8 @@
 //  2. Flags: every command-line flag mentioned in inline code
 //     (`-flag` or `-flag=value` inside single backticks, outside
 //     fenced code blocks) must exist in the source of cmd/irserver
-//     for the docs/ files, or in any cmd/* main for the README.
+//     or cmd/irproxy for the docs/ files (the operator docs cover
+//     both daemons), or in any cmd/* main for the README.
 //     Fenced blocks are exempt — they hold full shell transcripts
 //     whose tokens (curl options, jq filters) are not flag claims.
 //
@@ -43,7 +44,7 @@ var (
 // chain, not to our binaries.
 var goToolFlags = map[string]bool{
 	"race": true, "run": true, "bench": true, "benchmem": true,
-	"benchtime": true, "count": true, "v": true,
+	"benchtime": true, "count": true, "v": true, "short": true,
 }
 
 // collectFlags parses the flag definitions of one main package file.
@@ -114,13 +115,16 @@ func main() {
 	root := flag.String("root", ".", "repository root")
 	flag.Parse()
 
-	// Flag universes: irserver's own flags for the docs/ tree (the
-	// operator docs document irserver), the union of every command's
-	// flags for the README (which also shows irgen/irquery usage).
-	irserver := map[string]bool{}
-	if err := collectFlags(filepath.Join(*root, "cmd", "irserver", "main.go"), irserver); err != nil {
-		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
-		os.Exit(2)
+	// Flag universes: the daemons' flags (irserver + irproxy) for the
+	// docs/ tree (the operator docs document both), the union of every
+	// command's flags for the README (which also shows irgen/irquery
+	// usage).
+	daemons := map[string]bool{}
+	for _, cmd := range []string{"irserver", "irproxy"} {
+		if err := collectFlags(filepath.Join(*root, "cmd", cmd, "main.go"), daemons); err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	union := map[string]bool{}
 	mains, err := filepath.Glob(filepath.Join(*root, "cmd", "*", "main.go"))
@@ -144,7 +148,7 @@ func main() {
 		os.Exit(1)
 	}
 	for _, d := range docs {
-		targets[d] = irserver
+		targets[d] = daemons
 	}
 	// The spec and the operator guide are load-bearing: their absence
 	// is a failure, not a skip.
@@ -171,5 +175,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(all))
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d files clean (%d irserver flags, %d total flags)\n", len(targets), len(irserver), len(union))
+	fmt.Printf("docscheck: %d files clean (%d daemon flags, %d total flags)\n", len(targets), len(daemons), len(union))
 }

@@ -1,0 +1,108 @@
+// Command irproxy is the smart routing front door for a replicated
+// irserver cluster. It discovers the topology through the nodes' GET
+// /cluster beacons, routes writes (/update, /delete) to the current
+// confirmed primary and reads to the least-lagged ready standby, and
+// rides out a failover transparently: on a 409 referral it follows the
+// Location header to the new primary, on a 503 or a dead connection it
+// re-resolves the topology and retries with capped, deterministically
+// jittered backoff.
+//
+// The proxy is stateless — kill -9 it and restart; everything it knows
+// is rediscovered from -nodes within one probe. Run several behind a
+// TCP balancer for proxy redundancy.
+//
+// Endpoints served by the proxy itself: GET /healthz (proxy liveness,
+// independent of cluster health) and GET /topology (the current
+// discovered view). Everything else is forwarded.
+//
+// Usage:
+//
+//	irproxy -addr :8000 -nodes http://db1:8080,http://db2:8080,http://db3:8080
+//	curl -s localhost:8000/update -d '{"ops":[{"tuple":[{"dim":3,"val":0.9}]}]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8000", "proxy listen address")
+		nodes       = flag.String("nodes", "", "comma-separated cluster member HTTP base URLs (seeds for topology discovery)")
+		id          = flag.String("id", "", "proxy identity seeding the deterministic retry jitter (default: the node list)")
+		maxRetries  = flag.Int("max-retries", 8, "retry attempts per request before answering 502")
+		retryBase   = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per attempt)")
+		retryCap    = flag.Duration("retry-cap", 2*time.Second, "retry backoff ceiling")
+		topologyTTL = flag.Duration("topology-ttl", time.Second, "how long a discovered topology is trusted before re-probing")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-attempt upstream request timeout")
+		shutdownTo  = flag.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	seeds := splitList(*nodes)
+	if len(seeds) == 0 {
+		log.Fatal("irproxy: -nodes needs at least one cluster member URL")
+	}
+	c, err := client.New(client.Config{
+		Seeds:       seeds,
+		ID:          *id,
+		MaxRetries:  *maxRetries,
+		RetryBase:   *retryBase,
+		RetryCap:    *retryCap,
+		TopologyTTL: *topologyTTL,
+		HTTPClient:  &http.Client{Timeout: *reqTimeout},
+	})
+	if err != nil {
+		log.Fatalf("irproxy: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	n := c.Refresh(ctx)
+	fmt.Printf("irproxy: listening on %s, %d of %d seed nodes answering\n", *addr, n, len(seeds))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: client.NewProxy(c).Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("irproxy: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("irproxy: shutting down, draining in-flight requests")
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTo)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			httpSrv.Close()
+		} else {
+			log.Printf("irproxy: shutdown: %v", err)
+		}
+	}
+	fmt.Println("irproxy: bye")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

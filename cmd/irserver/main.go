@@ -22,6 +22,16 @@
 // 409 plus a Location pointer to the primary. See docs/replication.md
 // and docs/operations.md.
 //
+// With -cluster the server joins an HA cluster under the failover
+// coordinator: the node detects primary death over the replication
+// heartbeat stream, elects a successor deterministically (highest
+// fsynced sequence, node id tiebreak), promotes it under a new fencing
+// epoch, and demotes a deposed primary that comes back — no operator
+// action. Exactly one member boots with -cluster-primary; the rest
+// start as followers. GET /cluster serves the topology beacon, GET
+// /readyz routing readiness, and POST /promote forces promotion.
+// Front the members with irproxy for a single stable address.
+//
 // On SIGINT/SIGTERM the server drains in-flight requests (bounded by
 // -shutdown-timeout) and then flushes and closes the write-ahead log.
 //
@@ -46,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,10 +85,17 @@ func main() {
 		syncF        = flag.String("sync", "batch", "WAL fsync policy: batch (per update batch), none, or an interval like 250ms")
 		ckptBytes    = flag.Int64("checkpoint-bytes", 0, "compact the WAL + overlay into fresh dataset files past this size (0 = default 64MiB, negative = never)")
 		shutdownTo   = flag.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
-		replListen   = flag.String("replicate-listen", "", "replication primary: accept follower connections on this address (requires -wal)")
+		replListen   = flag.String("replicate-listen", "", "replication primary: accept follower connections on this address (requires -wal; in -cluster mode, the node's replication listener)")
 		follow       = flag.String("follow", "", "replication standby: replicate from this primary replication address into -data and serve read-only")
 		ackF         = flag.String("ack", "async", "primary replication ack mode: async, or quorum (writes wait for ⌈n/2⌉ follower fsyncs)")
 		ackTimeout   = flag.Duration("ack-timeout", 5*time.Second, "quorum ack wait bound before a write reports a missed quorum")
+		cluster      = flag.String("cluster", "", "HA cluster mode: comma-separated peer HTTP base URLs (the OTHER members); enables the failover coordinator")
+		clusterPrim  = flag.Bool("cluster-primary", false, "boot this cluster member in the primary role (exactly one member per cluster)")
+		advertise    = flag.String("advertise", "", "this node's HTTP base URL as peers and clients should reach it (default derived from -addr)")
+		nodeID       = flag.String("node-id", "", "stable node identity and election tiebreaker (default: the advertise URL)")
+		failoverTo   = flag.Duration("failover-timeout", 2*time.Second, "heartbeat silence a follower tolerates before suspecting the primary dead")
+		probeIvl     = flag.Duration("probe-interval", 500*time.Millisecond, "coordination step period (peer probing, election checks)")
+		readyLag     = flag.Uint64("ready-lag", 1024, "max replication lag (in sequence numbers) for /readyz to report ready on a standby")
 	)
 	flag.Parse()
 
@@ -115,6 +133,60 @@ func main() {
 		shutdown func() // post-drain resource teardown, in order
 	)
 	switch {
+	case *cluster != "" || *clusterPrim:
+		// HA cluster member: the failover coordinator owns the engine,
+		// the replication listener and the role; the server consults it
+		// per request for the engine, the write gate and readiness.
+		if *data == "" {
+			log.Fatal("irserver: -cluster needs -data DIR")
+		}
+		if *demo || *follow != "" || *readonly {
+			log.Fatal("irserver: -cluster is exclusive with -demo, -follow and -readonly")
+		}
+		adv := *advertise
+		if adv == "" {
+			host, port, err := net.SplitHostPort(*addr)
+			if err != nil {
+				log.Fatalf("irserver: cannot derive -advertise from -addr %q: %v", *addr, err)
+			}
+			if host == "" {
+				host = "127.0.0.1"
+			}
+			adv = "http://" + net.JoinHostPort(host, port)
+		}
+		node, err := replication.NewNode(replication.NodeConfig{
+			Dir:             *data,
+			PoolPages:       *pool,
+			Engine:          cfg,
+			NodeID:          *nodeID,
+			AdvertiseHTTP:   adv,
+			ReplListen:      *replListen,
+			Peers:           splitPeers(*cluster),
+			StartPrimary:    *clusterPrim,
+			AckMode:         ackMode,
+			AckTimeout:      *ackTimeout,
+			FailoverTimeout: *failoverTo,
+			ProbeInterval:   *probeIvl,
+			ReadyLag:        *readyLag,
+		})
+		if err != nil {
+			log.Fatalf("irserver: %v", err)
+		}
+		go node.Run(ctx)
+		eng = node.Engine() // may be nil on a fresh member awaiting its first snapshot
+		srv = server.FromEngineFunc(node.Engine)
+		srv.SetWriteGate(node.WriteGate)
+		srv.SetReadiness(node.Readiness)
+		srv.SetClusterInfo(func() any { return node.ClusterInfo() })
+		srv.SetPromote(node.Promote)
+		srv.SetReplicationStats(func() any { return node.Stats() })
+		shutdown = func() {
+			stop() // cancel ctx so node.Run unwinds and closes the engine
+			<-node.Done()
+		}
+		fmt.Printf("irserver: cluster member %s (repl %s, boot role %s, peers %v)\n",
+			adv, node.ReplAddr(), map[bool]string{true: "primary", false: "follower"}[*clusterPrim], splitPeers(*cluster))
+
 	case *follow != "":
 		// Replication standby: the follower owns the engine lifecycle
 		// (it may replace it on a snapshot re-seed), the server resolves
@@ -146,6 +218,19 @@ func main() {
 			srv.SetWriteRedirect("http://" + *follow) // best effort pointer
 		}
 		srv.SetReplicationStats(func() any { return fol.Stats() })
+		srv.SetReadiness(func() error {
+			st := fol.Stats()
+			if fol.Engine() == nil {
+				return fmt.Errorf("snapshot bootstrap in progress")
+			}
+			if !st.Connected {
+				return fmt.Errorf("replication session down")
+			}
+			if st.SeqDelta > *readyLag {
+				return fmt.Errorf("replication lag %d exceeds the %d bound", st.SeqDelta, *readyLag)
+			}
+			return nil
+		})
 		shutdown = func() {
 			stop() // ensure ctx is canceled so Run unwinds
 			<-fol.Done()
@@ -208,11 +293,15 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v mutable=%v wal=%v)\n",
-		eng.N(), eng.Dim(), *addr, *maxConc, *parallelism, eng.CacheEnabled(), eng.Mutable(), eng.Durable())
-	if ds := eng.DurabilityStats(); ds.Enabled && (ds.ReplayedRecords > 0 || ds.TruncatedBytes > 0) {
-		fmt.Printf("irserver: recovered %d ops from %d wal records (%d torn bytes repaired)\n",
-			ds.ReplayedOps, ds.ReplayedRecords, ds.TruncatedBytes)
+	if eng != nil {
+		fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v mutable=%v wal=%v)\n",
+			eng.N(), eng.Dim(), *addr, *maxConc, *parallelism, eng.CacheEnabled(), eng.Mutable(), eng.Durable())
+		if ds := eng.DurabilityStats(); ds.Enabled && (ds.ReplayedRecords > 0 || ds.TruncatedBytes > 0) {
+			fmt.Printf("irserver: recovered %d ops from %d wal records (%d torn bytes repaired)\n",
+				ds.ReplayedOps, ds.ReplayedRecords, ds.TruncatedBytes)
+		}
+	} else {
+		fmt.Printf("irserver: listening on %s, awaiting first snapshot from the cluster\n", *addr)
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
@@ -245,4 +334,15 @@ func main() {
 	}
 	shutdown()
 	fmt.Println("irserver: bye")
+}
+
+// splitPeers parses the -cluster flag's comma-separated peer list.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxProxyBodyBytes bounds a buffered request body. Bodies are buffered
+// in full so a request can be replayed against a re-elected primary.
+const maxProxyBodyBytes = 64 << 20
+
+// Proxy is the smart routing front door (cmd/irproxy): an http.Handler
+// that forwards every request through a Client, so callers keep a
+// single stable address across failovers. The proxy itself is
+// stateless — kill -9 it and restart; the topology is rediscovered from
+// the seeds.
+type Proxy struct {
+	c *Client
+}
+
+// NewProxy wraps a Client as a routing proxy.
+func NewProxy(c *Client) *Proxy { return &Proxy{c: c} }
+
+// Handler returns the proxy's http.Handler. /healthz and /topology are
+// answered by the proxy itself; everything else is routed to the
+// cluster (writes → primary, reads → least-lagged ready standby).
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// The proxy's own liveness, deliberately independent of the
+		// cluster's health: a proxy with zero reachable nodes is still
+		// a live proxy.
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/topology", func(w http.ResponseWriter, r *http.Request) {
+		p.c.Refresh(r.Context())
+		writeJSON(w, http.StatusOK, p.c.Topology())
+	})
+	mux.HandleFunc("/", p.forward)
+	return mux
+}
+
+// forward buffers the request, routes it through the Client's retry
+// loop, and relays the final response verbatim (status, headers, body —
+// including X-Indeterminate, which the end client must see).
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxProxyBodyBytes+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %v", err))
+			return
+		}
+		if len(body) > maxProxyBodyBytes {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte proxy limit", maxProxyBodyBytes))
+			return
+		}
+	}
+	resp, err := p.c.Do(r.Context(), r.Method, r.URL.Path, r.URL.RawQuery, r.Header, body)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, fmt.Errorf("no node could serve the request: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(raw)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

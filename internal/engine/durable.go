@@ -200,7 +200,7 @@ func OpenDir(dir string, poolPages int, cfg Config) (*Engine, error) {
 		before, e, err := openSnapshot(dir, poolPages, cfg)
 		if err == nil {
 			after, aerr := currentManifest(dir)
-			if aerr == nil && after == before {
+			if aerr == nil && sameGeneration(after, before) {
 				return e, nil
 			}
 			e.Close()
@@ -208,12 +208,20 @@ func OpenDir(dir string, poolPages int, cfg Config) (*Engine, error) {
 			continue
 		}
 		lastErr = err
-		if after, aerr := currentManifest(dir); aerr != nil || after == before {
+		if after, aerr := currentManifest(dir); aerr != nil || sameGeneration(after, before) {
 			return nil, err // a real failure, not checkpoint churn
 		}
 	}
 	return nil, fmt.Errorf("engine: %s: open raced concurrent checkpoints %d times (last: %v): %w",
 		dir, SnapshotOpenAttempts, lastErr, ErrManifestMoved)
+}
+
+// sameGeneration reports whether two manifests name the same dataset
+// generation — the snapshot open's moved-under-us check. Epoch-only
+// manifest rewrites (a fencing promotion) do not move any files, so
+// they are not a reason to restart an open.
+func sameGeneration(a, b wal.Manifest) bool {
+	return a.Gen == b.Gen && a.Tuples == b.Tuples && a.Lists == b.Lists && a.LastSeq == b.LastSeq
 }
 
 // currentManifest reads dir's manifest (the implied default when none
@@ -271,6 +279,8 @@ func openSnapshot(dir string, poolPages int, cfg Config) (wal.Manifest, *Engine,
 	}
 	e := New(top, cfg)
 	e.closer = ix.Close
+	e.epoch.Store(man.Epoch)
+	e.epochs = append([]wal.EpochStart(nil), man.Epochs...)
 	return man, e, nil
 }
 
@@ -329,6 +339,11 @@ func openDurableDir(dir string, poolPages int, cfg Config) (*Engine, error) {
 		tornBytes:       res.TruncatedBytes,
 		checkpointBytes: threshold,
 	}
+	// Fencing state survives restarts through the manifest: a deposed
+	// primary that crashed and came back still knows its epoch (and its
+	// promotion timeline) before serving a single request.
+	e.epoch.Store(man.Epoch)
+	e.epochs = append([]wal.EpochStart(nil), man.Epochs...)
 	return e, nil
 }
 
@@ -492,7 +507,8 @@ func (e *Engine) checkpoint(force bool) error {
 	// already names (an in-place rewrite is not atomic — a crash
 	// mid-rewrite would leave the manifest pointing at half-written
 	// files).
-	man := wal.Manifest{Gen: gen, Tuples: tn, Lists: ln, LastSeq: seq}
+	man := wal.Manifest{Gen: gen, Tuples: tn, Lists: ln, LastSeq: seq,
+		Epoch: e.epoch.Load(), Epochs: e.EpochTimeline()}
 	if err := man.Save(d.dir); err != nil {
 		return fmt.Errorf("engine: checkpoint manifest: %w", err)
 	}

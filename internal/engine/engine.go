@@ -147,6 +147,13 @@ type Engine struct {
 	// batch is still applying linearizes before it.
 	mu sync.RWMutex
 
+	// Fencing epoch state (fence.go): the node's own epoch, the highest
+	// foreign epoch observed, and the persisted promotion timeline.
+	epoch    atomic.Uint64
+	fencedBy atomic.Uint64
+	epochsMu sync.Mutex
+	epochs   []wal.EpochStart
+
 	// Mutation counters (see MutationStats).
 	mutInserts, mutUpdates, mutDeletes, mutBatches atomic.Int64
 	invChecked, invEvicted, invSurvived            atomic.Int64

@@ -158,7 +158,7 @@ func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	if len(ops) == 0 {
 		return ApplyResult{}, fmt.Errorf("engine: empty op batch: %w", ErrInvalid)
 	}
-	res, seq, err := e.applyLocked(ops)
+	res, seq, gate, err := e.applyLocked(ops)
 	if err != nil {
 		return res, err
 	}
@@ -166,10 +166,12 @@ func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	// wait for followers to confirm fsync of the batch's frame. A gate
 	// failure does not undo the batch — it is committed locally and
 	// will replicate eventually — but the caller is told its
-	// replication-durability guarantee was not met (ErrQuorum).
+	// replication-durability guarantee was not met (ErrQuorum). The gate
+	// was captured under the write lock: promotion attaches it before
+	// the role flip, so no batch can slip between sink and gate.
 	var gateErr error
-	if e.commitGate != nil && seq != 0 {
-		if gerr := e.commitGate(seq); gerr != nil {
+	if gate != nil && seq != 0 {
+		if gerr := gate(seq); gerr != nil {
 			gateErr = fmt.Errorf("engine: batch %d applied locally but %w: %v", seq, ErrQuorum, gerr)
 		}
 	}
@@ -182,12 +184,19 @@ func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	return res, gateErr
 }
 
-// applyLocked is Apply's critical section: log, ship, mutate,
-// invalidate. It returns the batch's WAL sequence number (0 when the
-// engine is not durable or nothing was logged).
-func (e *Engine) applyLocked(ops []Op) (ApplyResult, uint64, error) {
+// applyLocked is Apply's critical section: fence check, log, ship,
+// mutate, invalidate. It returns the batch's WAL sequence number (0
+// when the engine is not durable or nothing was logged) and the commit
+// gate captured under the lock.
+func (e *Engine) applyLocked(ops []Op) (ApplyResult, uint64, func(seq uint64) error, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Fencing: once a newer primary epoch has been observed, this node
+	// must not commit client writes — they would branch the history a
+	// live primary is extending under the new epoch.
+	if fb := e.fencedBy.Load(); fb > e.epoch.Load() {
+		return ApplyResult{}, 0, nil, fmt.Errorf("engine: epoch %d %w (observed epoch %d)", e.epoch.Load(), ErrFenced, fb)
+	}
 	var seq uint64
 	// Write-ahead: the batch reaches the log (and, under the fsync-
 	// per-batch policy, stable storage) before any overlay state
@@ -197,7 +206,7 @@ func (e *Engine) applyLocked(ops []Op) (ApplyResult, uint64, error) {
 		if wops := walOps(ops); len(wops) > 0 {
 			s, frame, err := e.dur.log.AppendFrame(wops)
 			if err != nil {
-				return ApplyResult{}, 0, fmt.Errorf("engine: wal append: %w", err)
+				return ApplyResult{}, 0, nil, fmt.Errorf("engine: wal append: %w", err)
 			}
 			seq = s
 			// Ship the committed frame while still under the write lock:
@@ -210,7 +219,7 @@ func (e *Engine) applyLocked(ops []Op) (ApplyResult, uint64, error) {
 			}
 		}
 	}
-	return e.runOpsLocked(ops), seq, nil
+	return e.runOpsLocked(ops), seq, e.commitGate, nil
 }
 
 // runOpsLocked applies a batch's ops to the index and runs the

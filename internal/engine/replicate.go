@@ -56,18 +56,28 @@ type ReplicationSink interface {
 	CheckpointEvent(man wal.Manifest, logTruncated bool)
 }
 
-// SetReplicationSink attaches the primary-side shipper. It must be
-// called after OpenDir and before the engine serves any traffic —
-// batches applied before the sink is attached are only visible to it
-// through the WAL file.
-func (e *Engine) SetReplicationSink(sink ReplicationSink) { e.replSink = sink }
+// SetReplicationSink attaches (or detaches, with nil) the primary-side
+// shipper. The write lock orders the attachment against in-flight
+// Apply batches, so a standby promoted to primary mid-stream can
+// attach a shipper to a live engine: batches applied before the sink
+// is attached are only visible to it through the WAL file.
+func (e *Engine) SetReplicationSink(sink ReplicationSink) {
+	e.mu.Lock()
+	e.replSink = sink
+	e.mu.Unlock()
+}
 
-// SetCommitGate attaches the quorum-ack gate: Apply calls it with the
-// batch's sequence number after the batch is committed locally and the
-// write lock is released, and propagates its error (wrapped in
-// ErrQuorum semantics) to the caller. Must be set before the engine
-// serves traffic.
-func (e *Engine) SetCommitGate(gate func(seq uint64) error) { e.commitGate = gate }
+// SetCommitGate attaches (or detaches, with nil) the quorum-ack gate:
+// Apply calls it with the batch's sequence number after the batch is
+// committed locally and the write lock is released, and propagates its
+// error (wrapped in ErrQuorum semantics) to the caller. Apply captures
+// the gate under the write lock, so attachment is safe on a live
+// engine.
+func (e *Engine) SetCommitGate(gate func(seq uint64) error) {
+	e.mu.Lock()
+	e.commitGate = gate
+	e.mu.Unlock()
+}
 
 // LastSeq returns the sequence number of the most recent committed
 // batch (0 when nothing was ever applied). Durable engines only.

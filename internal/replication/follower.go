@@ -38,15 +38,29 @@ type FollowerConfig struct {
 	Engine engine.Config
 	// DialTimeout bounds one connection attempt (default 5s);
 	// RetryInterval is the reconnect backoff base (default 250ms,
-	// doubling to 5s).
+	// doubling to 5s, plus a deterministic per-follower jitter).
 	DialTimeout   time.Duration
 	RetryInterval time.Duration
+	// ID identifies this follower for jitter derivation (default Dir):
+	// after a primary restart, followers sharing an ID-less pure
+	// exponential backoff would reconnect in lockstep thundering herds.
+	// The jitter fraction is a deterministic hash of the ID, so a given
+	// deployment's timing is reproducible.
+	ID string
+	// WipeOnDiverge lets the follower wipe its local dataset and
+	// re-seed via snapshot when the primary refuses its resume point as
+	// divergent history (a branch written under a dead fencing epoch).
+	// Off by default: standalone deployments should surface divergence
+	// to an operator; the failover coordinator turns it on because a
+	// demoted primary's un-replicated tail is exactly such a branch.
+	WipeOnDiverge bool
 }
 
 // Follower replicates a primary into a local durable engine.
 type Follower struct {
-	cfg  FollowerConfig
-	done chan struct{}
+	cfg    FollowerConfig
+	done   chan struct{}
+	jitter float64 // deterministic backoff jitter fraction in [0, 0.5)
 
 	mu          sync.Mutex
 	eng         *engine.Engine
@@ -58,6 +72,7 @@ type Follower struct {
 	primaryTail    atomic.Uint64
 	bytesReceived  atomic.Int64
 	lastFrameNanos atomic.Int64
+	lastBeatNanos  atomic.Int64 // any primary liveness signal: welcome, frame, tail
 	snapshots      atomic.Int64
 	reconnects     atomic.Int64
 	folds          atomic.Int64
@@ -72,7 +87,27 @@ func NewFollower(cfg FollowerConfig) *Follower {
 	if cfg.RetryInterval <= 0 {
 		cfg.RetryInterval = 250 * time.Millisecond
 	}
-	return &Follower{cfg: cfg, done: make(chan struct{})}
+	if cfg.ID == "" {
+		cfg.ID = cfg.Dir
+	}
+	return &Follower{cfg: cfg, done: make(chan struct{}), jitter: jitterFraction(cfg.ID)}
+}
+
+// jitterFraction maps a follower ID to a backoff jitter fraction in
+// [0, 0.5) — an FNV-1a hash, so it is deterministic (reproducible test
+// timing) yet spreads simultaneous reconnects across half a backoff
+// period.
+func jitterFraction(id string) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return float64(h%1024) / 2048
 }
 
 // engineConfig is the follower's forced engine configuration: durable,
@@ -152,15 +187,61 @@ func (f *Follower) Run(ctx context.Context) {
 			f.mu.Unlock()
 		}
 		f.reconnects.Add(1)
+		// Jittered exponential backoff: the deterministic per-follower
+		// fraction desynchronizes a herd of standbys reconnecting after a
+		// primary restart without making test timing nondeterministic.
+		sleep := backoff + time.Duration(float64(backoff)*f.jitter)
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if backoff *= 2; backoff > 5*time.Second {
 			backoff = 5 * time.Second
 		}
 	}
+}
+
+// BackoffJitter exposes the follower's deterministic jitter fraction
+// (tests pin the derivation; operators can log it).
+func (f *Follower) BackoffJitter() float64 { return f.jitter }
+
+// DetachEngine hands the live engine to the caller and forgets it —
+// the promotion path: the coordinator stops the follower (cancel Run's
+// ctx, wait on Done), detaches the engine with its WAL, dir lock and
+// replayed state intact, and rebuilds a Primary around it. Returns nil
+// when the follower has no open engine (mid-re-seed).
+func (f *Follower) DetachEngine() *engine.Engine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	eng := f.eng
+	f.eng = nil
+	return eng
+}
+
+// AdoptEngine seeds the follower with an already-open durable engine —
+// the demotion path: a deposed primary keeps its engine (and dir lock)
+// and hands it to a fresh follower pointed at the successor. Must be
+// called before Run.
+func (f *Follower) AdoptEngine(eng *engine.Engine) {
+	f.mu.Lock()
+	f.eng = eng
+	f.mu.Unlock()
+	if eng != nil {
+		f.lastApplied.Store(eng.LastSeq())
+	}
+}
+
+// HeartbeatAge reports how long ago the live session last heard from
+// the primary (welcome, frame, or tail heartbeat); ok is false when no
+// session is live — a dead connection's clock reads as absent, never
+// as fresh.
+func (f *Follower) HeartbeatAge() (age time.Duration, ok bool) {
+	ns := f.lastBeatNanos.Load()
+	if ns == 0 || !f.connected.Load() {
+		return 0, false
+	}
+	return time.Since(time.Unix(0, ns)), true
 }
 
 // Close severs the connection (if Run is still draining) and closes the
@@ -239,6 +320,11 @@ func (f *Follower) session(ctx context.Context) error {
 	}()
 	defer func() {
 		f.connected.Store(false)
+		// Zero the staleness clocks on disconnect: a dead session's last
+		// heartbeat must never make /readyz or the proxy's least-lagged
+		// routing read a stale "recently heard from the primary".
+		f.lastFrameNanos.Store(0)
+		f.lastBeatNanos.Store(0)
 		f.mu.Lock()
 		if f.conn == conn {
 			f.conn = nil
@@ -247,7 +333,12 @@ func (f *Follower) session(ctx context.Context) error {
 		conn.Close()
 	}()
 
-	raw, err := json.Marshal(hello{Proto: ProtoVersion, DatasetID: id, LastSeq: lastSeq})
+	h := hello{Proto: ProtoVersion, DatasetID: id, LastSeq: lastSeq}
+	if eng != nil {
+		h.Epoch = eng.Epoch()
+		h.LastEpoch = eng.EpochAt(lastSeq)
+	}
+	raw, err := json.Marshal(h)
 	if err != nil {
 		return err
 	}
@@ -261,7 +352,18 @@ func (f *Follower) session(ctx context.Context) error {
 	}
 	conn.SetReadDeadline(time.Time{})
 	if kind == msgError {
-		return fmt.Errorf("primary refused: %s", payload)
+		msg := string(payload)
+		// A divergence refusal means the local log holds frames written
+		// under a dead epoch; only a re-seed can rejoin. With
+		// WipeOnDiverge the follower does it itself — the next session
+		// handshakes as a fresh follower and bootstraps via snapshot.
+		if f.cfg.WipeOnDiverge && strings.Contains(msg, "diverged history") {
+			if werr := f.wipeForReseed(); werr != nil {
+				return fmt.Errorf("primary refused: %s (wipe for re-seed failed: %v)", msg, werr)
+			}
+			return fmt.Errorf("primary refused: %s (local dataset wiped for re-seed)", msg)
+		}
+		return fmt.Errorf("primary refused: %s", msg)
 	}
 	if kind != msgWelcome {
 		return fmt.Errorf("expected welcome, got %q", kind)
@@ -276,6 +378,19 @@ func (f *Follower) session(ctx context.Context) error {
 	if id != "" && w.DatasetID != id {
 		return fmt.Errorf("dataset id mismatch: local %s, primary %s", id, w.DatasetID)
 	}
+	// Fencing: never follow a primary whose epoch is below our own —
+	// it was deposed and has not noticed yet. Following it (or worse,
+	// letting a snapshot wipe our newer state) would resurrect a dead
+	// history. Otherwise adopt its epoch and timeline: they are
+	// authoritative for the history we mirror from here on.
+	if eng != nil {
+		if local := eng.Epoch(); w.Epoch < local {
+			return fmt.Errorf("primary epoch %d is older than local epoch %d: refusing deposed primary", w.Epoch, local)
+		}
+		if err := eng.AdoptEpoch(w.Epoch, w.Epochs); err != nil {
+			return fmt.Errorf("adopt epoch %d: %w", w.Epoch, err)
+		}
+	}
 	f.primaryTail.Store(w.TailSeq)
 	f.mu.Lock()
 	f.primaryHTTP = primaryHTTPURL(f.cfg.PrimaryAddr, w.HTTPAddr)
@@ -289,6 +404,7 @@ func (f *Follower) session(ctx context.Context) error {
 		return fmt.Errorf("primary offered %s but follower has no dataset", w.Mode)
 	}
 
+	f.lastBeatNanos.Store(time.Now().UnixNano())
 	f.connected.Store(true)
 	ackBuf := make([]byte, 8)
 	for {
@@ -315,6 +431,7 @@ func (f *Follower) session(ctx context.Context) error {
 			f.lastApplied.Store(seq)
 			f.bytesReceived.Add(int64(len(payload)))
 			f.lastFrameNanos.Store(time.Now().UnixNano())
+			f.lastBeatNanos.Store(time.Now().UnixNano())
 			if seq > f.primaryTail.Load() {
 				f.primaryTail.Store(seq)
 			}
@@ -342,10 +459,29 @@ func (f *Follower) session(ctx context.Context) error {
 				}
 			}
 		case msgTail:
+			f.lastBeatNanos.Store(time.Now().UnixNano())
 			var t tail
 			if err := json.Unmarshal(payload, &t); err == nil && t.TailSeq > f.primaryTail.Load() {
 				f.primaryTail.Store(t.TailSeq)
 			}
+		case msgDeposed:
+			// The primary learned it was fenced and is shutting down. Record
+			// the newer epoch and re-point the write redirect at the
+			// successor (when announced), then reconnect — the coordinator
+			// or the next discovery round finds the new primary.
+			var dep deposed
+			if err := json.Unmarshal(payload, &dep); err != nil {
+				return fmt.Errorf("bad deposed message: %w", err)
+			}
+			if eng := f.Engine(); eng != nil {
+				eng.Fence(dep.Epoch)
+			}
+			if dep.HTTPAddr != "" {
+				f.mu.Lock()
+				f.primaryHTTP = primaryHTTPURL(f.cfg.PrimaryAddr, dep.HTTPAddr)
+				f.mu.Unlock()
+			}
+			return fmt.Errorf("primary deposed by epoch %d", dep.Epoch)
 		case msgError:
 			return fmt.Errorf("primary: %s", payload)
 		default:
@@ -472,6 +608,25 @@ func validSnapshotName(name string) error {
 	return nil
 }
 
+// wipeForReseed closes the local engine (if any) and wipes the dataset
+// state so the next session bootstraps as a fresh follower.
+func (f *Follower) wipeForReseed() error {
+	f.mu.Lock()
+	eng := f.eng
+	f.eng = nil
+	f.mu.Unlock()
+	if eng != nil {
+		if err := eng.Close(); err != nil {
+			return fmt.Errorf("close diverged engine: %w", err)
+		}
+	}
+	if err := wipeDataset(f.cfg.Dir); err != nil {
+		return err
+	}
+	f.lastApplied.Store(0)
+	return nil
+}
+
 // wipeDataset removes every piece of dataset state from dir, keeping
 // only the lock file (flock identity must survive).
 func wipeDataset(dir string) error {
@@ -493,10 +648,15 @@ func wipeDataset(dir string) error {
 }
 
 // primaryHTTPURL combines the replication address's host with the
-// advertised HTTP address's port.
+// advertised HTTP address's port. A full URL (the coordinator
+// advertises those — a successor primary may live on another host) is
+// passed through verbatim.
 func primaryHTTPURL(replAddr, httpAddr string) string {
 	if httpAddr == "" {
 		return ""
+	}
+	if strings.HasPrefix(httpAddr, "http://") || strings.HasPrefix(httpAddr, "https://") {
+		return httpAddr
 	}
 	host, _, err := net.SplitHostPort(replAddr)
 	if err != nil || host == "" {
@@ -524,6 +684,7 @@ type FollowerStats struct {
 	SnapshotsLoaded int64  `json:"snapshots_loaded"`
 	Reconnects      int64  `json:"reconnects"`
 	LocalFolds      int64  `json:"local_folds"`
+	Epoch           uint64 `json:"epoch"`
 	LastError       string `json:"last_error,omitempty"`
 }
 
@@ -547,6 +708,9 @@ func (f *Follower) Stats() FollowerStats {
 		SnapshotsLoaded: f.snapshots.Load(),
 		Reconnects:      f.reconnects.Load(),
 		LocalFolds:      f.folds.Load(),
+	}
+	if eng := f.Engine(); eng != nil {
+		st.Epoch = eng.Epoch()
 	}
 	if st.LastFrameUnixNs != 0 {
 		st.LastFrameAgeMs = time.Since(time.Unix(0, st.LastFrameUnixNs)).Milliseconds()

@@ -95,6 +95,7 @@ type Primary struct {
 
 	snapshots      atomic.Int64
 	quorumFailures atomic.Int64
+	sessionsReaped atomic.Int64
 }
 
 // NewPrimary builds the shipper for an already-opened durable engine on
@@ -198,6 +199,13 @@ func (p *Primary) CheckpointEvent(man wal.Manifest, logTruncated bool) {
 // connected the quorum is unsatisfiable and the gate waits for one to
 // arrive (up to the timeout) — a quorum-mode primary never silently
 // degrades to async.
+//
+// When the gate times out, any streaming session whose ack did not
+// advance during the whole window is reaped (killed and excluded from
+// future quorum counts): a partitioned follower whose TCP connection
+// is still nominally open would otherwise inflate n forever, turning
+// every subsequent quorum-mode Apply into a guaranteed AckTimeout
+// stall. A live-but-slow follower just reconnects and resumes.
 func (p *Primary) Gate(seq uint64) error {
 	deadline := time.Now().Add(p.cfg.AckTimeout)
 	// The deadline broadcast must hold p.mu: an unlocked Broadcast can
@@ -212,13 +220,19 @@ func (p *Primary) Gate(seq uint64) error {
 	defer timer.Stop()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	entryAcked := make(map[*session]uint64)
+	for s := range p.sessions {
+		if s.streaming && !s.killed {
+			entryAcked[s] = s.acked
+		}
+	}
 	for {
 		if p.closed {
 			return fmt.Errorf("replication: primary closed")
 		}
 		n, got := 0, 0
 		for s := range p.sessions {
-			if !s.streaming {
+			if !s.streaming || s.killed {
 				continue
 			}
 			n++
@@ -235,8 +249,22 @@ func (p *Primary) Gate(seq uint64) error {
 		}
 		if !time.Now().Before(deadline) {
 			p.quorumFailures.Add(1)
-			return fmt.Errorf("replication: %d of the required %d follower acks for seq %d within %v (%d connected)",
-				got, need, seq, p.cfg.AckTimeout, n)
+			reaped := 0
+			for s := range p.sessions {
+				if !s.streaming || s.killed || s.acked >= seq {
+					continue
+				}
+				if a0, ok := entryAcked[s]; ok && s.acked == a0 {
+					s.kill()
+					reaped++
+				}
+			}
+			if reaped > 0 {
+				p.sessionsReaped.Add(int64(reaped))
+				p.cond.Broadcast()
+			}
+			return fmt.Errorf("replication: %d of the required %d follower acks for seq %d within %v (%d connected, %d reaped as silent)",
+				got, need, seq, p.cfg.AckTimeout, n, reaped)
 		}
 		p.cond.Wait()
 	}
@@ -287,6 +315,27 @@ func (p *Primary) Close() error {
 		return ln.Close()
 	}
 	return nil
+}
+
+// Depose announces this primary's fencing to every connected follower
+// — msgDeposed carries the observed newer epoch and, when known, the
+// successor's HTTP address so followers re-point without a discovery
+// round — then shuts the shipper down. Called by the coordinator when
+// the node demotes itself after observing a higher epoch.
+func (p *Primary) Depose(epoch uint64, successorHTTP string) {
+	raw, err := json.Marshal(deposed{Epoch: epoch, HTTPAddr: successorHTTP})
+	if err == nil {
+		p.mu.Lock()
+		sessions := make([]*session, 0, len(p.sessions))
+		for s := range p.sessions {
+			sessions = append(sessions, s)
+		}
+		p.mu.Unlock()
+		for _, s := range sessions {
+			_ = s.send(msgDeposed, raw) // best effort: Close severs anyway
+		}
+	}
+	p.Close()
 }
 
 // session is one connected follower.
@@ -356,6 +405,15 @@ func (p *Primary) handle(conn net.Conn) {
 		s.fail(fmt.Sprintf("dataset id mismatch: follower has %s, primary serves %s — wipe the follower directory to re-seed it", h.DatasetID, p.id))
 		return
 	}
+	// Fencing: a dialer that knows a newer epoch proves this primary was
+	// deposed while it wasn't looking. Record the fence — Apply starts
+	// refusing client writes immediately — and refuse the session; the
+	// coordinator (or operator) demotes this node to follower.
+	if myEpoch := p.eng.Epoch(); h.Epoch > myEpoch {
+		p.eng.Fence(h.Epoch)
+		s.fail(fmt.Sprintf("primary epoch %d deposed by epoch %d", myEpoch, h.Epoch))
+		return
+	}
 
 	// Register before deciding the mode, so a concurrent truncation
 	// either sees this session (and leaves streamIdx=-1 alone) or
@@ -377,12 +435,26 @@ func (p *Primary) handle(conn net.Conn) {
 		s.fail(fmt.Sprintf("follower is ahead of the primary (follower seq %d, primary tail %d): diverged history, wipe the follower directory", h.LastSeq, tailSeq))
 		return
 	}
+	// Epoch-timeline divergence: the follower's sequence numbers fit
+	// inside our history, but if its last frame was written under a
+	// different epoch than the one our timeline assigns that sequence,
+	// its log is a branch minted by a deposed primary — streaming from
+	// LastSeq+1 would graft our history onto frames we never had. Only a
+	// re-seed can fix it.
+	if h.DatasetID != "" && h.LastSeq > 0 {
+		if want := p.eng.EpochAt(h.LastSeq); want != h.LastEpoch {
+			s.fail(fmt.Sprintf("follower seq %d was committed under epoch %d but this primary's timeline assigns it epoch %d: diverged history, wipe the follower directory", h.LastSeq, h.LastEpoch, want))
+			return
+		}
+	}
 
 	mode := ModeStream
 	if snapshot {
 		mode = ModeSnapshot
 	}
-	if err := s.sendJSON(msgWelcome, welcome{Proto: ProtoVersion, DatasetID: p.id, Mode: mode, HTTPAddr: p.cfg.HTTPAddr, TailSeq: tailSeq}); err != nil {
+	w := welcome{Proto: ProtoVersion, DatasetID: p.id, Mode: mode, HTTPAddr: p.cfg.HTTPAddr,
+		TailSeq: tailSeq, Epoch: p.eng.Epoch(), Epochs: p.eng.EpochTimeline()}
+	if err := s.sendJSON(msgWelcome, w); err != nil {
 		conn.Close()
 		return
 	}
@@ -576,6 +648,8 @@ type PrimaryStats struct {
 	Followers       []FollowerInfo `json:"followers"`
 	SnapshotsServed int64          `json:"snapshots_served"`
 	QuorumFailures  int64          `json:"quorum_failures"`
+	Epoch           uint64         `json:"epoch"`
+	SessionsReaped  int64          `json:"sessions_reaped"`
 }
 
 // Stats snapshots the shipper.
@@ -591,6 +665,8 @@ func (p *Primary) Stats() PrimaryStats {
 		BufferedBytes:   p.bufferedBytes,
 		SnapshotsServed: p.snapshots.Load(),
 		QuorumFailures:  p.quorumFailures.Load(),
+		Epoch:           p.eng.Epoch(),
+		SessionsReaped:  p.sessionsReaped.Load(),
 	}
 	for _, ev := range p.events {
 		if ev.frame != nil {

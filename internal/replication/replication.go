@@ -86,6 +86,7 @@ const (
 	msgRecord    byte = 'r' // one verbatim WAL frame
 	msgTail      byte = 't' // JSON heartbeat {tail_seq, unix_nanos}
 	msgError     byte = 'e' // UTF-8 error text, then close
+	msgDeposed   byte = 'x' // JSON deposed: this primary was fenced; reconnect elsewhere
 )
 
 // maxMessageBytes bounds one message's payload: the WAL's own record
@@ -107,6 +108,14 @@ type hello struct {
 	Proto     int    `json:"proto"`
 	DatasetID string `json:"dataset_id"` // "" on a fresh (empty-dir) follower
 	LastSeq   uint64 `json:"last_seq"`   // highest sequence committed to the follower's log
+	// Epoch is the follower's current fencing epoch; a primary seeing a
+	// HIGHER epoch than its own knows it has been deposed and fences
+	// itself. LastEpoch is the epoch owning the follower's last frame
+	// per its own timeline; the primary cross-checks it against its
+	// timeline at LastSeq to detect a divergent branch (same sequence
+	// numbers, different history).
+	Epoch     uint64 `json:"epoch,omitempty"`
+	LastEpoch uint64 `json:"last_epoch,omitempty"`
 }
 
 // Stream modes announced in the welcome.
@@ -125,6 +134,23 @@ type welcome struct {
 	// build the write-redirect URL.
 	HTTPAddr string `json:"http_addr,omitempty"`
 	TailSeq  uint64 `json:"tail_seq"`
+	// Epoch and Epochs carry the primary's fencing epoch and promotion
+	// timeline; the follower adopts and persists them (they are
+	// authoritative for the history it mirrors) and refuses a primary
+	// whose epoch is below its own — that primary is deposed and has
+	// not noticed yet.
+	Epoch  uint64           `json:"epoch,omitempty"`
+	Epochs []wal.EpochStart `json:"epochs,omitempty"`
+}
+
+// deposed is the fenced primary's goodbye: it learned of a newer epoch
+// and is shutting its sessions down. Epoch is the fencing epoch it
+// observed; HTTPAddr, when known, is the successor primary's advertised
+// HTTP address so followers (and their coordinators) can re-point
+// without a discovery round.
+type deposed struct {
+	Epoch    uint64 `json:"epoch"`
+	HTTPAddr string `json:"http_addr,omitempty"`
 }
 
 // fileBegin announces one snapshot file.

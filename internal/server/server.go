@@ -27,7 +27,14 @@
 //	                    mutation counters (mutable engines) + WAL and
 //	                    overlay-delta counters (durable engines) +
 //	                    replication lag (primaries and standbys)
-//	GET  /healthz       → 200 ok
+//	GET  /healthz       → 200 ok (liveness: the process is up)
+//	GET  /readyz        → 200 when safe to route traffic here; 503
+//	                    with the reason otherwise (engine closed,
+//	                    replication lagging, leadership unconfirmed)
+//	GET  /cluster       → this node's topology beacon (cluster members
+//	                    only; 404 otherwise)
+//	POST /promote       → force this node to promote itself to primary
+//	                    (cluster members only; operator override)
 //
 // A replication standby (irserver -follow) serves the same read
 // endpoints over its replayed state but rejects /update and /delete
@@ -84,14 +91,25 @@ type Config struct {
 // swap its engine (a snapshot re-seed replaces it) under a live server.
 type Server struct {
 	get func() *engine.Engine
-	// redirect, when non-empty, turns the write endpoints into 409
-	// responses carrying a Location header that points the client at
-	// the primary (replication standbys). Set once before serving.
-	redirect string
-	// replStats, when set, contributes the /stats "replication" block
-	// (a replication.PrimaryStats or FollowerStats). Set once before
+	// writeGate, when set, is consulted per write request: allow==false
+	// turns the request into a 409 with a Location header pointing at
+	// redirect (or a 503 when redirect is ""). A static standby sets a
+	// constant gate via SetWriteRedirect; a failover coordinator sets a
+	// dynamic one that flips with the node's role. Set once before
 	// serving.
+	writeGate func() (allow bool, redirect string)
+	// replStats, when set, contributes the /stats "replication" block
+	// (a replication.PrimaryStats, FollowerStats or NodeStats). Set
+	// once before serving.
 	replStats func() any
+	// readiness, when set, backs GET /readyz: nil means ready. Unset,
+	// /readyz reports ready whenever the engine is open.
+	readiness func() error
+	// clusterInfo, when set, backs GET /cluster (404 when unset — the
+	// node is not a cluster member).
+	clusterInfo func() any
+	// promote, when set, backs POST /promote (404 when unset).
+	promote func() (epoch uint64, err error)
 }
 
 // New builds a Server over an index with default engine settings.
@@ -122,9 +140,31 @@ func FromEngine(eng *engine.Engine) *Server {
 func FromEngineFunc(get func() *engine.Engine) *Server { return &Server{get: get} }
 
 // SetWriteRedirect makes the write endpoints (/update, /delete) answer
-// 409 with a Location header pointing at primaryURL — the read-only
-// standby posture. Must be called before the server handles traffic.
-func (s *Server) SetWriteRedirect(primaryURL string) { s.redirect = primaryURL }
+// 409 with a Location header pointing at primaryURL — the static
+// read-only standby posture. Must be called before the server handles
+// traffic.
+func (s *Server) SetWriteRedirect(primaryURL string) {
+	s.SetWriteGate(func() (bool, string) { return false, primaryURL })
+}
+
+// SetWriteGate installs a dynamic write admission check, consulted on
+// every /update and /delete. A failover coordinator's node passes its
+// role-dependent gate here (replication.Node.WriteGate). Must be called
+// before the server handles traffic.
+func (s *Server) SetWriteGate(fn func() (allow bool, redirect string)) { s.writeGate = fn }
+
+// SetReadiness backs GET /readyz with fn (nil error = ready). Must be
+// called before the server handles traffic.
+func (s *Server) SetReadiness(fn func() error) { s.readiness = fn }
+
+// SetClusterInfo backs GET /cluster with fn's value (a
+// replication.ClusterInfo). Must be called before the server handles
+// traffic.
+func (s *Server) SetClusterInfo(fn func() any) { s.clusterInfo = fn }
+
+// SetPromote backs POST /promote with fn — the operator's forced
+// promotion override. Must be called before the server handles traffic.
+func (s *Server) SetPromote(fn func() (epoch uint64, err error)) { s.promote = fn }
 
 // SetReplicationStats contributes fn's value as the /stats
 // "replication" block. Must be called before the server handles
@@ -155,10 +195,61 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the process is up and serving. Routing and
+		// restart decisions belong to /readyz.
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/cluster", s.handleCluster)
+	mux.HandleFunc("/promote", s.handlePromote)
 	return mux
+}
+
+// handleReadyz reports whether this node should receive traffic: 200
+// when ready, 503 with the reason otherwise. Without an installed
+// readiness check, ready means the engine is open (not mid-re-seed).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.readiness != nil {
+		if err := s.readiness(); err != nil {
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("not ready: %v", err))
+			return
+		}
+	} else if s.get() == nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("not ready: engine not open"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// handleCluster serves the node's topology beacon; 404 on nodes that
+// are not cluster members.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.clusterInfo == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("not a cluster member"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.clusterInfo())
+}
+
+// handlePromote forces this node to promote itself to primary — the
+// operator override documented in docs/operations.md.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.promote == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("not a cluster member"))
+		return
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	epoch, err := s.promote()
+	if err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"epoch": epoch})
 }
 
 // QueryRequest is the body of /topk and /analyze, and one element of
@@ -554,14 +645,20 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // results arrives pre-filled with any per-op shape errors; opIdx maps
 // each engine op back to its response slot.
 func (s *Server) applyOps(w http.ResponseWriter, r *http.Request, ops []engine.Op, opIdx []int, results []OpResultJSON) {
-	if s.redirect != "" {
-		// Replication standby: the local engine is mutable (the
-		// replication stream writes through it) but clients must not be
-		// — their writes belong on the primary, and the Location header
-		// says where that is.
-		w.Header().Set("Location", s.redirect+r.URL.Path)
-		httpError(w, http.StatusConflict, fmt.Errorf("read-only standby: writes go to the primary at %s", s.redirect))
-		return
+	if s.writeGate != nil {
+		if allow, redirect := s.writeGate(); !allow {
+			// This node must not take the write — it is a standby, a
+			// deposed primary, or an unconfirmed one. With a known
+			// primary the client gets a 409 plus Location; without one,
+			// a retryable 503.
+			if redirect == "" {
+				httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no confirmed primary known; retry shortly"))
+				return
+			}
+			w.Header().Set("Location", redirect+r.URL.Path)
+			httpError(w, http.StatusConflict, fmt.Errorf("not the primary: writes go to %s", redirect))
+			return
+		}
 	}
 	eng, ok := s.engine(w)
 	if !ok {
@@ -730,7 +827,16 @@ func engineError(w http.ResponseWriter, err error) {
 		httpError(w, http.StatusBadRequest, err)
 	case errors.Is(err, engine.ErrImmutable):
 		httpError(w, http.StatusConflict, err)
+	case errors.Is(err, engine.ErrFenced):
+		// A deposed primary: the write was refused before any local
+		// effect; clients should rediscover the primary and retry there.
+		httpError(w, http.StatusConflict, err)
 	case errors.Is(err, engine.ErrQuorum):
+		// The batch is committed locally but its replication durability
+		// is unknown — mark the failure indeterminate so well-behaved
+		// clients (internal/client) do not blindly retry and double-
+		// apply it.
+		w.Header().Set("X-Indeterminate", "true")
 		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusServiceUnavailable, err)

@@ -31,6 +31,37 @@ type Manifest struct {
 	// LastSeq is the highest WAL sequence number folded into this
 	// generation's files; replay skips records at or below it.
 	LastSeq uint64 `json:"last_seq"`
+	// Epoch is the fencing epoch: how many primary promotions this
+	// dataset has been through. A node whose persisted epoch is lower
+	// than the cluster's has been deposed — it must refuse client
+	// writes and rejoin as a follower (see docs/replication.md).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Epochs is the promotion timeline: entry {E, S} says frames with
+	// seq >= S were committed under epoch E (until the next entry).
+	// Frames before the first entry belong to epoch 0. The timeline is
+	// what lets a primary decide whether a resuming follower's log is a
+	// true prefix of its own history or a divergent branch written
+	// under a dead epoch — sequence numbers alone cannot tell the two
+	// apart once a new primary has re-used them.
+	Epochs []EpochStart `json:"epochs,omitempty"`
+}
+
+// EpochStart is one promotion in a manifest's epoch timeline.
+type EpochStart struct {
+	Epoch    uint64 `json:"epoch"`
+	StartSeq uint64 `json:"start_seq"`
+}
+
+// EpochAt returns the epoch owning the frame at seq per the timeline
+// (0 before the first entry). Entries are in ascending StartSeq order.
+func EpochAt(epochs []EpochStart, seq uint64) uint64 {
+	var epoch uint64
+	for _, e := range epochs {
+		if seq >= e.StartSeq {
+			epoch = e.Epoch
+		}
+	}
+	return epoch
 }
 
 // DefaultManifest is the implied manifest of a directory that has none.

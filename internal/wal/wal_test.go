@@ -359,12 +359,13 @@ func TestManifestRoundtrip(t *testing.T) {
 	}
 
 	tn, ln := GenFileNames(3)
-	want := Manifest{Gen: 3, Tuples: tn, Lists: ln, LastSeq: 17}
+	want := Manifest{Gen: 3, Tuples: tn, Lists: ln, LastSeq: 17,
+		Epoch: 2, Epochs: []EpochStart{{Epoch: 1, StartSeq: 5}, {Epoch: 2, StartSeq: 12}}}
 	if err := want.Save(dir); err != nil {
 		t.Fatal(err)
 	}
 	got, ok, err := LoadManifest(dir)
-	if err != nil || !ok || got != want {
+	if err != nil || !ok || !reflect.DeepEqual(got, want) {
 		t.Fatalf("load %+v ok=%v err=%v", got, ok, err)
 	}
 
@@ -373,8 +374,15 @@ func TestManifestRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok, err = LoadManifest(dir)
-	if err != nil || !ok || got != want {
+	if err != nil || !ok || !reflect.DeepEqual(got, want) {
 		t.Fatalf("load with stale tmp %+v ok=%v err=%v", got, ok, err)
+	}
+
+	// The epoch timeline maps sequence numbers to owning epochs.
+	for _, tc := range []struct{ seq, epoch uint64 }{{0, 0}, {4, 0}, {5, 1}, {11, 1}, {12, 2}, {100, 2}} {
+		if e := EpochAt(want.Epochs, tc.seq); e != tc.epoch {
+			t.Fatalf("EpochAt(%d) = %d, want %d", tc.seq, e, tc.epoch)
+		}
 	}
 
 	// A corrupt manifest is an error, not a silent default.
