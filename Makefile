@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke test-wal test-replication test-failover check-docs ci
+.PHONY: all build test race vet bench-smoke bench-compare test-fallback test-wal test-replication test-failover check-docs ci
 
 all: ci
 
@@ -26,6 +26,23 @@ vet:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig10|BenchmarkParallelCompute|BenchmarkServerAnalyzeParallel' \
 		-benchmem -benchtime=200ms .
+
+# Per-figure wall-time medians (fig10/fig12) against the committed PR
+# baseline, benchstat-style. A report, not a gate: the leading dash
+# keeps a slow machine or a regression from failing the build, and CI
+# runs it with continue-on-error for the same reason.
+bench-compare:
+	-$(GO) run ./cmd/irbench -fig fig10,fig12 -queries 5 -benchreps 3 \
+		-json /tmp/irbench_head.json -baseline BENCH_7.json
+
+# Fallback portability: the scalar kernels (noasm) and the pread-backed
+# pager (nommap) must produce the same answers as the default build —
+# the kernel property tests pin bit-identity against the reference
+# implementation, and the engine/topk suites re-run their oracles.
+# The cross-build proves the fallback matrix compiles on amd64 too.
+test-fallback:
+	$(GO) test -tags=noasm,nommap ./internal/storage/... ./internal/vec/... ./internal/topk/... ./internal/engine/...
+	GOARCH=amd64 $(GO) build -tags=noasm,nommap ./...
 
 # Durability focus: the WAL package under -race, the crash-recovery and
 # checkpoint property tests, and a bench smoke so the fsync overhead of

@@ -505,6 +505,49 @@ func BenchmarkBatchAnalyze(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchTopK — the fused shared-scan economics: 16 ranked
+// queries over ONE subspace (the /batchtopk shape) answered by a single
+// fused scan scoring all 16 weight vectors per posting block, versus
+// sixteen sequential /topk executions, each paying its own sorted
+// accesses, tuple fetches and projections.
+func BenchmarkBatchTopK(b *testing.B) {
+	env.init()
+	base := queriesFor(env.kb, 16, 10, 1, 220)[0]
+	rng := rand.New(rand.NewSource(221))
+	items := make([]engine.TopKItem, 16)
+	for i := range items {
+		q := base.Clone()
+		for j := range q.Weights {
+			q.Weights[j] = 0.05 + 0.95*rng.Float64()
+		}
+		items[i] = engine.TopKItem{Q: q, K: 10}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		eng := measureEngine(env.kbI)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, it := range items {
+				if _, _, err := eng.TopK(context.Background(), it.Q, it.K); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		eng := measureEngine(env.kbI)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.TopKBatch(context.Background(), items) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
+}
+
 // mutationBenchSetup builds a private engine (mutations must not leak
 // into the shared benchmark datasets) with a primed cache: nq anchors
 // over random subspaces, plus one negligible "victim" tuple whose

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// FigureBench is one figure's measured cost: the median wall time of
+// reps full-figure runs plus the mean allocation profile per run. The
+// JSON file these are written to (-json) is the comparison baseline a
+// later run reads back (-baseline), so regressions in the scoring
+// kernels or the scan fusion show up as per-figure deltas.
+type FigureBench struct {
+	Figure   string  `json:"figure"`
+	Reps     int     `json:"reps"`
+	MedianNs int64   `json:"median_ns"`
+	Allocs   float64 `json:"allocs_per_run"`
+	Bytes    float64 `json:"bytes_per_run"`
+}
+
+// BenchFile is the -json/-baseline payload. The workload knobs are
+// recorded so a comparison against a baseline measured under different
+// settings is flagged instead of silently misleading.
+type BenchFile struct {
+	Queries int           `json:"queries"`
+	Scale   float64       `json:"scale"`
+	Seed    int64         `json:"seed"`
+	Go      string        `json:"go"`
+	Figures []FigureBench `json:"figures"`
+}
+
+// benchFigures is the set of figure runners measured by -json, in
+// emission order.
+func benchFigures(r *exp.Runner) []struct {
+	id  string
+	run func() exp.Figure
+} {
+	return []struct {
+		id  string
+		run func() exp.Figure
+	}{
+		{"fig10", r.Fig10},
+		{"fig12", r.Fig12},
+		{"fig14", r.Fig14},
+	}
+}
+
+// runBench measures the selected figures and returns the payload.
+// Each figure gets one untimed warm-up run (building the cached
+// datasets), then reps timed runs.
+func runBench(r *exp.Runner, sel func(string) bool, reps int) BenchFile {
+	out := BenchFile{
+		Queries: r.Cfg.Queries, Scale: r.Cfg.Scale, Seed: r.Cfg.Seed,
+		Go: runtime.Version(),
+	}
+	for _, f := range benchFigures(r) {
+		if !sel(f.id) {
+			continue
+		}
+		f.run() // warm-up: dataset generation is cached in the runner
+		wall := make([]int64, reps)
+		var allocs, bytes float64
+		var ms0, ms1 runtime.MemStats
+		for i := 0; i < reps; i++ {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			f.run()
+			wall[i] = time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&ms1)
+			allocs += float64(ms1.Mallocs - ms0.Mallocs)
+			bytes += float64(ms1.TotalAlloc - ms0.TotalAlloc)
+		}
+		sort.Slice(wall, func(i, j int) bool { return wall[i] < wall[j] })
+		out.Figures = append(out.Figures, FigureBench{
+			Figure: f.id, Reps: reps,
+			MedianNs: wall[reps/2],
+			Allocs:   allocs / float64(reps),
+			Bytes:    bytes / float64(reps),
+		})
+	}
+	return out
+}
+
+// writeBenchJSON persists the payload for later -baseline comparison.
+func writeBenchJSON(path string, bf BenchFile) error {
+	raw, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// compareBench prints a benchstat-style per-figure delta table of head
+// against the baseline file. It never fails the run: the comparison is
+// a report, not a gate (CI marks the step non-blocking the same way).
+func compareBench(baselinePath string, head BenchFile) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irbench: baseline unreadable, skipping comparison: %v\n", err)
+		return
+	}
+	var base BenchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "irbench: baseline unparsable, skipping comparison: %v\n", err)
+		return
+	}
+	if base.Queries != head.Queries || base.Scale != head.Scale || base.Seed != head.Seed {
+		fmt.Printf("!! baseline measured at queries=%d scale=%v seed=%d, head at queries=%d scale=%v seed=%d — deltas not comparable\n",
+			base.Queries, base.Scale, base.Seed, head.Queries, head.Scale, head.Seed)
+	}
+	byID := map[string]FigureBench{}
+	for _, fb := range base.Figures {
+		byID[fb.Figure] = fb
+	}
+	fmt.Printf("== bench-compare vs %s ==\n", baselinePath)
+	fmt.Printf("%-8s %14s %14s %8s %14s %14s %8s\n",
+		"figure", "old time", "new time", "delta", "old allocs", "new allocs", "delta")
+	for _, fb := range head.Figures {
+		old, ok := byID[fb.Figure]
+		if !ok {
+			fmt.Printf("%-8s %14s %14s\n", fb.Figure, "(new)",
+				time.Duration(fb.MedianNs).Round(time.Millisecond).String())
+			continue
+		}
+		fmt.Printf("%-8s %14v %14v %+7.1f%% %14.0f %14.0f %+7.1f%%\n",
+			fb.Figure,
+			time.Duration(old.MedianNs).Round(time.Millisecond),
+			time.Duration(fb.MedianNs).Round(time.Millisecond),
+			pctDelta(float64(old.MedianNs), float64(fb.MedianNs)),
+			old.Allocs, fb.Allocs,
+			pctDelta(old.Allocs, fb.Allocs))
+	}
+	fmt.Println()
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}

@@ -57,6 +57,13 @@ func (s *CandidateStore) Add(sc topk.Scored) {
 	s.singles[jx] = lst
 }
 
+func prefix(s []topk.Scored, n int) []topk.Scored {
+	if n > len(s) {
+		n = len(s)
+	}
+	return s[:n]
+}
+
 // trailingBit returns the index of the lowest set bit, or -1.
 func trailingBit(m uint64) int {
 	if m == 0 {

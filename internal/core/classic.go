@@ -129,22 +129,53 @@ func (c *dimComputer) fullSet() []topk.Scored {
 	return c.cachedFull
 }
 
-// classify partitions the candidates for dimension jx into the three
-// classes of §5.1, each in decreasing score order: C0 (zero on jx), CH
-// (non-zero only on jx), CL (non-zero on jx and elsewhere).
-func (c *dimComputer) classify(jx int) (c0, ch, cl []topk.Scored) {
+// filterClasses selects a dimension-jx pruned view of the candidate
+// list per the three classes of §5.1 — C0 (zero on jx), CH (non-zero
+// only on jx), CL (non-zero on jx and elsewhere) — keeping every CL
+// entry plus the first keep0 C0 and keepH CH entries. The full list is
+// already in the (score desc, id asc) total order and a subsequence of
+// a sorted list is sorted, so this one filter pass produces exactly
+// what materializing the classes and re-sorting used to — without the
+// three per-dimension class copies and the O(n log n) re-sort.
+func (c *dimComputer) filterClasses(jx, keep0, keepH int) []topk.Scored {
+	full := c.fullSet()
 	bit := uint64(1) << uint(jx)
-	for _, cd := range c.fullSet() {
+	n0, nh, n := 0, 0, 0
+	for _, cd := range full {
 		switch {
 		case cd.NZMask&bit == 0:
-			c0 = append(c0, cd)
+			if n0 < keep0 {
+				n0++
+				n++
+			}
 		case cd.NZMask == bit:
-			ch = append(ch, cd)
+			if nh < keepH {
+				nh++
+				n++
+			}
 		default:
-			cl = append(cl, cd)
+			n++
 		}
 	}
-	return c0, ch, cl
+	out := make([]topk.Scored, 0, n)
+	n0, nh = 0, 0
+	for _, cd := range full {
+		switch {
+		case cd.NZMask&bit == 0:
+			if n0 < keep0 {
+				n0++
+				out = append(out, cd)
+			}
+		case cd.NZMask == bit:
+			if nh < keepH {
+				nh++
+				out = append(out, cd)
+			}
+		default:
+			out = append(out, cd)
+		}
+	}
+	return out
 }
 
 // prunedSet applies Lemmas 2–4: all CL candidates, the φ+1 top-scoring
@@ -153,19 +184,7 @@ func (c *dimComputer) classify(jx int) (c0, ch, cl []topk.Scored) {
 // upper bounds). For CH singletons score order equals coordinate order,
 // so both representative picks are prefixes of the score-ordered class.
 func (c *dimComputer) prunedSet(jx, phi int) []topk.Scored {
-	c0, ch, cl := c.classify(jx)
-	keep := phi + 1
-	out := append([]topk.Scored(nil), cl...)
-	out = append(out, prefix(c0, keep)...)
-	out = append(out, prefix(ch, keep)...)
-	return sortScoreDesc(out)
-}
-
-func prefix(s []topk.Scored, n int) []topk.Scored {
-	if n > len(s) {
-		n = len(s)
-	}
-	return s[:n]
+	return c.filterClasses(jx, phi+1, phi+1)
 }
 
 // phase2Evaluate checks every candidate in set against the k-th result
@@ -177,7 +196,7 @@ func (c *dimComputer) phase2Evaluate(jx int, set []topk.Scored, b *boundState) {
 		if c.stop() {
 			return
 		}
-		proj := c.evaluate(jx, cd.ID)
+		proj := c.evaluate(jx, cd)
 		crit, kind := lemma1(dk.Score, dkj, cd.Score, proj[jx])
 		b.apply(crit, kind, Perturbation{Above: dk.ID, Below: cd.ID, Entry: true})
 	}
@@ -218,7 +237,7 @@ func (c *dimComputer) phase2Threshold(jx int, set []topk.Scored, b *boundState) 
 	activeL, activeU := true, true
 
 	evalPull := func(cd topk.Scored) (coord float64) {
-		proj := c.evaluate(jx, cd.ID)
+		proj := c.evaluate(jx, cd)
 		return proj[jx]
 	}
 	update := func(cd topk.Scored, coord float64, side int) {

@@ -49,6 +49,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -292,7 +293,6 @@ type dimComputer struct {
 	view topk.View
 	met  *Metrics
 	eval *evalTable
-	proj topk.ProjArena
 
 	// ctxTick strides the cancellation polls of the Phase-2/3 loops.
 	ctxTick uint32
@@ -395,6 +395,17 @@ func putEvalTable(t *evalTable) {
 	evalPool.Put(t)
 }
 
+// Runner is the execution surface region computation drives: a
+// topk.View that can additionally be run to termination (a no-op when
+// the scan already completed — e.g. a member view of a fused
+// multi-query run) and forked for per-dimension isolation. *topk.TA and
+// *topk.MemberRun both implement it.
+type Runner interface {
+	topk.View
+	RunContext(ctx context.Context) error
+	ForkView() topk.View
+}
+
 // Compute derives the immutable regions of every query dimension from a
 // completed TA run. With Options.Parallelism ≤ 0 the TA's candidate
 // list grows as Phase 3 resumes the scan, exactly as in the paper
@@ -409,19 +420,27 @@ func putEvalTable(t *evalTable) {
 // output is discarded and the context's error is returned. A nil ctx is
 // treated as context.Background().
 func Compute(ctx context.Context, ta *topk.TA, opts Options) (*Output, error) {
+	return ComputeView(ctx, ta, opts)
+}
+
+// ComputeView is Compute over any Runner — the entry point the fused
+// batch path uses to compute regions for each member view of a shared
+// multi-query scan. The answer is identical to a solo run's: a member
+// view's candidate superset only adds non-binding constraints.
+func ComputeView(ctx context.Context, r Runner, opts Options) (*Output, error) {
 	if opts.Phi < 0 {
 		return nil, fmt.Errorf("core: negative phi %d", opts.Phi)
 	}
-	if err := ta.RunContext(ctx); err != nil {
+	if err := r.RunContext(ctx); err != nil {
 		return nil, fmt.Errorf("core: query canceled during top-k: %w", err)
 	}
 	c := &computer{
-		ix:   ta.Index(),
-		q:    ta.Query(),
-		k:    ta.K(),
-		n:    ta.Index().NumTuples(),
+		ix:   r.Index(),
+		q:    r.Query(),
+		k:    r.K(),
+		n:    r.Index().NumTuples(),
 		opts: opts,
-		res:  ta.Result(),
+		res:  r.Result(),
 		ctx:  ctx,
 	}
 	qlen := c.q.Len()
@@ -437,9 +456,9 @@ func Compute(ctx context.Context, ta *topk.TA, opts Options) (*Output, error) {
 			out.Regions[jx] = c.fullDomainRegions(jx)
 		}
 	case opts.Parallelism <= 0:
-		c.computeSequential(ta, out, &met)
+		c.computeSequential(r, out, &met)
 	default:
-		c.computeForked(ta, out, &met)
+		c.computeForked(r, out, &met)
 	}
 	if err := c.canceled(); err != nil {
 		return nil, fmt.Errorf("core: query canceled: %w", err)
@@ -447,7 +466,7 @@ func Compute(ctx context.Context, ta *topk.TA, opts Options) (*Output, error) {
 	seq1, rnd1, _ := c.ix.Stats().Snapshot()
 	met.SeqPages = seq1 - seq0
 	met.RandReads = rnd1 - rnd0
-	met.MemBytes = c.memFootprint(ta.Candidates())
+	met.MemBytes = c.memFootprint(r.Candidates())
 	// Forked Phase-3 pulls grow the forks' private candidate lists, not
 	// the parent's, so memFootprint missed them; add all pulls at the
 	// candidate-entry unit (16 B) to match the sequential path, where
@@ -480,10 +499,10 @@ func (d *dimComputer) stop() bool {
 
 // computeSequential is the paper-literal pipeline: one shared scan, one
 // evaluation memo reset per dimension, metrics accumulated in place.
-func (c *computer) computeSequential(ta *topk.TA, out *Output, met *Metrics) {
+func (c *computer) computeSequential(r Runner, out *Output, met *Metrics) {
 	eval := getEvalTable(c.n)
 	defer putEvalTable(eval)
-	d := &dimComputer{computer: c, view: ta, met: met, eval: eval, proj: topk.ProjArena{Qlen: c.q.Len()}}
+	d := &dimComputer{computer: c, view: r, met: met, eval: eval}
 	for jx := range c.q.Dims {
 		if c.canceled() != nil {
 			return // Compute reports the error after the loop
@@ -496,7 +515,7 @@ func (c *computer) computeSequential(ta *topk.TA, out *Output, met *Metrics) {
 // computeForked fans the dimensions out over min(Parallelism, qlen)
 // workers, each dimension on its own TA fork, and merges the
 // per-dimension metrics in ascending dimension order.
-func (c *computer) computeForked(ta *topk.TA, out *Output, met *Metrics) {
+func (c *computer) computeForked(r Runner, out *Output, met *Metrics) {
 	qlen := c.q.Len()
 	workers := c.opts.Parallelism
 	if workers > qlen {
@@ -517,10 +536,9 @@ func (c *computer) computeForked(ta *topk.TA, out *Output, met *Metrics) {
 			perDim[jx].EvaluatedPerDim = make([]int, qlen)
 			d := &dimComputer{
 				computer: c,
-				view:     ta.Fork(),
+				view:     r.ForkView(),
 				met:      &perDim[jx],
 				eval:     eval,
-				proj:     topk.ProjArena{Qlen: qlen},
 			}
 			eval.reset()
 			out.Regions[jx] = d.computeDim(jx)
@@ -577,21 +595,24 @@ func (c *computer) fullDomainRegions(jx int) Regions {
 	return Regions{Dim: c.q.Dims[jx], QPos: jx, Lo: -qj, Hi: 1 - qj}
 }
 
-// evaluate fetches candidate id's full tuple (one random I/O — the
+// evaluate fetches candidate cd's full tuple (one random I/O — the
 // paper's accounting unit for Phase 2) and returns its projection onto
 // the query dimensions. Repeat evaluations within one dimension are
-// served from the per-dimension memo without re-charging.
-func (d *dimComputer) evaluate(jx, id int) []float64 {
-	if p, ok := d.eval.get(id); ok {
+// served from the per-dimension memo without re-charging. The fetch is
+// what Phase 2 pays for; the projection itself is the one the scan
+// already computed from the identical tuple (Scored.Proj), so it is
+// reused rather than recomputed — every candidate used to be
+// re-projected once per query dimension, which dominated wide-subspace
+// profiles.
+func (d *dimComputer) evaluate(jx int, cd topk.Scored) []float64 {
+	if p, ok := d.eval.get(cd.ID); ok {
 		return p
 	}
-	t := d.ix.Tuple(id)
-	p := d.proj.Alloc()
-	d.q.ProjectInto(t, p)
-	d.eval.put(id, p)
+	d.ix.Tuple(cd.ID)
+	d.eval.put(cd.ID, cd.Proj)
 	d.met.Evaluated++
 	d.met.EvaluatedPerDim[jx]++
-	return p
+	return cd.Proj
 }
 
 // noteEvaluated records an evaluation whose fetch was already charged
@@ -624,23 +645,26 @@ func (c *computer) memFootprint(cands []topk.Scored) int64 {
 		// candidate list + the SLj sorted list built on all candidates
 		return total + int64(len(cands))*entry
 	case MethodPrune, MethodCPT:
+		// A dimension's pruned count is the number of multi-dimension
+		// candidates with that bit set (bit set and mask != bit is the
+		// same predicate), so one pass over the masks yields all
+		// per-dimension counts and the multi total together.
 		multi := 0
-		maxPruned := 0
-		for jx := range c.q.Dims {
-			pruned := 0
-			for _, cd := range cands {
-				bit := uint64(1) << uint(jx)
-				if cd.NZMask&bit != 0 && cd.NZMask != bit {
-					pruned++
-				}
-			}
-			if pruned > maxPruned {
-				maxPruned = pruned
-			}
-		}
+		counts := make([]int, c.q.Len())
 		for _, cd := range cands {
 			if cd.NonZero() >= 2 {
 				multi++
+				m := cd.NZMask
+				for m != 0 {
+					counts[bits.TrailingZeros64(m)]++
+					m &= m - 1
+				}
+			}
+		}
+		maxPruned := 0
+		for _, n := range counts {
+			if n > maxPruned {
+				maxPruned = n
 			}
 		}
 		reps := (c.opts.Phi + 1) * c.q.Len() * 2

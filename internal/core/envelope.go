@@ -142,15 +142,10 @@ func (c *dimComputer) sideSet(jx, phi int, mirror bool) []topk.Scored {
 	case MethodScan, MethodThres:
 		return c.fullSet()
 	}
-	c0, ch, cl := c.classify(jx)
-	keep := phi + 1
-	out := append([]topk.Scored(nil), cl...)
 	if mirror {
-		out = append(out, prefix(c0, keep)...)
-	} else {
-		out = append(out, prefix(ch, keep)...)
+		return c.filterClasses(jx, phi+1, 0)
 	}
-	return sortScoreDesc(out)
+	return c.filterClasses(jx, 0, phi+1)
 }
 
 // envelopeSide runs Phase 2 on one boundary. Scan/Prune evaluate their
@@ -169,7 +164,7 @@ func (c *dimComputer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 			if c.stop() {
 				return
 			}
-			proj := c.evaluate(jx, cd.ID)
+			proj := c.evaluate(jx, cd)
 			bd.consider(cd.ID, cd.Score, sgn*proj[jx])
 		}
 		return
@@ -231,7 +226,7 @@ func (c *dimComputer) envelopeSide(jx, phi int, bd *boundary, mirror bool) {
 	offer := func(i int32) {
 		processed[i] = true
 		sc := set[i]
-		proj := c.evaluate(jx, sc.ID)
+		proj := c.evaluate(jx, sc)
 		bd.consider(sc.ID, sc.Score, sgn*proj[jx])
 	}
 	slsPulls := 1

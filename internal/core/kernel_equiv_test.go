@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vec"
+)
+
+// TestCrossSafeMatchesSafeConcurrent pins the flat-column kernel the
+// engine cache uses (vec.CrossSafe) to the struct-walking reference
+// vertex check (core.SafeConcurrent): identical verdicts on random
+// extents and deviations, including degenerate zero extents and exact
+// boundary points. This is the bridge that lets the cache store
+// flattened lo/hi columns without re-deriving the footnote-1 semantics.
+func TestCrossSafeMatchesSafeConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 5000; trial++ {
+		qlen := 1 + rng.Intn(12)
+		regions := make([]core.Regions, qlen)
+		lo := make([]float64, qlen)
+		hi := make([]float64, qlen)
+		for j := range regions {
+			l, h := -rng.Float64(), rng.Float64()
+			switch rng.Intn(6) {
+			case 0:
+				l = 0 // degenerate: no slack on the negative side
+			case 1:
+				h = 0
+			}
+			regions[j] = core.Regions{Dim: j, QPos: j, Lo: l, Hi: h}
+			lo[j], hi[j] = l, h
+		}
+		devs := make([]float64, qlen)
+		for j := range devs {
+			switch rng.Intn(5) {
+			case 0:
+				devs[j] = 0
+			case 1:
+				devs[j] = hi[j] // exact boundary on one axis
+			case 2:
+				devs[j] = lo[j]
+			case 3:
+				devs[j] = math.Nextafter(hi[j], math.Inf(1))
+			default:
+				devs[j] = rng.Float64()*0.6 - 0.3
+			}
+		}
+		want, err := core.SafeConcurrent(regions, devs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := vec.CrossSafe(lo, hi, devs); got != want {
+			t.Fatalf("trial %d: CrossSafe=%v SafeConcurrent=%v (lo=%v hi=%v devs=%v)",
+				trial, got, want, lo, hi, devs)
+		}
+	}
+}

@@ -1,22 +1,33 @@
-// Batch execution: AnalyzeBatch answers a slice of analysis requests by
-// fanning the distinct queries over the engine's worker pool. The
-// paper's §1 refinement scenario at fleet scale produces heavily
-// repeated weight vectors — many clients exploring the same rankings —
-// so the batch path is cache-aware twice over: identical requests
-// within one batch are de-duplicated before any work is scheduled
-// (computed once, shared as SourceDeduped), and each distinct request
-// still goes through Analyze's cache lookup, so repeats across batches
-// are served at cache speed too.
+// Batch execution: AnalyzeBatch and TopKBatch answer a slice of
+// requests by fanning work over the engine's worker pool. The paper's
+// §1 refinement scenario at fleet scale produces heavily repeated
+// weight vectors — many clients exploring the same rankings — so the
+// batch path is cache-aware twice over: identical requests within one
+// batch are de-duplicated before any work is scheduled (computed once,
+// shared as SourceDeduped), and each distinct request still goes
+// through the cache lookup, so repeats across batches are served at
+// cache speed too.
+//
+// Requests that share a subspace (identical dimension set) and k are
+// additionally FUSED: the group runs one shared TA scan (topk.Multi)
+// that pays the sorted accesses, the random-access tuple fetches and
+// the projections once, scoring every member's weight vector per
+// encountered tuple through the batched dot kernel. Each member's
+// answer is exactly what its solo execution would produce; for Analyze
+// requests, region computation proceeds per member on an isolated view
+// of the shared scan (core.ComputeView).
 package engine
 
 import (
 	"context"
 	"encoding/binary"
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/topk"
 	"repro/internal/vec"
 )
 
@@ -53,11 +64,19 @@ func itemKey(it BatchItem) string {
 	return string(buf)
 }
 
+// cell is one distinct request of a batch: the first occurrence
+// computes, dups alias its answer.
+type cell struct {
+	item  BatchItem
+	first int   // index of the computing occurrence
+	dups  []int // indexes sharing the answer
+}
+
 // AnalyzeBatch answers every item and returns results aligned with the
 // input slice. Distinct queries run concurrently, up to the engine's
-// worker-pool width; duplicates of an item share its answer. ctx
-// cancels the whole batch: items not yet finished report the context's
-// error.
+// worker-pool width; duplicates of an item share its answer, and items
+// sharing a subspace and k share one fused scan. ctx cancels the whole
+// batch: items not yet finished report the context's error.
 func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem) []BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -66,11 +85,6 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem) []BatchRes
 
 	// De-duplicate: the first occurrence of each identity computes, the
 	// rest alias it.
-	type cell struct {
-		item  BatchItem
-		first int   // index of the computing occurrence
-		dups  []int // indexes sharing the answer
-	}
 	order := make([]*cell, 0, len(items))
 	byKey := make(map[string]*cell, len(items))
 	for i, it := range items {
@@ -84,9 +98,28 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem) []BatchRes
 		order = append(order, c)
 	}
 
+	// Fusion grouping: validated cells sharing (Dims, k) form one unit
+	// answered by a single shared scan. Invalid cells fail in place and
+	// never join a group.
+	units := make([][]*cell, 0, len(order))
+	groups := make(map[bucketKey]int, len(order))
+	for _, c := range order {
+		if err := e.validate(c.item.Q, c.item.K, c.item.Opts.Phi); err != nil {
+			results[c.first] = BatchResult{Err: err}
+			continue
+		}
+		gk := keyOf(c.item.Q, c.item.K)
+		if u, ok := groups[gk]; ok {
+			units[u] = append(units[u], c)
+			continue
+		}
+		groups[gk] = len(units)
+		units = append(units, []*cell{c})
+	}
+
 	workers := e.workers()
-	if workers > len(order) {
-		workers = len(order)
+	if workers > len(units) {
+		workers = len(units)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -96,12 +129,10 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem) []BatchRes
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(order) {
+				if i >= len(units) {
 					return
 				}
-				c := order[i]
-				a, err := e.Analyze(ctx, c.item.Q, c.item.K, c.item.Opts)
-				results[c.first] = BatchResult{Analysis: a, Err: err}
+				e.analyzeUnit(ctx, units[i], results)
 			}
 		}()
 	}
@@ -127,4 +158,209 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, items []BatchItem) []BatchRes
 		}
 	}
 	return results
+}
+
+// analyzeUnit answers one fusion group. Cells served by the cache drop
+// out first; a single survivor runs the plain pipeline, several share a
+// fused scan.
+func (e *Engine) analyzeUnit(ctx context.Context, cells []*cell, results []BatchResult) {
+	pending := make([]*cell, 0, len(cells))
+	for _, c := range cells {
+		useCache := e.cache != nil && !c.item.Opts.NoCache
+		if useCache {
+			if out, ok := e.cache.lookupAnalyze(c.item.Q, c.item.K, c.item.Opts.Options); ok {
+				results[c.first] = BatchResult{Analysis: &Analysis{Output: out, Source: SourceCache}}
+				continue
+			}
+		} else if e.cache != nil {
+			e.cache.bypasses.Add(1)
+		}
+		pending = append(pending, c)
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	fail := func(err error) {
+		for _, c := range pending {
+			if results[c.first].Analysis == nil && results[c.first].Err == nil {
+				results[c.first] = BatchResult{Err: err}
+			}
+		}
+	}
+	// One worker slot covers the whole group: the shared scan is one
+	// query execution's worth of scan state.
+	release, err := e.acquire(ctx)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer release()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+
+	if len(pending) == 1 {
+		c := pending[0]
+		out, err := e.compute(ctx, c.item.Q, c.item.K, c.item.Opts)
+		if err != nil {
+			results[c.first] = BatchResult{Err: err}
+			return
+		}
+		results[c.first] = BatchResult{Analysis: e.admitLocked(c.item, out)}
+		return
+	}
+
+	queries := make([]vec.Query, len(pending))
+	for i, c := range pending {
+		queries[i] = c.item.Q
+	}
+	qix := e.queryIndex()
+	// The group shares one probe policy (the first member's): probing
+	// order is a heuristic that never changes answers.
+	multi := topk.NewMulti(qix, queries, pending[0].item.K, pending[0].item.Opts.policy())
+	seq0, rnd0, _ := qix.Stats().Snapshot()
+	if err := multi.RunContext(ctx); err != nil {
+		fail(fmt.Errorf("engine: query canceled: %w", err))
+		return
+	}
+	seqScan, rndScan, _ := qix.Stats().Snapshot()
+	seqScan -= seq0
+	rndScan -= rnd0
+	for i, c := range pending {
+		copts := c.item.Opts.Options
+		if copts.Parallelism == 0 {
+			copts.Parallelism = e.cfg.Parallelism
+		}
+		out, err := core.ComputeView(ctx, multi.Member(i), copts)
+		if err != nil {
+			results[c.first] = BatchResult{Err: err}
+			continue
+		}
+		// Each member reports the shared scan's I/O on top of its own
+		// region-phase charges, mirroring the solo path where every
+		// analysis pays its own scan. The engine-wide meter counted the
+		// scan once, as it should.
+		out.Metrics.SeqPages += seqScan
+		out.Metrics.RandReads += rndScan
+		results[c.first] = BatchResult{Analysis: e.admitLocked(c.item, out)}
+	}
+}
+
+// admitLocked finishes a computed analysis under the read lock the
+// caller already holds: cache admission when eligible, source tagging.
+func (e *Engine) admitLocked(it BatchItem, out *core.Output) *Analysis {
+	if e.cache != nil && !it.Opts.NoCache {
+		e.cache.admit(it.Q, it.K, it.Opts.Options, out)
+		return &Analysis{Output: out, Source: SourceComputed}
+	}
+	return &Analysis{Output: out, Source: SourceBypass}
+}
+
+// TopKItem is one ranked-query request of a TopKBatch.
+type TopKItem struct {
+	Q vec.Query
+	K int
+}
+
+// TopKResult is the per-item outcome of a TopKBatch; Err is non-nil
+// when the item failed (the other fields are then zero).
+type TopKResult struct {
+	Result []topk.Scored
+	Source Source
+	Err    error
+}
+
+// TopKBatch answers a slice of ranked queries. Items whose weights fall
+// inside a cached analysis' immutable regions are served from the cache
+// (SourceCacheRegion, zero index I/O); the rest are grouped by subspace
+// and k, each group answered by one fused scan, groups running
+// concurrently up to the worker-pool width. A 16-member shared-subspace
+// batch therefore costs roughly one scan instead of sixteen.
+func (e *Engine) TopKBatch(ctx context.Context, items []TopKItem) []TopKResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]TopKResult, len(items))
+	var order [][]int
+	groups := make(map[bucketKey]int, len(items))
+	for i, it := range items {
+		if err := e.validate(it.Q, it.K, 0); err != nil {
+			results[i].Err = err
+			continue
+		}
+		if e.cache != nil {
+			if res, ok := e.cache.lookupTopK(it.Q, it.K); ok {
+				results[i] = TopKResult{Result: res, Source: SourceCacheRegion}
+				continue
+			}
+		}
+		gk := keyOf(it.Q, it.K)
+		if u, ok := groups[gk]; ok {
+			order[u] = append(order[u], i)
+			continue
+		}
+		groups[gk] = len(order)
+		order = append(order, []int{i})
+	}
+
+	workers := e.workers()
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				e.topkGroup(ctx, order[i], items, results)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// topkGroup runs one subspace+k group under a single worker slot.
+func (e *Engine) topkGroup(ctx context.Context, idx []int, items []TopKItem, results []TopKResult) {
+	fail := func(err error) {
+		for _, i := range idx {
+			results[i].Err = err
+		}
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer release()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if len(idx) == 1 {
+		i := idx[0]
+		ta := topk.New(e.queryIndex(), items[i].Q, items[i].K, topk.BestList)
+		if err := ta.RunContext(ctx); err != nil {
+			results[i].Err = fmt.Errorf("engine: query canceled: %w", err)
+			return
+		}
+		results[i] = TopKResult{Result: ta.Result(), Source: SourceComputed}
+		return
+	}
+	queries := make([]vec.Query, len(idx))
+	for j, i := range idx {
+		queries[j] = items[i].Q
+	}
+	multi := topk.NewMulti(e.queryIndex(), queries, items[idx[0]].K, topk.BestList)
+	if err := multi.RunContext(ctx); err != nil {
+		fail(fmt.Errorf("engine: query canceled: %w", err))
+		return
+	}
+	for j, i := range idx {
+		results[i] = TopKResult{Result: multi.Result(j), Source: SourceComputed}
+	}
 }

@@ -108,6 +108,71 @@ func TestBatchMatchesSingles(t *testing.T) {
 	}
 }
 
+// TestTopKBatch covers the fused ranked-query path: a shared-subspace
+// group answers through one scan with results identical to solo TopK
+// calls, foreign-subspace and invalid items are handled in place, and
+// region-certified cache hits skip the scan entirely.
+func TestTopKBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	cs := fixture.RandCase(rng, 300, 8, 4, 5)
+	eng := memEngine(cs.Tuples, cs.M, Config{})
+
+	items := make([]TopKItem, 0, 6)
+	for i := 0; i < 4; i++ { // fused group: same dims, different weights
+		q := cs.Q.Clone()
+		for j := range q.Weights {
+			q.Weights[j] = 0.1 + 0.2*float64(i+j)/8
+		}
+		items = append(items, TopKItem{Q: q, K: cs.K})
+	}
+	otherDims := []int{cs.Q.Dims[0]}
+	items = append(items,
+		TopKItem{Q: vec.MustQuery(otherDims, []float64{0.7}), K: cs.K}, // own group
+		TopKItem{Q: cs.Q, K: 0}, // invalid
+	)
+	res := eng.TopKBatch(context.Background(), items)
+	if len(res) != len(items) {
+		t.Fatalf("%d results for %d items", len(res), len(items))
+	}
+	solo := memEngine(cs.Tuples, cs.M, Config{CacheEntries: -1})
+	for i := 0; i < 5; i++ {
+		if res[i].Err != nil || res[i].Source != SourceComputed {
+			t.Fatalf("item %d: err=%v src=%v", i, res[i].Err, res[i].Source)
+		}
+		want, _, err := solo.TopK(context.Background(), items[i].Q, items[i].K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res[i].Result) != len(want) {
+			t.Fatalf("item %d: %d results, want %d", i, len(res[i].Result), len(want))
+		}
+		for r := range want {
+			if res[i].Result[r].ID != want[r].ID || res[i].Result[r].Score != want[r].Score {
+				t.Fatalf("item %d rank %d: fused (%d,%v), solo (%d,%v)",
+					i, r, res[i].Result[r].ID, res[i].Result[r].Score, want[r].ID, want[r].Score)
+			}
+		}
+	}
+	if !errors.Is(res[5].Err, ErrInvalid) {
+		t.Fatalf("invalid item err=%v, want ErrInvalid", res[5].Err)
+	}
+
+	// Prime the cache with an analysis at item 0's exact weights: the
+	// repeat batch serves it by region containment without touching the
+	// index, while the rest recompute.
+	if _, err := eng.Analyze(context.Background(), items[0].Q, items[0].K, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	seq0, rnd0, _ := eng.Stats().Snapshot()
+	res2 := eng.TopKBatch(context.Background(), items[:1])
+	if res2[0].Err != nil || res2[0].Source != SourceCacheRegion {
+		t.Fatalf("repeat: err=%v src=%v, want region hit", res2[0].Err, res2[0].Source)
+	}
+	if seq1, rnd1, _ := eng.Stats().Snapshot(); seq1 != seq0 || rnd1 != rnd0 {
+		t.Fatal("cached TopKBatch touched the index")
+	}
+}
+
 // TestBatchCanceled: a pre-canceled context fails every item with the
 // context's error rather than hanging or computing.
 func TestBatchCanceled(t *testing.T) {

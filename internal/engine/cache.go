@@ -67,11 +67,15 @@ func keyOf(q vec.Query, k int) bucketKey {
 }
 
 // entry is one admitted analysis: the anchor weights it was computed at
-// and the completed output it certifies.
+// and the completed output it certifies. lo/hi are the region extents
+// flattened into columns at admission, so the containment and
+// invalidation checks run as block kernels over flat float64 arrays
+// instead of walking the Regions structs per lookup.
 type entry struct {
 	key     bucketKey
 	sig     sig
 	weights []float64
+	lo, hi  []float64
 	out     *core.Output
 	size    int64
 	elem    *list.Element
@@ -178,14 +182,19 @@ func (c *cache) lookupTopK(q vec.Query, k int) ([]topk.Scored, bool) {
 
 // containsWeights is the footnote-1 containment test: the deviation
 // from the anchor weights lies inside the cross-polytope spanned by the
-// anchor's immutable regions.
+// anchor's immutable regions. It runs on the entry's flattened extents
+// through vec.CrossSafe, which is the exact flat-column twin of
+// core.SafeConcurrent (equivalence pinned by boundary_test and the core
+// property test) — same verdict on every input, including boundary hits.
 func containsWeights(en *entry, weights []float64) bool {
+	if len(en.lo) != len(weights) {
+		return false // mirrors SafeConcurrent's length-mismatch error
+	}
 	devs := make([]float64, len(weights))
 	for i, w := range weights {
 		devs[i] = w - en.weights[i]
 	}
-	safe, err := core.SafeConcurrent(en.out.Regions, devs)
-	return err == nil && safe
+	return vec.CrossSafe(en.lo, en.hi, devs)
 }
 
 // rescore rebuilds the ranked result at the requested weights from the
@@ -223,6 +232,11 @@ func (c *cache) admit(q vec.Query, k int, opts core.Options, out *core.Output) {
 		return
 	}
 	en := &entry{key: keyOf(q, k), sig: sigOf(opts), weights: slices.Clone(q.Weights), out: out, size: size}
+	en.lo = make([]float64, len(out.Regions))
+	en.hi = make([]float64, len(out.Regions))
+	for i, reg := range out.Regions {
+		en.lo[i], en.hi[i] = reg.Lo, reg.Hi
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	bucket := c.buckets[en.key]

@@ -357,20 +357,13 @@ const crossingSlack = 1e-9
 // hand the ranking to the id tiebreak, which the certificate does not
 // model).
 func canCrossResult(en *entry, p []float64) bool {
-	regions := en.out.Regions
+	// vec.GapMax is the kernelized form of the original inline loop: it
+	// accumulates the gap and updates the running max in the same
+	// ascending-j order over the entry's flattened extents, so the floats
+	// (and the slack comparison) are bit-identical.
 	for i := len(en.out.Result) - 1; i >= 0; i-- { // d_k first: the tightest line
 		r := en.out.Result[i]
-		gap, extra := 0.0, 0.0
-		for j, pj := range p {
-			cj := pj - r.Proj[j]
-			gap += en.weights[j] * cj
-			if v := regions[j].Hi * cj; v > extra {
-				extra = v
-			}
-			if v := regions[j].Lo * cj; v > extra {
-				extra = v
-			}
-		}
+		gap, extra := vec.GapMax(en.weights, en.lo, en.hi, p, r.Proj)
 		if gap+extra >= -crossingSlack {
 			return true
 		}

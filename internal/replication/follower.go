@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"os"
 	"path/filepath"
@@ -560,13 +561,17 @@ func (f *Follower) loadSnapshot(conn net.Conn, datasetID string) error {
 	return nil
 }
 
-// receiveFile streams one snapshot file to disk and fsyncs it.
+// receiveFile streams one snapshot file to disk, verifying size and —
+// when the sender announced one — the whole-file CRC before the fsync,
+// so a truncated or corrupted transfer is rejected before the manifest
+// is saved and the re-seeded engine swapped in.
 func (f *Follower) receiveFile(conn net.Conn, fb fileBegin) error {
 	path := filepath.Join(f.cfg.Dir, fb.Name)
 	out, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	crc := crc32.NewIEEE()
 	var got int64
 	for got < fb.Size {
 		kind, payload, err := readMsg(conn)
@@ -582,11 +587,16 @@ func (f *Follower) receiveFile(conn net.Conn, fb fileBegin) error {
 			out.Close()
 			return err
 		}
+		crc.Write(payload)
 		got += int64(len(payload))
 	}
 	if got != fb.Size {
 		out.Close()
 		return fmt.Errorf("got %d bytes, want %d", got, fb.Size)
+	}
+	if fb.Crc32 != 0 && crc.Sum32() != fb.Crc32 {
+		out.Close()
+		return fmt.Errorf("crc mismatch: got %08x, want %08x (truncated or corrupted transfer)", crc.Sum32(), fb.Crc32)
 	}
 	if err := out.Sync(); err != nil {
 		out.Close()

@@ -9,14 +9,17 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
@@ -571,6 +574,8 @@ func (p *Primary) handle(conn net.Conn) {
 // sendSnapshot streams the live generation files and their manifest.
 // The file handles are pinned by the engine (see OpenSnapshotFiles), so
 // a checkpoint sweeping the generation mid-transfer cannot corrupt it.
+// Each file header carries a whole-file CRC so the follower can reject
+// a truncated or corrupted transfer before swapping engines.
 func (p *Primary) sendSnapshot(s *session) (wal.Manifest, error) {
 	man, tuples, lists, err := p.eng.OpenSnapshotFiles()
 	if err != nil {
@@ -578,45 +583,71 @@ func (p *Primary) sendSnapshot(s *session) (wal.Manifest, error) {
 	}
 	defer tuples.Close()
 	defer lists.Close()
-	send := func(name string, f io.Reader, size int64) error {
-		if err := s.sendJSON(msgFileBegin, fileBegin{Name: name, Size: size}); err != nil {
-			return err
-		}
-		buf := make([]byte, snapshotChunkBytes)
-		var sent int64
-		for sent < size {
-			n := size - sent
-			if n > int64(len(buf)) {
-				n = int64(len(buf))
-			}
-			if _, err := io.ReadFull(f, buf[:n]); err != nil {
-				return err
-			}
-			if err := s.send(msgFileChunk, buf[:n]); err != nil {
-				return err
-			}
-			sent += n
-		}
-		return nil
-	}
-	tst, err := tuples.Stat()
-	if err != nil {
+	if err := p.sendFile(s, man.Tuples, tuples); err != nil {
 		return wal.Manifest{}, err
 	}
-	lst, err := lists.Stat()
-	if err != nil {
-		return wal.Manifest{}, err
-	}
-	if err := send(man.Tuples, tuples, tst.Size()); err != nil {
-		return wal.Manifest{}, err
-	}
-	if err := send(man.Lists, lists, lst.Size()); err != nil {
+	if err := p.sendFile(s, man.Lists, lists); err != nil {
 		return wal.Manifest{}, err
 	}
 	if err := s.sendJSON(msgManifest, man); err != nil {
 		return wal.Manifest{}, err
 	}
 	return man, nil
+}
+
+// sendFile ships one snapshot file. On mmap-capable builds the mapped
+// bytes are chunked straight onto the wire, zero-copy; the fallback
+// takes one extra pass over the file to compute the CRC announced in
+// the header, then streams through a chunk buffer.
+func (p *Primary) sendFile(s *session, name string, f *os.File) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if data, release, ok := storage.MapForRead(f); ok {
+		defer release()
+		hdr := fileBegin{Name: name, Size: size, Crc32: crc32.ChecksumIEEE(data)}
+		if err := s.sendJSON(msgFileBegin, hdr); err != nil {
+			return err
+		}
+		for off := int64(0); off < size; off += snapshotChunkBytes {
+			end := off + snapshotChunkBytes
+			if end > size {
+				end = size
+			}
+			if err := s.send(msgFileChunk, data[off:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, f); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := s.sendJSON(msgFileBegin, fileBegin{Name: name, Size: size, Crc32: crc.Sum32()}); err != nil {
+		return err
+	}
+	buf := make([]byte, snapshotChunkBytes)
+	var sent int64
+	for sent < size {
+		n := size - sent
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		if _, err := io.ReadFull(f, buf[:n]); err != nil {
+			return err
+		}
+		if err := s.send(msgFileChunk, buf[:n]); err != nil {
+			return err
+		}
+		sent += n
+	}
+	return nil
 }
 
 // drop deregisters a session.

@@ -153,10 +153,14 @@ type deposed struct {
 	HTTPAddr string `json:"http_addr,omitempty"`
 }
 
-// fileBegin announces one snapshot file.
+// fileBegin announces one snapshot file. Crc32 (IEEE, whole file) lets
+// the receiver detect a truncated or corrupted transfer before the
+// re-seeded engine ever opens the data; zero means the sender did not
+// compute one and the receiver verifies size only.
 type fileBegin struct {
-	Name string `json:"name"`
-	Size int64  `json:"size"`
+	Name  string `json:"name"`
+	Size  int64  `json:"size"`
+	Crc32 uint32 `json:"crc32,omitempty"`
 }
 
 // tail is the primary's heartbeat, letting followers measure lag even

@@ -18,6 +18,10 @@
 //	POST /batchanalyze  {queries: [analyze bodies]}  → per-query
 //	                    responses; duplicates are de-duplicated and
 //	                    repeats served from the answer cache
+//	POST /batchtopk     {queries: [{dims, weights, k}]} → per-query
+//	                    ranked results; queries sharing a dimension set
+//	                    and k are answered by one fused scan, and
+//	                    region-certified repeats come from the cache
 //	POST /update        {ops: [{id?, tuple: [{dim, val}]}]} → per-op
 //	                    results; an op without id inserts, with id
 //	                    updates. Cached analyses survive whenever the
@@ -191,6 +195,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/topk", s.handleTopK)
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/batchanalyze", s.handleBatchAnalyze)
+	mux.HandleFunc("/batchtopk", s.handleBatchTopK)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -329,6 +334,26 @@ type BatchAnalyzeResponse struct {
 	Responses []BatchEntryResponse `json:"responses"`
 }
 
+// BatchTopKRequest is the body of /batchtopk; only dims, weights and k
+// of each query are consulted.
+type BatchTopKRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// TopKEntryResponse is one element of a /batchtopk response: the ranked
+// result and its cache disposition, or Error with the rest empty.
+type TopKEntryResponse struct {
+	Result []ResultEntry `json:"result,omitempty"`
+	Cache  string        `json:"cache,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// BatchTopKResponse is the body of a successful /batchtopk; Responses
+// is parallel to the request's Queries.
+type BatchTopKResponse struct {
+	Responses []TopKEntryResponse `json:"responses"`
+}
+
 // TupleEntryJSON is one non-zero coordinate of a tuple payload.
 type TupleEntryJSON struct {
 	Dim int     `json:"dim"`
@@ -424,9 +449,13 @@ type OverlayStatsJSON struct {
 // server is part of a replication pair (see docs/operations.md for the
 // field glossary).
 type StatsResponse struct {
-	SeqPages    int64              `json:"seq_pages"`
-	RandReads   int64              `json:"rand_reads"`
-	BytesRead   int64              `json:"bytes_read"`
+	SeqPages  int64 `json:"seq_pages"`
+	RandReads int64 `json:"rand_reads"`
+	BytesRead int64 `json:"bytes_read"`
+	// PoolBypass counts page-equivalent accesses served straight from
+	// the mmap'd region, bypassing the buffer pool (always 0 on nommap
+	// builds or pread-backed stores).
+	PoolBypass  int64              `json:"pool_bypass"`
 	Cache       *CacheStatsJSON    `json:"cache,omitempty"`
 	Mutations   *MutationStatsJSON `json:"mutations,omitempty"`
 	WAL         *WALStatsJSON      `json:"wal,omitempty"`
@@ -560,6 +589,51 @@ func (s *Server) handleBatchAnalyze(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		resp.Responses[i] = BatchEntryResponse{AnalyzeResponse: toAnalyzeResponse(res.Analysis)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatchTopK answers a batch of ranked queries through the
+// engine's fused scan path: queries sharing a dimension set and k cost
+// roughly one scan for the whole group.
+func (s *Server) handleBatchTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req BatchTopKRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	// Per-item shape errors are reported in place, like /batchanalyze.
+	items := make([]engine.TopKItem, 0, len(req.Queries))
+	itemIdx := make([]int, 0, len(req.Queries))
+	resp := BatchTopKResponse{Responses: make([]TopKEntryResponse, len(req.Queries))}
+	for i, qr := range req.Queries {
+		q, err := vec.NewQuery(qr.Dims, qr.Weights)
+		if err != nil {
+			resp.Responses[i] = TopKEntryResponse{Error: err.Error()}
+			continue
+		}
+		items = append(items, engine.TopKItem{Q: q, K: qr.K})
+		itemIdx = append(itemIdx, i)
+	}
+	eng, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	for j, res := range eng.TopKBatch(r.Context(), items) {
+		i := itemIdx[j]
+		if res.Err != nil {
+			resp.Responses[i] = TopKEntryResponse{Error: res.Err.Error()}
+			continue
+		}
+		resp.Responses[i] = TopKEntryResponse{Result: toEntries(res.Result), Cache: res.Source.String()}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -706,6 +780,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.SeqPages, resp.RandReads, resp.BytesRead = eng.Stats().Snapshot()
+	resp.PoolBypass = eng.Stats().Bypasses()
 	if eng.Mutable() {
 		ms := eng.MutationStats()
 		resp.Mutations = &MutationStatsJSON{

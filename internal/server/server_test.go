@@ -256,6 +256,55 @@ func TestBatchAnalyzeEndpoint(t *testing.T) {
 	}
 }
 
+// TestBatchTopKEndpoint: a fused batch of same-subspace ranked queries
+// answers identically to /topk per query, per-item errors are reported
+// in place, and a region-certified repeat is a cache hit.
+func TestBatchTopKEndpoint(t *testing.T) {
+	ts := testServer(t)
+	q1 := QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2}
+	q2 := QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.3, 0.9}, K: 2}
+	bad := QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}} // k=0
+
+	var resp BatchTopKResponse
+	post(t, ts.URL+"/batchtopk", BatchTopKRequest{Queries: []QueryRequest{q1, q2, bad}}, &resp)
+	if len(resp.Responses) != 3 {
+		t.Fatalf("%d responses", len(resp.Responses))
+	}
+	for i, qr := range []QueryRequest{q1, q2} {
+		r := resp.Responses[i]
+		if r.Error != "" || r.Cache != "miss" {
+			t.Fatalf("item %d: %+v", i, r)
+		}
+		var single []ResultEntry
+		post(t, ts.URL+"/topk", qr, &single)
+		if !reflect.DeepEqual(r.Result, single) {
+			t.Fatalf("item %d: batch %+v, /topk %+v", i, r.Result, single)
+		}
+	}
+	if resp.Responses[2].Error == "" {
+		t.Fatal("invalid item accepted")
+	}
+
+	// An analysis at q1's weights certifies the repeat via its regions.
+	post(t, ts.URL+"/analyze", q1, nil)
+	var again BatchTopKResponse
+	post(t, ts.URL+"/batchtopk", BatchTopKRequest{Queries: []QueryRequest{q1}}, &again)
+	if again.Responses[0].Cache != "hit-region" {
+		t.Fatalf("repeat cache %q, want hit-region", again.Responses[0].Cache)
+	}
+
+	for _, body := range []string{`{`, `{"queries":[]}`} {
+		resp, err := http.Post(ts.URL+"/batchtopk", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d", body, resp.StatusCode)
+		}
+	}
+}
+
 func TestStatsAndHealth(t *testing.T) {
 	ts := testServer(t)
 	post(t, ts.URL+"/topk", QueryRequest{Dims: []int{0, 1}, Weights: []float64{0.8, 0.5}, K: 2}, nil)

@@ -173,6 +173,14 @@ type ListCursor struct {
 }
 
 // fill loads the next batch of postings into the buffer.
+//
+// On a mapped pager the batch decodes straight from the mmap region:
+// sequential scans bypass the buffer pool (counted on the meter's bypass
+// gauge) and allocate nothing per fill. One logical sequential page is
+// charged per fill — a fill is exactly one page worth of postings except
+// at the list tail — which matches the in-memory index's deterministic
+// page model (one page per postingsPerPage consumed), so mapped disk
+// scans meter like memory scans instead of depending on pool residency.
 func (c *ListCursor) fill() error {
 	remaining := c.ext.count - c.pos
 	if remaining <= 0 || c.lf == nil {
@@ -182,13 +190,20 @@ func (c *ListCursor) fill() error {
 	if batch > remaining {
 		batch = remaining
 	}
-	raw := make([]byte, batch*postingBytes)
-	misses, err := c.lf.pager.ReadRange(c.ext.off+int64(c.pos*postingBytes), raw)
-	if err != nil {
-		return err
-	}
-	if c.stats != nil && misses > 0 {
-		c.stats.AddSeqPage(misses)
+	off := c.ext.off + int64(c.pos*postingBytes)
+	raw, zeroCopy := c.lf.pager.Slice(off, batch*postingBytes)
+	if !zeroCopy {
+		raw = make([]byte, batch*postingBytes)
+		misses, err := c.lf.pager.ReadRange(off, raw)
+		if err != nil {
+			return err
+		}
+		if c.stats != nil && misses > 0 {
+			c.stats.AddSeqPage(misses)
+		}
+	} else if c.stats != nil {
+		c.stats.AddSeqPage(1)
+		c.stats.AddBypass(1)
 	}
 	c.ids = c.ids[:0]
 	c.vals = c.vals[:0]

@@ -1,0 +1,62 @@
+//go:build (linux || darwin) && !nommap
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// Read-only mmap support for generation files. Generation files are
+// immutable once written (writers always create a fresh generation and
+// swap), so a shared read-only mapping is safe for any number of
+// concurrent readers: TupleFile/ListFile cursors decode straight out of
+// the mapping without per-read buffer allocation or buffer-pool copies,
+// and the replication sender ships snapshot chunks as subslices of the
+// mapping. The mapping pins the file's data blocks via the fd, so a
+// checkpoint swap may unlink the path at any time; readers drain (the
+// engine's write lock) before Close munmaps.
+//
+// The fallback build (mmap_fallback.go, tag nommap or an unsupported
+// platform) keeps the original pread+LRU path byte-for-byte.
+
+// mmapEnabled reports whether this build maps generation files.
+const mmapEnabled = true
+
+// mapFile maps size bytes of f read-only. A nil mapping (with nil
+// error) means "not mapped" and callers fall back to pread.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// unmapFile releases a mapping returned by mapFile.
+func unmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// MapForRead maps an already-open file read-only and returns the mapped
+// bytes with a release func. The mapping references the fd's inode, not
+// the path, so it stays valid even if the path is unlinked or swapped by
+// a checkpoint while the bytes are being streamed. ok=false means the
+// build or platform cannot map and the caller should stream via reads.
+func MapForRead(f *os.File) (data []byte, release func() error, ok bool) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, false
+	}
+	data, err = mapFile(f, st.Size())
+	if err != nil || data == nil {
+		return nil, nil, false
+	}
+	return data, func() error { return unmapFile(data) }, true
+}

@@ -1,0 +1,23 @@
+//go:build (!linux && !darwin) || nommap
+
+package storage
+
+import "os"
+
+// Fallback build: no mmap. Pagers keep the original pread+LRU buffer
+// pool path unchanged, which is what makes the fallback trivially
+// answer-identical to the mapped build — the decoded bytes are the same,
+// only the transport differs.
+
+// mmapEnabled reports whether this build maps generation files.
+const mmapEnabled = false
+
+func mapFile(f *os.File, size int64) ([]byte, error) { return nil, nil }
+
+func unmapFile(data []byte) error { return nil }
+
+// MapForRead always reports ok=false in the fallback build; callers
+// stream through reads instead.
+func MapForRead(f *os.File) (data []byte, release func() error, ok bool) {
+	return nil, nil, false
+}

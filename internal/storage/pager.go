@@ -11,11 +11,17 @@ import (
 // buffer pool. Counting of logical I/O (sequential page vs random tuple
 // fetch) is done by the owning TupleFile/ListFile because the distinction
 // is semantic; the pager only tracks physical page residency.
+//
+// On platforms with mmap support (see mmap.go) the whole file is also
+// mapped read-only; Slice then hands out zero-copy views that bypass the
+// buffer pool entirely. ReadRange always uses the pread+pool path, so
+// callers choose per access whether pool accounting applies.
 type Pager struct {
 	f      *os.File
 	size   int64
 	pool   *lruCache
 	fileID int
+	mapped []byte // nil when the build/platform cannot map
 }
 
 var nextFileID atomic.Int64
@@ -38,11 +44,39 @@ func NewPager(path string, poolPages int) (*Pager, error) {
 	if poolPages > 0 {
 		p.pool = newLRU(poolPages)
 	}
+	// Best effort: a mapping failure (exotic filesystem, address-space
+	// pressure) silently falls back to the pread path.
+	if m, err := mapFile(f, p.size); err == nil {
+		p.mapped = m
+	}
 	return p, nil
 }
 
-// Close releases the underlying file.
-func (p *Pager) Close() error { return p.f.Close() }
+// Close unmaps (if mapped) and releases the underlying file. Callers
+// must have drained readers first: slices handed out by Slice die with
+// the mapping.
+func (p *Pager) Close() error {
+	err := unmapFile(p.mapped)
+	p.mapped = nil
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Mapped reports whether the file is memory-mapped in this build.
+func (p *Pager) Mapped() bool { return p.mapped != nil }
+
+// Slice returns a zero-copy read-only view of [off, off+n), bypassing
+// the buffer pool. ok=false when the file is not mapped (fallback build)
+// or the range is out of bounds; callers then use ReadRange. The slice
+// is valid until Close — callers must decode out of it, not retain it.
+func (p *Pager) Slice(off int64, n int) ([]byte, bool) {
+	if p.mapped == nil || off < 0 || n < 0 || off+int64(n) > p.size {
+		return nil, false
+	}
+	return p.mapped[off : off+int64(n) : off+int64(n)], true
+}
 
 // Size returns the file size in bytes.
 func (p *Pager) Size() int64 { return p.size }

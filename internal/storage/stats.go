@@ -30,6 +30,7 @@ type IOStats struct {
 	seqPages  atomic.Int64 // inverted-list pages fetched by sorted access
 	randReads atomic.Int64 // tuple-file fetches by random access
 	bytesRead atomic.Int64
+	bypass    atomic.Int64 // page-equivalents served from the mmap, pool bypassed
 	parent    *IOStats
 }
 
@@ -55,6 +56,21 @@ func (s *IOStats) AddRandRead(bytes int) {
 	}
 }
 
+// AddBypass records n page-equivalent accesses served straight from the
+// mmap region, bypassing the buffer pool. Bypass accesses are physical-
+// path bookkeeping only — the logical counters (AddSeqPage/AddRandRead)
+// are still charged separately, so the paper's cost model is unaffected
+// by which transport served the bytes.
+func (s *IOStats) AddBypass(n int) {
+	s.bypass.Add(int64(n))
+	if s.parent != nil {
+		s.parent.AddBypass(n)
+	}
+}
+
+// Bypasses returns the pool-bypass counter.
+func (s *IOStats) Bypasses() int64 { return s.bypass.Load() }
+
 // Snapshot returns the current counter values.
 func (s *IOStats) Snapshot() (seqPages, randReads, bytesRead int64) {
 	return s.seqPages.Load(), s.randReads.Load(), s.bytesRead.Load()
@@ -71,6 +87,7 @@ func (s *IOStats) Reset() {
 	s.seqPages.Store(0)
 	s.randReads.Store(0)
 	s.bytesRead.Store(0)
+	s.bypass.Store(0)
 }
 
 // Sub returns the difference s - o as plain numbers (seq, rand, bytes).

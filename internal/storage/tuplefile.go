@@ -139,16 +139,26 @@ func (tf *TupleFile) Get(id int) (vec.Sparse, error) { return tf.GetWith(id, tf.
 
 // GetWith fetches tuple id, charging the random read to st instead of the
 // file's meter (st is typically a per-query Child of the shared meter).
+// On a mapped pager the record is decoded straight out of the mmap
+// region (no copy, no buffer-pool traffic); the logical random-read
+// charge is identical either way, so the paper's metrics don't depend on
+// the transport.
 func (tf *TupleFile) GetWith(id int, st *IOStats) (vec.Sparse, error) {
 	if id < 0 || id >= len(tf.offsets) {
 		return nil, fmt.Errorf("storage: tuple id %d out of range [0,%d)", id, len(tf.offsets))
 	}
-	raw := make([]byte, tf.sizes[id])
-	if _, err := tf.pager.ReadRange(tf.offsets[id], raw); err != nil {
-		return nil, err
+	raw, zeroCopy := tf.pager.Slice(tf.offsets[id], int(tf.sizes[id]))
+	if !zeroCopy {
+		raw = make([]byte, tf.sizes[id])
+		if _, err := tf.pager.ReadRange(tf.offsets[id], raw); err != nil {
+			return nil, err
+		}
 	}
 	if st != nil {
 		st.AddRandRead(len(raw))
+		if zeroCopy {
+			st.AddBypass(1)
+		}
 	}
 	nnz := int(binary.LittleEndian.Uint32(raw[0:4]))
 	if 4+12*nnz > len(raw) {

@@ -1,0 +1,354 @@
+// Fused multi-query TA: several queries over the SAME subspace (equal
+// Dims) and the same k share one scan. Sorted accesses, the
+// encountered-tuple bitset and the random-access tuple fetches are paid
+// once for the whole group; only the scoring fans out, as one batched
+// dot product (vec.DotBatch) over the flat member-weight matrix per
+// encountered tuple. The scan is steered by the per-dimension MAXIMUM
+// member weight and runs until every member's individual termination
+// test (k-th tentative score ≥ that member's threshold S(t,q_m))
+// passes, so each member's top-k carries the full TA guarantee.
+//
+// A member's view of the run is a valid terminated TA state for its
+// query: the ranked result carries the full TA guarantee (tuples
+// encountered after the member's own termination point were bounded by
+// its threshold, so they rank below its k-th score), and the candidate
+// list is exactly the shared scan's encounter set outside the top-k,
+// scored with the member's weights. The encounter set follows the
+// GROUP's probe trajectory, so it generally differs from what the
+// member's solo scan would have collected — the same freedom the
+// round-robin/best-list policy knob already exercises — and region
+// computation, which is exact for any valid terminated state, produces
+// identical regions either way (the engine's batch-vs-singles property
+// test pins this end to end).
+package topk
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"repro/internal/lists"
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+// Multi is a fused TA run over a group of same-subspace, same-k
+// queries. Run/RunContext executes the shared scan; Member then hands
+// out per-member resumable views for region computation.
+type Multi struct {
+	scan    scanState // q = {Dims, per-dim max weight}: probe steering only
+	arena   ProjArena
+	queries []vec.Query
+	flatW   []float64 // len(queries)×qlen member weight rows
+
+	encountered []Scored  // shared: ID/Proj/NZMask; Score is per-member
+	scores      []float64 // encounter-major: scores[e*len(queries)+m]
+	heaps       [][]float64
+	memDone     []bool
+
+	results [][]Scored
+	cands   [][]Scored
+	done    bool
+}
+
+// NewMulti prepares a fused run. All queries must share the identical
+// (sorted) dimension set; weights may differ freely. Panics mirror New:
+// empty group, qlen > 64, k < 1, or a dimension-set mismatch.
+func NewMulti(ix lists.Index, queries []vec.Query, k int, policy ProbePolicy) *Multi {
+	if len(queries) == 0 {
+		panic("topk: empty fused group")
+	}
+	base := queries[0]
+	if base.Len() > 64 {
+		panic(fmt.Sprintf("topk: qlen %d exceeds 64", base.Len()))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("topk: k=%d", k))
+	}
+	qlen := base.Len()
+	wmax := make([]float64, qlen)
+	flatW := make([]float64, 0, len(queries)*qlen)
+	for _, q := range queries {
+		if !slices.Equal(q.Dims, base.Dims) {
+			panic("topk: fused queries must share the dimension set")
+		}
+		for j, w := range q.Weights {
+			if w > wmax[j] {
+				wmax[j] = w
+			}
+		}
+		flatW = append(flatW, q.Weights...)
+	}
+	m := &Multi{
+		scan: scanState{
+			ix: ix,
+			// Steering weights: probing the list maximizing wmax_j·t_j
+			// drains every member's threshold fastest; the scan's q is
+			// never used for scoring or projection beyond its Dims.
+			q:        vec.Query{Dims: base.Dims, Weights: wmax},
+			k:        k,
+			policy:   policy,
+			cursors:  make([]lists.Cursor, qlen),
+			last:     make([]storage.Posting, qlen),
+			consumed: make([]int, qlen),
+			seen:     newBitset(ix.NumTuples()),
+		},
+		arena:   ProjArena{Qlen: qlen},
+		queries: queries,
+		flatW:   flatW,
+		heaps:   make([][]float64, len(queries)),
+		memDone: make([]bool, len(queries)),
+	}
+	for i, dim := range base.Dims {
+		m.scan.cursors[i] = ix.Cursor(dim)
+	}
+	return m
+}
+
+// termCheckStride is how often (in sorted accesses) the fused scan runs
+// the whole group's termination test; see Run.
+const termCheckStride = 16
+
+// RunContext executes the fused scan to termination under a context,
+// with the same cancellation contract as TA.RunContext.
+func (m *Multi) RunContext(ctx context.Context) error {
+	if ctx != nil && m.scan.ctx == nil {
+		m.scan.ctx = ctx
+	}
+	m.Run()
+	return m.scan.ctxErr
+}
+
+// Run executes the fused scan until every member has individually
+// terminated (or the lists are exhausted) and materializes each
+// member's ranked result and candidate list.
+func (m *Multi) Run() {
+	if m.done {
+		return
+	}
+	nq := len(m.queries)
+	qlen := m.scan.q.Len()
+	thrVec := make([]float64, qlen)
+	memThr := make([]float64, nq)
+	scoreBuf := make([]float64, nq)
+	for step := 0; ; step++ {
+		// The group termination test costs nq×qlen flops (one batched
+		// dot over the threshold vector), against a solo TA's qlen — so
+		// it runs every termCheckStride accesses instead of every one.
+		// The scan may overshoot by up to stride-1 accesses, which only
+		// deepens the (still valid) terminated state; thresholds fall
+		// and k-th scores rise monotonically, so no satisfaction is lost.
+		if step%termCheckStride == 0 && m.allSatisfied(thrVec, memThr) {
+			break
+		}
+		p, _, isNew, ok := m.scan.rawStep()
+		if !ok {
+			break // dataset exhausted (or context canceled)
+		}
+		if !isNew {
+			continue
+		}
+		// One random access and one projection serve every member; only
+		// the scores fan out, through the batched kernel. Each DotBatch
+		// row is bit-identical to the member's solo vec.Dot (the batch
+		// kernel gives every output its own accumulator).
+		d := m.scan.ix.Tuple(p.ID)
+		sc := Scored{ID: p.ID, Proj: m.arena.Alloc()}
+		m.scan.q.ProjectInto(d, sc.Proj)
+		for b, v := range sc.Proj {
+			if v > 0 {
+				sc.NZMask |= 1 << uint(b)
+			}
+		}
+		vec.DotBatch(m.flatW, sc.Proj, scoreBuf)
+		m.encountered = append(m.encountered, sc)
+		m.scores = append(m.scores, scoreBuf...)
+		for mi := 0; mi < nq; mi++ {
+			if !m.memDone[mi] {
+				m.heaps[mi] = offerHeap(m.heaps[mi], m.scan.k, scoreBuf[mi])
+			}
+		}
+	}
+	// Materialization is lazy and per member: Result needs only a
+	// k-selection over the encounter set (O(E), the common case for
+	// fused ranked queries), while Member — the region-computation
+	// entry — additionally ranks the full candidate tail.
+	m.results = make([][]Scored, nq)
+	m.cands = make([][]Scored, nq)
+	m.done = true
+}
+
+// selectTopK extracts member mi's ranked top-k from the encounter set
+// by bounded insertion — one comparison per encounter in the common
+// case — instead of sorting all E entries per member.
+func (m *Multi) selectTopK(mi int) []Scored {
+	nq := len(m.queries)
+	k := m.scan.k
+	best := make([]Scored, 0, k+1)
+	for e, sc := range m.encountered {
+		sc.Score = m.scores[e*nq+mi]
+		if len(best) == k {
+			last := best[k-1]
+			if sc.Score < last.Score || (sc.Score == last.Score && sc.ID > last.ID) {
+				continue
+			}
+		}
+		lo, hi := 0, len(best)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if best[mid].Score > sc.Score || (best[mid].Score == sc.Score && best[mid].ID < sc.ID) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		best = append(best, Scored{})
+		copy(best[lo+1:], best[lo:])
+		best[lo] = sc
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	return best
+}
+
+// rank fully materializes member mi: the ranked top-k plus the scored,
+// descending candidate tail (what region computation consumes).
+func (m *Multi) rank(mi int) {
+	if m.cands[mi] != nil {
+		return
+	}
+	nq := len(m.queries)
+	ranked := make([]Scored, len(m.encountered))
+	for e, sc := range m.encountered {
+		sc.Score = m.scores[e*nq+mi]
+		ranked[e] = sc
+	}
+	sortScored(ranked)
+	cut := m.scan.k
+	if cut > len(ranked) {
+		cut = len(ranked)
+	}
+	m.results[mi] = ranked[:cut]
+	m.cands[mi] = ranked[cut:]
+}
+
+// allSatisfied runs every live member's termination test against the
+// current thresholds and reports whether the whole group is done.
+// Member thresholds are one batched dot product over the threshold
+// vector — bit-identical to each member's solo ThresholdScore, since an
+// exhausted list contributes an exact +0.0 term to a non-negative sum.
+// Satisfaction is sticky: thresholds only fall and the k-th best only
+// rises as the scan advances.
+func (m *Multi) allSatisfied(thrVec, memThr []float64) bool {
+	if len(m.encountered) < m.scan.k {
+		return false
+	}
+	m.scan.ThresholdsInto(thrVec)
+	vec.DotBatch(m.flatW, thrVec, memThr)
+	all := true
+	for mi, done := range m.memDone {
+		if done {
+			continue
+		}
+		if len(m.heaps[mi]) >= m.scan.k && m.heaps[mi][0] >= memThr[mi] {
+			m.memDone[mi] = true
+			continue
+		}
+		all = false
+	}
+	return all
+}
+
+// SortedAccesses reports the shared scan's sorted-access count — the
+// whole group's, paid once.
+func (m *Multi) SortedAccesses() int { return m.scan.sortedAccesses }
+
+// Result returns member i's ranked top-k. Run must have completed.
+// Like TA, a Multi is not safe for concurrent use: materialization is
+// lazy and memoized.
+func (m *Multi) Result(i int) []Scored {
+	m.mustBeDone("Result")
+	if m.results[i] == nil {
+		m.results[i] = m.selectTopK(i)
+	}
+	return m.results[i]
+}
+
+// Member returns member i's resumable view of the completed run,
+// suitable for region computation (core.ComputeView): its own clone of
+// the shared scan position with the member's query substituted, so
+// Resume pulls score with the member's weights and never disturb the
+// shared state or any sibling view. See the package comment for why
+// the view's candidate set legitimately differs from a solo scan's.
+func (m *Multi) Member(i int) *MemberRun {
+	m.mustBeDone("Member")
+	m.rank(i)
+	r := &MemberRun{
+		scanState: m.scan.clone(),
+		arena:     ProjArena{Qlen: m.scan.q.Len()},
+		result:    m.results[i],
+		cands:     slices.Clone(m.cands[i]),
+	}
+	r.q = m.queries[i]
+	return r
+}
+
+func (m *Multi) mustBeDone(op string) {
+	if !m.done {
+		panic("topk: " + op + " before Run")
+	}
+}
+
+// MemberRun is one member's view of a completed fused run. It
+// implements View (and core.Runner): the scan is already terminated, so
+// RunContext only arms the context and reports any cancellation.
+type MemberRun struct {
+	scanState
+	arena  ProjArena
+	result []Scored
+	cands  []Scored
+}
+
+// RunContext arms ctx on the (already completed) member scan so that
+// later Resume pulls observe cancellation, and reports the scan error.
+func (r *MemberRun) RunContext(ctx context.Context) error {
+	if ctx != nil && r.ctx == nil {
+		r.ctx = ctx
+	}
+	return r.ctxErr
+}
+
+// Result returns the member's ranked top-k (shared, read-only).
+func (r *MemberRun) Result() []Scored { return r.result }
+
+// Candidates returns the member's candidate list: every shared-scan
+// encounter outside its top-k, plus this view's own Resume pulls.
+func (r *MemberRun) Candidates() []Scored { return r.cands }
+
+// Resume continues the member's private scan continuation until one new
+// tuple is encountered, scored with the member's weights.
+func (r *MemberRun) Resume() (Scored, bool) {
+	for {
+		p, _, isNew, ok := r.rawStep()
+		if !ok {
+			return Scored{}, false
+		}
+		if isNew {
+			sc := r.score(p.ID, &r.arena)
+			r.cands = append(r.cands, sc)
+			return sc, true
+		}
+	}
+}
+
+// ForkView returns an isolated resumable copy for one dimension of a
+// parallel region computation, mirroring TA.Fork.
+func (r *MemberRun) ForkView() View {
+	return &Fork{
+		scanState: r.scanState.clone(),
+		arena:     ProjArena{Qlen: r.q.Len()},
+		result:    r.result,
+		cands:     slices.Clone(r.cands),
+	}
+}

@@ -270,11 +270,16 @@ func (s *scanState) WasSortedAccessed(i int, id int, val float64) bool {
 }
 
 // score materializes the Scored view of a newly encountered tuple,
-// carving its projection out of the arena.
+// carving its projection out of the arena. The score is computed from
+// the dense projection through the unrolled dot kernel rather than the
+// sparse merge; the two are bit-identical (vec.TestDotMatchesSparseScore
+// pins it) because the unmatched dimensions contribute exact +0.0 terms
+// to a running sum that never goes negative.
 func (s *scanState) score(id int, arena *ProjArena) Scored {
 	d := s.ix.Tuple(id)
-	sc := Scored{ID: id, Score: s.q.Score(d), Proj: arena.Alloc()}
+	sc := Scored{ID: id, Proj: arena.Alloc()}
 	s.q.ProjectInto(d, sc.Proj)
+	sc.Score = vec.Dot(s.q.Weights, sc.Proj)
 	for b, v := range sc.Proj {
 		if v > 0 {
 			sc.NZMask |= 1 << uint(b)
@@ -426,8 +431,14 @@ func (ta *TA) step() (*Scored, bool) {
 
 // offerScore maintains the min-heap of the k highest scores seen.
 func (ta *TA) offerScore(s float64) {
-	h := ta.topScores
-	if len(h) < ta.k {
+	ta.topScores = offerHeap(ta.topScores, ta.k, s)
+}
+
+// offerHeap pushes s into the k-bounded min-heap h of the highest
+// scores seen and returns the updated heap. Shared by TA and the fused
+// Multi scan (one heap per member there).
+func offerHeap(h []float64, k int, s float64) []float64 {
+	if len(h) < k {
 		h = append(h, s)
 		// sift up
 		i := len(h) - 1
@@ -439,11 +450,10 @@ func (ta *TA) offerScore(s float64) {
 			h[p], h[i] = h[i], h[p]
 			i = p
 		}
-		ta.topScores = h
-		return
+		return h
 	}
 	if s <= h[0] {
-		return
+		return h
 	}
 	h[0] = s
 	// sift down
@@ -463,6 +473,7 @@ func (ta *TA) offerScore(s float64) {
 		h[i], h[min] = h[min], h[i]
 		i = min
 	}
+	return h
 }
 
 // RunContext executes TA to termination under a context. A nil ctx (or
@@ -560,6 +571,10 @@ func (ta *TA) Fork() *Fork {
 		cands:     slices.Clone(ta.cands),
 	}
 }
+
+// ForkView is Fork behind the View interface — the shape region
+// computation (core.Runner) consumes for its per-dimension isolation.
+func (ta *TA) ForkView() View { return ta.Fork() }
 
 // Fork is an isolated resumable continuation of a completed TA run; see
 // TA.Fork. It implements View.

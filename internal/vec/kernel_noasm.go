@@ -1,0 +1,24 @@
+//go:build noasm
+
+package vec
+
+// The noasm build routes every kernel to its scalar reference. It exists
+// so CI can prove the references alone produce identical answers
+// end-to-end (the fallback half of the kernel bit-identity guarantee)
+// and as the safe harbor if an optimized backend misbehaves on some
+// platform.
+
+// KernelImpl names the active kernel backend, for diagnostics.
+const KernelImpl = "scalar"
+
+func dotKernel(a, b []float64) float64 { return scalarDot(a, b) }
+
+func axpyKernel(alpha float64, x, y []float64) { scalarAxpy(alpha, x, y) }
+
+func dotBatchKernel(flatW, x, out []float64) { scalarDotBatch(flatW, x, out) }
+
+func gapMaxKernel(w, lo, hi, p, rp []float64) (gap, extra float64) {
+	return scalarGapMax(w, lo, hi, p, rp)
+}
+
+func crossSafeKernel(lo, hi, devs []float64) bool { return scalarCrossSafe(lo, hi, devs) }

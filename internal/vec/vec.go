@@ -256,22 +256,20 @@ func (q Query) Project(d Sparse) []float64 {
 
 // ProjectInto writes d's coordinates on the query dimensions into dst,
 // which must have length q.Len(). Hot paths use it with arena-allocated
-// destinations to avoid one heap allocation per projected tuple.
+// destinations to avoid one heap allocation per projected tuple. Each
+// slot is written exactly once (the matched value or zero), so there is
+// no separate zero-fill pass over dst.
 func (q Query) ProjectInto(d Sparse, dst []float64) {
-	for i := range dst {
-		dst[i] = 0
-	}
-	i, j := 0, 0
-	for i < len(q.Dims) && j < len(d) {
-		switch {
-		case q.Dims[i] == d[j].Dim:
+	j := 0
+	for i, dim := range q.Dims {
+		for j < len(d) && d[j].Dim < dim {
+			j++
+		}
+		if j < len(d) && d[j].Dim == dim {
 			dst[i] = d[j].Val
-			i++
 			j++
-		case q.Dims[i] < d[j].Dim:
-			i++
-		default:
-			j++
+		} else {
+			dst[i] = 0
 		}
 	}
 }
@@ -297,16 +295,57 @@ func (q Query) NonZeroQueryDims(d Sparse) int {
 	return n
 }
 
-// Dot computes the dot product of two dense vectors of equal length.
+// Dot computes the dot product of two dense vectors of equal length,
+// through the active kernel backend (bit-identical to the naive loop in
+// every backend; see kernel_ref.go).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	s := 0.0
-	for i := range a {
-		s += a[i] * b[i]
+	return dotKernel(a, b)
+}
+
+// Axpy performs y += alpha·x over dense vectors of equal length.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	return s
+	axpyKernel(alpha, x, y)
+}
+
+// DotBatch scores one dense vector x against many weight rows at once:
+// flatW holds len(out) rows of length len(x) back to back, and out[m]
+// receives the dot product of row m with x. Each out[m] is bit-identical
+// to Dot(row m, x) — the fused batch scan relies on that to produce the
+// same floats as Q independent scans.
+func DotBatch(flatW, x, out []float64) {
+	if len(flatW) != len(x)*len(out) {
+		panic(fmt.Sprintf("vec: DotBatch flatW length %d != %d rows × %d", len(flatW), len(out), len(x)))
+	}
+	dotBatchKernel(flatW, x, out)
+}
+
+// GapMax evaluates the closed-form polytope gap maximum used by the
+// cache-invalidation certificate: with c_j = p[j] − rp[j] it returns
+// gap = Σ_j w[j]·c_j and extra = max(0, max_j hi[j]·c_j, lo[j]·c_j).
+// All five slices must share one length.
+func GapMax(w, lo, hi, p, rp []float64) (gap, extra float64) {
+	if len(w) != len(p) || len(lo) != len(p) || len(hi) != len(p) || len(rp) != len(p) {
+		panic("vec: GapMax length mismatch")
+	}
+	return gapMaxKernel(w, lo, hi, p, rp)
+}
+
+// CrossSafe is the cross-polytope vertex check over flat per-dimension
+// extents: deviation vector devs is certified safe iff
+// Σ_j |devs[j]| / extent_j ≤ 1 (extent hi[j] on the positive side,
+// |lo[j]| on the negative; a zero extent against a non-zero component is
+// unsafe). It is the flat-column twin of core.SafeConcurrent.
+func CrossSafe(lo, hi, devs []float64) bool {
+	if len(lo) != len(devs) || len(hi) != len(devs) {
+		panic("vec: CrossSafe length mismatch")
+	}
+	return crossSafeKernel(lo, hi, devs)
 }
 
 // Norm computes the Euclidean norm of a dense vector.
