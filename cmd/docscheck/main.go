@@ -23,13 +23,14 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
 var (
-	// flagDefRe matches a std flag package definition and captures the
-	// flag's name.
-	flagDefRe = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration)\(\s*"([^"]+)"`)
+	// flagDefRe matches a std flag definition — on the package or on a
+	// FlagSet (irlint parses into one) — and captures the flag's name.
+	flagDefRe = regexp.MustCompile(`(?:flag|fs)\.(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration)\(\s*"([^"]+)"`)
 	// inlineCodeRe captures single-backtick inline code spans.
 	inlineCodeRe = regexp.MustCompile("`([^`]+)`")
 	// linkRe captures markdown link targets.
@@ -38,6 +39,12 @@ var (
 	// command-line flag: -name or -name=value, name starting with a
 	// letter (so "kill -9" and negative numbers never match).
 	flagTokenRe = regexp.MustCompile(`^-([a-zA-Z][a-zA-Z0-9-]*)(?:=\S*)?$`)
+	// analyzerDefRe captures a registered analyzer's Name literal in
+	// internal/analysis.
+	analyzerDefRe = regexp.MustCompile(`Name:\s*"([a-z0-9]+)"`)
+	// analyzerDocRe captures an analyzer row of the static-analysis
+	// doc's table (first cell, backticked name).
+	analyzerDocRe = regexp.MustCompile("^\\|\\s*`([a-z0-9]+)`\\s*\\|")
 )
 
 // goToolFlags are inline-mentionable flags that belong to the go tool
@@ -45,6 +52,8 @@ var (
 var goToolFlags = map[string]bool{
 	"race": true, "run": true, "bench": true, "benchmem": true,
 	"benchtime": true, "count": true, "v": true, "short": true,
+	"deps": true, "json": true, "tags": true, "fuzz": true,
+	"fuzztime": true,
 }
 
 // collectFlags parses the flag definitions of one main package file.
@@ -57,6 +66,55 @@ func collectFlags(path string, into map[string]bool) error {
 		into[m[1]] = true
 	}
 	return nil
+}
+
+// checkAnalyzerParity cross-references the analyzer table of
+// docs/static-analysis.md against the Analyzer definitions in
+// internal/analysis: a documented analyzer that is not registered (or
+// a registered one the doc does not list) is drift, the same way a
+// phantom flag is.
+func checkAnalyzerParity(root string) ([]string, error) {
+	srcs, err := filepath.Glob(filepath.Join(root, "internal", "analysis", "*.go"))
+	if err != nil || len(srcs) == 0 {
+		return nil, fmt.Errorf("no internal/analysis sources found")
+	}
+	registered := map[string]bool{}
+	for _, s := range srcs {
+		if strings.HasSuffix(s, "_test.go") {
+			continue
+		}
+		raw, err := os.ReadFile(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range analyzerDefRe.FindAllStringSubmatch(string(raw), -1) {
+			registered[m[1]] = true
+		}
+	}
+	docPath := filepath.Join(root, "docs", "static-analysis.md")
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	documented := map[string]bool{}
+	for i, line := range strings.Split(string(raw), "\n") {
+		m := analyzerDocRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		documented[m[1]] = true
+		if !registered[m[1]] {
+			problems = append(problems, fmt.Sprintf("%s:%d: analyzer `%s` is documented but not defined in internal/analysis", docPath, i+1, m[1]))
+		}
+	}
+	for name := range registered {
+		if !documented[name] {
+			problems = append(problems, fmt.Sprintf("%s: analyzer %q is registered but missing from the analyzer table", docPath, name))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
 }
 
 // checkFile lints one markdown file; problems are returned as
@@ -150,9 +208,12 @@ func main() {
 	for _, d := range docs {
 		targets[d] = daemons
 	}
+	// The static-analysis doc documents irlint (and the go test fuzz
+	// flags), not the daemons; check it against every command's flags.
+	targets[filepath.Join(*root, "docs", "static-analysis.md")] = union
 	// The spec and the operator guide are load-bearing: their absence
 	// is a failure, not a skip.
-	for _, required := range []string{"replication.md", "operations.md", "architecture.md"} {
+	for _, required := range []string{"replication.md", "operations.md", "architecture.md", "static-analysis.md"} {
 		if _, err := os.Stat(filepath.Join(*root, "docs", required)); err != nil {
 			fmt.Fprintf(os.Stderr, "docscheck: required doc docs/%s missing\n", required)
 			os.Exit(1)
@@ -168,6 +229,12 @@ func main() {
 		}
 		all = append(all, problems...)
 	}
+	parity, err := checkAnalyzerParity(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	all = append(all, parity...)
 	if len(all) > 0 {
 		for _, p := range all {
 			fmt.Fprintln(os.Stderr, p)

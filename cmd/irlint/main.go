@@ -1,0 +1,99 @@
+// Command irlint runs the repo's invariant analyzers — the written
+// rules of docs/architecture.md and the package godocs, machine-checked
+// (see docs/static-analysis.md). It is the `make lint` entry point.
+//
+// Usage:
+//
+//	irlint [-list] [-analyzers name,name] [-suppressed] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status is 0 when clean, 1 when any unsuppressed diagnostic was
+// reported, 2 when loading or analysis itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("irlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	showSuppressed := fs.Bool("suppressed", false, "also print findings silenced by //lint:allow comments")
+	dir := fs.String("dir", ".", "directory to resolve package patterns from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.Registry {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.Registry
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.ByName(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "irlint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader(*dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "irlint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(stderr, "irlint: %v\n", err)
+		return 2
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		return diags[i].Pos.Line < diags[j].Pos.Line
+	})
+
+	failed := false
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showSuppressed {
+				fmt.Fprintf(stdout, "%s [suppressed: %s]\n", d.String(), d.SuppressReason)
+			}
+			continue
+		}
+		failed = true
+		fmt.Fprintln(stdout, d.String())
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

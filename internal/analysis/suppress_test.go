@@ -1,0 +1,42 @@
+package analysis
+
+import "testing"
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		comment  string
+		ok       bool
+		analyzer string
+		reason   string
+	}{
+		{"//lint:allow detcore metrics-only timing", true, "detcore", "metrics-only timing"},
+		{"// lint:allow errmap identity is intended here", true, "errmap", "identity is intended here"},
+		// A reason is mandatory: a silent typo must not silently allow.
+		{"//lint:allow detcore", false, "", ""},
+		{"//lint:allow detcore   ", false, "", ""},
+		{"//lint:allow", false, "", ""},
+		{"// regular comment", false, "", ""},
+		{"//nolint:detcore", false, "", ""},
+	}
+	for _, c := range cases {
+		sup, ok := parseAllow(c.comment)
+		if ok != c.ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", c.comment, ok, c.ok)
+			continue
+		}
+		if ok && (sup.analyzer != c.analyzer || sup.reason != c.reason) {
+			t.Errorf("parseAllow(%q) = %q/%q, want %q/%q", c.comment, sup.analyzer, sup.reason, c.analyzer, c.reason)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range Registry {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of an unknown name should be nil")
+	}
+}

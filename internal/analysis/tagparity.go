@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TagParity guards the build-tag fallback matrix. The repo ships
+// variant pairs selected by custom build tags — vec/kernel.go (!noasm)
+// ↔ kernel_noasm.go (noasm), storage/mmap.go ↔ mmap_fallback.go
+// (nommap) — and CI's `make test-fallback` only proves anything if
+// both sides of each pair keep compiling the same package-level
+// surface. A declaration added to one side only, or a signature that
+// drifts, silently breaks the other build until the fallback CI leg
+// runs (or worse, until a user builds with the tag). docs/architecture.md
+// ("storage layer", "kernel matrix") states the parity requirement.
+//
+// The analyzer discovers pairs generically: for every custom (non-
+// platform) tag appearing in a package's build constraints, the files
+// whose inclusion flips when the tag flips form the two sides, and
+// every top-level declaration on one side must exist on the other with
+// an identical signature (functions) or at least the same name and
+// kind (types, consts, vars — their definitions legitimately differ
+// between variants).
+var TagParity = &Analyzer{
+	Name: "tagparity",
+	Doc:  "build-tag variant file pairs must declare identical package-level surfaces",
+	Run:  runTagParity,
+}
+
+// knownPlatformTags are constraint tags that select platforms or
+// toolchains rather than repo variants.
+var knownPlatformTags = map[string]bool{
+	"linux": true, "darwin": true, "windows": true, "freebsd": true,
+	"netbsd": true, "openbsd": true, "solaris": true, "aix": true,
+	"js": true, "wasip1": true, "plan9": true, "android": true,
+	"ios": true, "illumos": true, "dragonfly": true, "hurd": true,
+	"amd64": true, "arm64": true, "386": true, "arm": true,
+	"riscv64": true, "ppc64": true, "ppc64le": true, "s390x": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"loong64": true, "wasm": true, "unix": true, "gc": true,
+	"gccgo": true, "cgo": true, "race": true, "msan": true, "asan": true,
+	"purego": true,
+}
+
+// variantFile is one .go file with a parsed build constraint.
+type variantFile struct {
+	path string
+	expr constraint.Expr // nil: unconstrained
+}
+
+func runTagParity(pass *Pass) error {
+	files, err := constrainedFiles(pass.Dir)
+	if err != nil {
+		return err
+	}
+	// Collect the custom tags mentioned anywhere in this package.
+	tags := map[string]bool{}
+	for _, vf := range files {
+		if vf.expr == nil {
+			continue
+		}
+		collectCustomTags(vf.expr, tags)
+	}
+	for _, tag := range sortedKeys(tags) {
+		onSide, offSide := splitByTag(files, tag)
+		if len(onSide) == 0 || len(offSide) == 0 {
+			continue
+		}
+		if err := compareSurfaces(pass, tag, onSide, offSide); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constrainedFiles lists the package directory's non-test .go files
+// with their parsed //go:build constraints.
+func constrainedFiles(dir string) ([]variantFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tagparity: %v", err)
+	}
+	var out []variantFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		expr, err := buildConstraintOf(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, variantFile{path: path, expr: expr})
+	}
+	return out, nil
+}
+
+// buildConstraintOf parses a file's //go:build line, nil when absent.
+func buildConstraintOf(path string) (constraint.Expr, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return nil, fmt.Errorf("tagparity: %s: %v", path, err)
+			}
+			return expr, nil
+		}
+	}
+	return nil, nil
+}
+
+// collectCustomTags walks a constraint expression for non-platform
+// tags.
+func collectCustomTags(e constraint.Expr, into map[string]bool) {
+	switch e := e.(type) {
+	case *constraint.TagExpr:
+		if !knownPlatformTags[e.Tag] && !strings.HasPrefix(e.Tag, "go1") {
+			into[e.Tag] = true
+		}
+	case *constraint.NotExpr:
+		collectCustomTags(e.X, into)
+	case *constraint.AndExpr:
+		collectCustomTags(e.X, into)
+		collectCustomTags(e.Y, into)
+	case *constraint.OrExpr:
+		collectCustomTags(e.X, into)
+		collectCustomTags(e.Y, into)
+	}
+}
+
+// splitByTag partitions files whose inclusion flips when tag flips:
+// onSide compiles only with the tag set, offSide only without it.
+func splitByTag(files []variantFile, tag string) (onSide, offSide []string) {
+	for _, vf := range files {
+		if vf.expr == nil {
+			continue
+		}
+		incOn := vf.expr.Eval(func(t string) bool {
+			if t == tag {
+				return true
+			}
+			return defaultTag(t)
+		})
+		incOff := vf.expr.Eval(defaultTag)
+		switch {
+		case incOn && !incOff:
+			onSide = append(onSide, vf.path)
+		case incOff && !incOn:
+			offSide = append(offSide, vf.path)
+		}
+	}
+	return onSide, offSide
+}
+
+// declInfo is one top-level declaration: a stable key, its position,
+// and (functions only) a normalized signature.
+type declInfo struct {
+	key string
+	pos token.Pos
+	sig string
+}
+
+// compareSurfaces cross-checks the two sides' declaration sets.
+func compareSurfaces(pass *Pass, tag string, onSide, offSide []string) error {
+	on, err := surfaceOf(pass.Fset, onSide)
+	if err != nil {
+		return err
+	}
+	off, err := surfaceOf(pass.Fset, offSide)
+	if err != nil {
+		return err
+	}
+	report := func(from, to map[string]declInfo, fromDesc, toDesc string) {
+		for _, key := range sortedDeclKeys(from) {
+			d := from[key]
+			counterpart, ok := to[key]
+			if !ok {
+				pass.Reportf(d.pos, "%s is declared in the %s build variant but missing from the %s side (tag %q): the fallback matrix would stop compiling the same surface", key, fromDesc, toDesc, tag)
+				continue
+			}
+			if d.sig != counterpart.sig {
+				pass.Reportf(d.pos, "%s: signature %s in the %s build variant but %s on the %s side (tag %q)", key, d.sig, fromDesc, counterpart.sig, toDesc, tag)
+			}
+		}
+	}
+	report(on, off, tag, "!"+tag)
+	// Missing-only in the reverse direction; signature mismatches were
+	// already reported once above.
+	for _, key := range sortedDeclKeys(off) {
+		if _, ok := on[key]; !ok {
+			d := off[key]
+			pass.Reportf(d.pos, "%s is declared in the !%s build variant but missing from the %s side (tag %q): the fallback matrix would stop compiling the same surface", key, tag, tag, tag)
+		}
+	}
+	return nil
+}
+
+// surfaceOf parses variant files standalone (they are excluded from the
+// type-checked package under the default tags) and collects top-level
+// declarations.
+func surfaceOf(fset *token.FileSet, paths []string) (map[string]declInfo, error) {
+	out := map[string]declInfo{}
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("tagparity: parse %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				key := "func " + d.Name.Name
+				if d.Recv != nil && len(d.Recv.List) > 0 {
+					key = fmt.Sprintf("method (%s).%s", receiverBase(d.Recv.List[0].Type), d.Name.Name)
+				}
+				out[key] = declInfo{key: key, pos: d.Pos(), sig: signatureString(fset, d.Type)}
+			case *ast.GenDecl:
+				kind := d.Tok.String() // const, var, type
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						key := "type " + s.Name.Name
+						out[key] = declInfo{key: key, pos: s.Pos()}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.Name == "_" {
+								continue
+							}
+							key := kind + " " + name.Name
+							out[key] = declInfo{key: key, pos: name.Pos()}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// receiverBase renders a receiver's base type name (stars and type
+// parameters stripped).
+func receiverBase(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return receiverBase(e.X)
+	case *ast.IndexExpr:
+		return receiverBase(e.X)
+	case *ast.IndexListExpr:
+		return receiverBase(e.X)
+	case *ast.Ident:
+		return e.Name
+	default:
+		return "?"
+	}
+}
+
+// signatureString renders a function type as "(types) (types)" with
+// parameter names dropped, so renaming a parameter is not drift but
+// changing a type is.
+func signatureString(fset *token.FileSet, ft *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteString("(")
+	writeFieldTypes(&b, fset, ft.Params)
+	b.WriteString(")")
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		b.WriteString(" (")
+		writeFieldTypes(&b, fset, ft.Results)
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func writeFieldTypes(b *strings.Builder, fset *token.FileSet, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	first := true
+	for _, field := range fl.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		var buf bytes.Buffer
+		printer.Fprint(&buf, fset, field.Type)
+		for i := 0; i < n; i++ {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.Write(buf.Bytes())
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedDeclKeys(m map[string]declInfo) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,33 @@
+// Fixture for the errmap server-side rules: status writing must flow
+// through the central mapping helpers.
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// httpError and writeJSON mirror the real helpers; status plumbing
+// inside them IS the mapping.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	fmt.Fprintln(w, msg)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.WriteHeader(code)
+}
+
+func engineError(w http.ResponseWriter, err error) {
+	w.WriteHeader(503)
+}
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `bypasses the JSON error body`
+	w.WriteHeader(500)                                    // want `literal 500 status`
+}
+
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+	httpError(w, 400, "bad request")
+}

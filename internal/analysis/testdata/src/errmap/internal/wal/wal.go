@@ -1,0 +1,51 @@
+// Fixture for the errmap sentinel-comparison rules.
+package wal
+
+import (
+	"errors"
+	"syscall"
+)
+
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+func classify(err error) string {
+	if err == ErrCorrupt { // want `use errors.Is`
+		return "corrupt"
+	}
+	if ErrCorrupt == err { // want `use errors.Is`
+		return "corrupt"
+	}
+	if err != ErrCorrupt { // want `use errors.Is`
+		return "other"
+	}
+	if err == syscall.EWOULDBLOCK { // want `use errors.Is`
+		return "busy"
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return "corrupt"
+	}
+	if err != nil {
+		return "other"
+	}
+	return ""
+}
+
+// errnoPair compares two raw Errno values: identity is exact here, no
+// wrapping is possible.
+func errnoPair(a, b syscall.Errno) bool { return a == b }
+
+func route(err error) int {
+	switch err {
+	case nil:
+		return 0
+	case ErrCorrupt: // want `switch over an error value`
+		return 1
+	}
+	return 2
+}
+
+// legacy is a reviewed exception kept for the suppression grammar.
+func legacy(err error) bool {
+	//lint:allow errmap this path receives the sentinel unwrapped by construction
+	return err == ErrCorrupt // want:suppressed `use errors.Is`
+}

@@ -1,0 +1,16 @@
+// Stub of the real internal/wal surface the locksafe fixtures call.
+package wal
+
+func SyncFile(path string) error { return nil }
+
+func SyncDir(dir string) error { return nil }
+
+type Writer struct{}
+
+func (w *Writer) Sync() error { return nil }
+
+func (w *Writer) Append(payload []byte) error { return nil }
+
+// Replay models a wal API taking a callback, for the lock-inversion
+// fixture.
+func Replay(fn func(seq uint64)) {}

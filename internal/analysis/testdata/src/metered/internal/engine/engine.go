@@ -1,0 +1,34 @@
+// Fixture for the metered analyzer's engine-side rules: TA
+// constructors must receive a queryIndex()/WithStats view.
+package engine
+
+import (
+	"metered/internal/storage"
+	"metered/internal/topk"
+)
+
+type Engine struct {
+	ix topk.Index
+	st *storage.IOStats
+}
+
+func (e *Engine) queryIndex() topk.Index { return e.ix }
+
+func (e *Engine) bad(tf *storage.TupleFile, k int) {
+	_ = tf.Get(7)         // want `charges the file-wide meter`
+	_ = topk.New(e.ix, k) // want `unmetered index`
+}
+
+func (e *Engine) good(tf *storage.TupleFile, k int) {
+	_ = tf.GetWith(7, e.st.Child())
+	_ = topk.New(e.queryIndex(), k)
+	ix := e.queryIndex()
+	_ = topk.NewMulti(ix, k)
+}
+
+// startup is a reviewed exception: the boot-time integrity scan is
+// deliberately charged to the file-wide meter.
+func (e *Engine) startup(tf *storage.TupleFile) {
+	//lint:allow metered boot-time integrity scan is deliberately file-wide, no query is running
+	_ = tf.Get(1) // want:suppressed `charges the file-wide meter`
+}

@@ -1,0 +1,12 @@
+// Stub of the real internal/topk constructor surface.
+package topk
+
+type Index interface{ Dims() int }
+
+type TA struct{}
+
+func New(ix Index, k int) *TA { return &TA{} }
+
+func NewMulti(ix Index, k int) *TA { return &TA{} }
+
+func NewNRA(ix Index, k int) *TA { return &TA{} }

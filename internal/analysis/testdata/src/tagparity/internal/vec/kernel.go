@@ -1,0 +1,13 @@
+//go:build !slow
+
+// Fixture for the tagparity analyzer: the slow tag splits this package
+// into a variant pair whose surfaces have drifted.
+package vec
+
+const lanes = 4
+
+type Kernel struct{}
+
+func Dot(a, b []float64) float64 { return 0 }
+
+func FastOnly() {} // want `missing from the slow side`

@@ -1,0 +1,11 @@
+//go:build slow
+
+package vec
+
+const lanes = 4
+
+type Kernel struct{}
+
+func Dot(a, b []float64) (float64, error) { return 0, nil } // want `signature`
+
+func SlowOnly() {} // want `missing from the !slow side`

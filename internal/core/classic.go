@@ -2,7 +2,6 @@ package core
 
 import (
 	"slices"
-	"time"
 
 	"repro/internal/topk"
 )
@@ -76,11 +75,11 @@ func (c *dimComputer) classicDim(jx int) Regions {
 	qj := c.q.Weights[jx]
 	b := &boundState{lo: -qj, hi: 1 - qj}
 
-	t0 := time.Now()
+	t0 := stopwatch()
 	c.phase1(jx, b)
-	c.met.Phase1 += time.Since(t0)
+	c.met.Phase1 += t0()
 
-	t1 := time.Now()
+	t1 := stopwatch()
 	switch c.opts.Method {
 	case MethodScan:
 		c.phase2Evaluate(jx, c.fullSet(), b)
@@ -91,11 +90,11 @@ func (c *dimComputer) classicDim(jx int) Regions {
 	case MethodCPT:
 		c.phase2Threshold(jx, c.prunedSet(jx, 0), b)
 	}
-	c.met.Phase2 += time.Since(t1)
+	c.met.Phase2 += t1()
 
-	t2 := time.Now()
+	t2 := stopwatch()
 	c.phase3(jx, b)
-	c.met.Phase3 += time.Since(t2)
+	c.met.Phase3 += t2()
 
 	return b.regions(c.q.Dims[jx], jx)
 }

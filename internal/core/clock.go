@@ -1,0 +1,16 @@
+package core
+
+import "time"
+
+// stopwatch starts a phase timer and returns a function reporting the
+// elapsed time. This is the core's single deliberate wall-clock use:
+// the durations land in Metrics only — never in scores, bounds or
+// ordering — so the determinism contract (bit-identical recomputation
+// backing region-certificate validity) is untouched. Keeping both
+// clock reads here means detcore polices every other call site.
+func stopwatch() func() time.Duration {
+	t0 := time.Now() //lint:allow detcore metrics-only phase timing; durations never feed scores, bounds or ordering
+	return func() time.Duration {
+		return time.Since(t0) //lint:allow detcore metrics-only phase timing; durations never feed scores, bounds or ordering
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"repro/internal/geom"
 	"repro/internal/topk"
 )
@@ -101,22 +99,22 @@ func (c *dimComputer) envelopeDim(jx, phi int) Regions {
 	qj := c.q.Weights[jx]
 
 	// Phase 1: plane-sweep the k result lines for the interim events.
-	t0 := time.Now()
+	t0 := stopwatch()
 	right := newBoundary(c.res, jx, phi, 1-qj, false, c.opts.CompositionOnly)
 	left := newBoundary(c.res, jx, phi, qj, true, c.opts.CompositionOnly)
-	c.met.Phase1 += time.Since(t0)
+	c.met.Phase1 += t0()
 
 	// Phase 2: per-side pruning (Lemma 4) and thresholding.
-	t1 := time.Now()
+	t1 := stopwatch()
 	c.envelopeSide(jx, phi, right, false)
 	c.envelopeSide(jx, phi, left, true)
-	c.met.Phase2 += time.Since(t1)
+	c.met.Phase2 += t1()
 
 	// Phase 3: resume TA until the unseen-tuple cap line clears both
 	// envelopes.
-	t2 := time.Now()
+	t2 := stopwatch()
 	c.envelopePhase3(jx, right, left)
-	c.met.Phase3 += time.Since(t2)
+	c.met.Phase3 += t2()
 
 	return assembleRegions(c.q.Dims[jx], jx, qj, right, left)
 }

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lists"
+	"repro/internal/vec"
+)
+
+// FuzzValidateQuery drives arbitrary JSON query requests — the shape
+// the HTTP transport decodes — through the validation gate and, when
+// accepted, the full Analyze pipeline. Properties: validation never
+// panics on a hand-built query; every rejection wraps ErrInvalid (the
+// transport's contract for mapping to a 400); and every request that
+// passes validation analyzes without panic or error, i.e. validate()
+// really is the full precondition of the executor.
+func FuzzValidateQuery(f *testing.F) {
+	f.Add(`{"dims":[0,2],"weights":[0.4,0.3],"k":3,"phi":1}`)
+	f.Add(`{"dims":[1],"weights":[1],"k":1,"phi":0}`)
+	f.Add(`{"dims":[0,0],"weights":[0.2,0.2],"k":2,"phi":0}`)
+	f.Add(`{"dims":[-1],"weights":[0.5],"k":0,"phi":-2}`)
+	f.Add(`{"dims":[3,1],"weights":[0.1,0.9],"k":2,"phi":3}`)
+	f.Add(`{"dims":[0],"weights":[null],"k":1,"phi":0}`)
+
+	tuples := []vec.Sparse{
+		{{Dim: 0, Val: 0.9}, {Dim: 1, Val: 0.2}},
+		{{Dim: 0, Val: 0.4}, {Dim: 2, Val: 0.7}},
+		{{Dim: 1, Val: 0.8}, {Dim: 3, Val: 0.1}},
+		{{Dim: 2, Val: 0.3}, {Dim: 3, Val: 0.6}},
+		{{Dim: 0, Val: 0.5}, {Dim: 3, Val: 0.5}},
+	}
+	eng := New(lists.NewMemIndex(tuples, 4), Config{CacheEntries: -1})
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		var req struct {
+			Dims    []int     `json:"dims"`
+			Weights []float64 `json:"weights"`
+			K       int       `json:"k"`
+			Phi     int       `json:"phi"`
+		}
+		if err := json.Unmarshal([]byte(raw), &req); err != nil {
+			return
+		}
+		q := vec.Query{Dims: req.Dims, Weights: req.Weights}
+		if err := eng.validate(q, req.K, req.Phi); err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("validation failure not tagged ErrInvalid: %v", err)
+			}
+			return
+		}
+		if _, err := eng.Analyze(context.Background(), q, req.K, Options{Options: core.Options{Phi: req.Phi}}); err != nil {
+			t.Fatalf("query passed validate but Analyze failed: %v", err)
+		}
+	})
+}

@@ -158,7 +158,7 @@ func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	if len(ops) == 0 {
 		return ApplyResult{}, fmt.Errorf("engine: empty op batch: %w", ErrInvalid)
 	}
-	res, seq, gate, err := e.applyLocked(ops)
+	res, seq, gate, err := e.lockAndApply(ops)
 	if err != nil {
 		return res, err
 	}
@@ -184,11 +184,13 @@ func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	return res, gateErr
 }
 
-// applyLocked is Apply's critical section: fence check, log, ship,
-// mutate, invalidate. It returns the batch's WAL sequence number (0
-// when the engine is not durable or nothing was logged) and the commit
-// gate captured under the lock.
-func (e *Engine) applyLocked(ops []Op) (ApplyResult, uint64, func(seq uint64) error, error) {
+// lockAndApply is Apply's critical section: it takes the write lock
+// itself (hence the name — a *Locked suffix would claim the caller
+// holds it), then fence check, log, ship, mutate, invalidate. It
+// returns the batch's WAL sequence number (0 when the engine is not
+// durable or nothing was logged) and the commit gate captured under
+// the lock.
+func (e *Engine) lockAndApply(ops []Op) (ApplyResult, uint64, func(seq uint64) error, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// Fencing: once a newer primary epoch has been observed, this node

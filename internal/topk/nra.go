@@ -170,6 +170,7 @@ func (n *NRA) finishExhausted() {
 
 func (n *NRA) rankedByLower() []*nraEntry {
 	ranked := make([]*nraEntry, 0, len(n.entries))
+	//lint:allow detcore collection order is irrelevant: the slice is fully re-sorted below with an id tiebreak (total order)
 	for _, e := range n.entries {
 		ranked = append(ranked, e)
 	}

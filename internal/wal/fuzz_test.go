@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// FuzzDecodeRecord feeds arbitrary bytes through the frame decoder the
+// replication follower trusts at the wire. Properties: never panic,
+// never over-allocate on a corrupt count, and — because the encoding
+// is deterministic (followers' logs must end up byte-identical to the
+// primary's) — every frame that decodes must re-encode to exactly the
+// input bytes.
+func FuzzDecodeRecord(f *testing.F) {
+	seedOps := [][]Op{
+		nil,
+		{{Kind: OpInsert, ID: 7, Tuple: vec.Sparse{{Dim: 0, Val: 0.5}, {Dim: 3, Val: 0.25}}}},
+		{{Kind: OpDelete, ID: 42}},
+		{
+			{Kind: OpUpdate, ID: 1, Tuple: vec.Sparse{{Dim: 2, Val: 0.125}}},
+			{Kind: OpInsert, ID: 2, Tuple: vec.Sparse{{Dim: 1, Val: 1}}},
+		},
+	}
+	for i, ops := range seedOps {
+		frame, err := EncodeRecord(uint64(i+1), ops)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		// A corrupted variant of each seed, so the mutator starts from
+		// near-valid frames on both sides of the CRC check.
+		bad := bytes.Clone(frame)
+		bad[len(bad)-1] ^= 0xff
+		f.Add(bad)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		seq, ops, err := DecodeRecord(frame)
+		if err != nil {
+			return
+		}
+		re, err := EncodeRecord(seq, ops)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, frame) {
+			t.Fatalf("decode/encode round trip is not byte-identical:\n in: %x\nout: %x", frame, re)
+		}
+	})
+}
+
+// FuzzReplay writes arbitrary bytes as a wal.log and runs the
+// recovery-path scanner over it. Crash recovery must never panic on
+// any log state a torn write could leave behind; a corrupt or torn
+// tail is reported through ReplayResult/error, not a crash. Inspect
+// shares the scanner and must agree with Replay on the record count.
+func FuzzReplay(f *testing.F) {
+	valid, err := EncodeRecord(1, []Op{{Kind: OpInsert, ID: 3, Tuple: vec.Sparse{{Dim: 0, Val: 0.75}}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(append(bytes.Clone(valid), valid[:len(valid)-5]...)) // torn second record
+	f.Add(append(bytes.Clone(valid), make([]byte, 64)...))     // zero tail
+	f.Fuzz(func(t *testing.T, log []byte) {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(path, log, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		records := 0
+		res, err := Replay(path, 0, func(seq uint64, ops []Op) error {
+			records++
+			return nil
+		})
+		if err != nil {
+			return
+		}
+		if res.Records != records {
+			t.Fatalf("ReplayResult.Records=%d but apply ran %d times", res.Records, records)
+		}
+		info, err := Inspect(path)
+		if err != nil {
+			t.Fatalf("Replay accepted the log but Inspect rejected it: %v", err)
+		}
+		if info.Records != records {
+			t.Fatalf("Inspect.Records=%d, Replay saw %d", info.Records, records)
+		}
+	})
+}

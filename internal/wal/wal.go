@@ -778,7 +778,14 @@ func decodeOps(payload []byte) ([]Op, error) {
 	}
 	nops := int(binary.LittleEndian.Uint32(p[0:4]))
 	p = p[4:]
-	ops := make([]Op, 0, nops)
+	// Cap the preallocation by what the payload could possibly hold
+	// (each op is ≥13 bytes): a corrupt count must not drive a huge
+	// allocation before the per-op bounds checks reject it.
+	preall := nops
+	if m := len(p) / 13; preall > m {
+		preall = m
+	}
+	ops := make([]Op, 0, preall)
 	for i := 0; i < nops; i++ {
 		if len(p) < 13 {
 			return nil, fmt.Errorf("op %d truncated", i)
