@@ -3,12 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint fuzz-smoke vuln bench-smoke bench-compare test-fallback test-wal test-replication test-failover check-docs ci
+# Build identity, stamped into the binaries (irserver -version, the
+# /stats build block, the ir_build_info metric). Harmless defaults
+# ("dev"/"unknown") apply to a plain `go build`.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS := -X repro/internal/obs.Version=$(VERSION) -X repro/internal/obs.Commit=$(COMMIT)
+
+.PHONY: all build test race vet lint fuzz-smoke vuln bench-smoke bench-compare test-fallback test-wal test-replication test-failover test-obs check-docs ci
 
 all: ci
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags '$(LDFLAGS)' ./...
 
 # -short keeps the long randomized soaks (failover chaos trials) out of
 # the tier-1 fast path; make test-failover runs them in full.
@@ -93,6 +100,13 @@ test-failover:
 	$(GO) test -race -run 'TestBackoffJitter|TestHeartbeatAge|TestQuorumPartitioned|TestHandshakeFences' ./internal/replication/
 	$(GO) test -race -run 'TestFence|TestAdvanceEpoch|TestAdoptEpoch' ./internal/engine/
 	$(GO) test -race ./internal/client/
+
+# Observability focus: the obs package (registry, exposition, request
+# IDs, slow log) under -race plus the server-side conformance and
+# propagation suites.
+test-obs:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -race -run 'TestProxy|TestStatsBuild|TestMetrics|TestRequestID|TestSlowlog|TestObservability' ./internal/server/ ./internal/client/
 
 # Docs drift check: markdown cross-references must resolve and every
 # flag the docs mention must exist in the binaries.

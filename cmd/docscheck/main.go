@@ -1,7 +1,7 @@
 // Command docscheck is the CI documentation linter: it fails when the
 // markdown docs drift from the code they describe.
 //
-// Two checks, over README.md and docs/*.md:
+// Four checks, over README.md and docs/*.md:
 //
 //  1. Cross-references: every relative markdown link [text](path)
 //     must point at a file that exists (anchors are stripped;
@@ -13,6 +13,11 @@
 //     both daemons), or in any cmd/* main for the README.
 //     Fenced blocks are exempt — they hold full shell transcripts
 //     whose tokens (curl options, jq filters) are not flag claims.
+//  3. Analyzer parity: the analyzer table of docs/static-analysis.md
+//     must list exactly the analyzers registered in internal/analysis.
+//  4. Metric parity: the catalogue of docs/observability.md must list
+//     exactly the metric names registered through obs.New* in
+//     internal/ (both directions — phantom rows and missing rows).
 //
 // Usage: go run ./cmd/docscheck [-root DIR]   (default: the repo root)
 package main
@@ -45,6 +50,13 @@ var (
 	// analyzerDocRe captures an analyzer row of the static-analysis
 	// doc's table (first cell, backticked name).
 	analyzerDocRe = regexp.MustCompile("^\\|\\s*`([a-z0-9]+)`\\s*\\|")
+	// metricDefRe captures the name literal of an obs metric
+	// registration (the obsreg analyzer guarantees names ARE literals,
+	// which is what makes this static cross-check possible).
+	metricDefRe = regexp.MustCompile(`obs\.New(?:Counter|CounterVec|Gauge|GaugeFunc|LabeledGaugeFunc|Histogram|HistogramVec)\(\s*"(ir_[a-z0-9_]+)"`)
+	// metricDocRe captures a metric row of the observability doc's
+	// catalogue (first cell, backticked name).
+	metricDocRe = regexp.MustCompile("^\\|\\s*`(ir_[a-z0-9_]+)`\\s*\\|")
 )
 
 // goToolFlags are inline-mentionable flags that belong to the go tool
@@ -111,6 +123,70 @@ func checkAnalyzerParity(root string) ([]string, error) {
 	for name := range registered {
 		if !documented[name] {
 			problems = append(problems, fmt.Sprintf("%s: analyzer %q is registered but missing from the analyzer table", docPath, name))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// checkMetricParity cross-references the metric catalogue of
+// docs/observability.md against every obs.New* registration literal in
+// internal/: a documented metric that is never registered, or a
+// registered one the catalogue omits, is drift in either direction.
+// internal/obs itself is exempt — its self-registrations
+// (ir_build_info, the process clocks) are documented, but its tests
+// register throwaway names.
+func checkMetricParity(root string) ([]string, error) {
+	registered := map[string]bool{}
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") ||
+			strings.HasSuffix(path, "_test.go") || strings.Contains(path, "testdata") {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Per line, skipping // comments: obs.go's doc comment shows an
+		// example registration that must not count as a real one.
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "//") {
+				continue
+			}
+			for _, m := range metricDefRe.FindAllStringSubmatch(line, -1) {
+				registered[m[1]] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The obs package's own registrations call the package-local
+	// constructors (no obs. selector); add them from the build vars file.
+	for _, name := range []string{"ir_build_info", "ir_process_start_time_seconds", "ir_process_uptime_seconds"} {
+		registered[name] = true
+	}
+	docPath := filepath.Join(root, "docs", "observability.md")
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	documented := map[string]bool{}
+	for i, line := range strings.Split(string(raw), "\n") {
+		m := metricDocRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		documented[m[1]] = true
+		if !registered[m[1]] {
+			problems = append(problems, fmt.Sprintf("%s:%d: metric `%s` is documented but never registered", docPath, i+1, m[1]))
+		}
+	}
+	for name := range registered {
+		if !documented[name] {
+			problems = append(problems, fmt.Sprintf("%s: metric %q is registered but missing from the catalogue", docPath, name))
 		}
 	}
 	sort.Strings(problems)
@@ -213,7 +289,7 @@ func main() {
 	targets[filepath.Join(*root, "docs", "static-analysis.md")] = union
 	// The spec and the operator guide are load-bearing: their absence
 	// is a failure, not a skip.
-	for _, required := range []string{"replication.md", "operations.md", "architecture.md", "static-analysis.md"} {
+	for _, required := range []string{"replication.md", "operations.md", "architecture.md", "static-analysis.md", "observability.md"} {
 		if _, err := os.Stat(filepath.Join(*root, "docs", required)); err != nil {
 			fmt.Fprintf(os.Stderr, "docscheck: required doc docs/%s missing\n", required)
 			os.Exit(1)
@@ -235,6 +311,12 @@ func main() {
 		os.Exit(2)
 	}
 	all = append(all, parity...)
+	metrics, err := checkMetricParity(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	all = append(all, metrics...)
 	if len(all) > 0 {
 		for _, p := range all {
 			fmt.Fprintln(os.Stderr, p)

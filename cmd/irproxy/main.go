@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -48,8 +50,18 @@ func main() {
 		topologyTTL = flag.Duration("topology-ttl", time.Second, "how long a discovered topology is trusted before re-probing")
 		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-attempt upstream request timeout")
 		shutdownTo  = flag.Duration("shutdown-timeout", 10*time.Second, "how long graceful shutdown waits for in-flight requests")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("irproxy %s (commit %s)\n", obs.Version, obs.Commit)
+		return
+	}
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	seeds := splitList(*nodes)
 	if len(seeds) == 0 {
@@ -74,7 +86,8 @@ func main() {
 	n := c.Refresh(ctx)
 	fmt.Printf("irproxy: listening on %s, %d of %d seed nodes answering\n", *addr, n, len(seeds))
 
-	httpSrv := &http.Server{Addr: *addr, Handler: client.NewProxy(c).Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: obs.AccessLog(client.NewProxy(c).Handler())}
+	obs.Log().Info("starting", "version", obs.Version, "commit", obs.Commit, "addr", *addr)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
@@ -91,10 +104,24 @@ func main() {
 		if errors.Is(err, context.DeadlineExceeded) {
 			httpSrv.Close()
 		} else {
-			log.Printf("irproxy: shutdown: %v", err)
+			obs.Log().Warn("shutdown_error", "error", err.Error())
 		}
 	}
 	fmt.Println("irproxy: bye")
+}
+
+// servePprof exposes net/http/pprof on its own listener; explicit
+// registrations keep http.DefaultServeMux untouched.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		obs.Log().Error("pprof_listen_failed", "addr", addr, "error", err.Error())
+	}
 }
 
 func splitList(s string) []string {

@@ -54,6 +54,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +64,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fixture"
 	"repro/internal/lists"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/server"
 	"repro/internal/wal"
@@ -96,8 +98,19 @@ func main() {
 		failoverTo   = flag.Duration("failover-timeout", 2*time.Second, "heartbeat silence a follower tolerates before suspecting the primary dead")
 		probeIvl     = flag.Duration("probe-interval", 500*time.Millisecond, "coordination step period (peer probing, election checks)")
 		readyLag     = flag.Uint64("ready-lag", 1024, "max replication lag (in sequence numbers) for /readyz to report ready on a standby")
+		slowQuery    = flag.Duration("slow-query", server.DefaultSlowQuery, "record queries slower than this in GET /debug/slowlog (0 disables)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("irserver %s (commit %s)\n", obs.Version, obs.Commit)
+		return
+	}
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	syncPolicy, err := wal.ParseSyncPolicy(*syncF)
 	if err != nil {
@@ -235,7 +248,7 @@ func main() {
 			stop() // ensure ctx is canceled so Run unwinds
 			<-fol.Done()
 			if err := fol.Close(); err != nil {
-				log.Printf("irserver: close follower: %v", err)
+				obs.Log().Warn("follower_close_failed", "error", err.Error())
 			}
 		}
 		fmt.Printf("irserver: standby of %s (dataset %s), lag %d\n", *follow, *data, fol.Stats().SeqDelta)
@@ -275,7 +288,7 @@ func main() {
 			}
 			go func() {
 				if err := prim.Serve(ln); err != nil {
-					log.Printf("irserver: replication serve: %v", err)
+					obs.Log().Error("replication_serve_failed", "error", err.Error())
 				}
 			}()
 			srv.SetReplicationStats(func() any { return prim.Stats() })
@@ -291,7 +304,9 @@ func main() {
 		log.Fatal("irserver: need -data DIR, -demo, or -follow PRIMARY")
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	srv.SetSlowQuery(*slowQuery)
+	httpSrv := &http.Server{Addr: *addr, Handler: obs.AccessLog(srv.Handler())}
+	obs.Log().Info("starting", "version", obs.Version, "commit", obs.Commit, "addr", *addr)
 
 	if eng != nil {
 		fmt.Printf("irserver: %d tuples, %d dimensions, listening on %s (max-concurrent=%d parallelism=%d cache=%v mutable=%v wal=%v)\n",
@@ -326,14 +341,30 @@ func main() {
 			// connections so their request contexts fire and they abort;
 			// the engine close below still waits for them to finish
 			// unwinding before it touches the files.
-			log.Printf("irserver: shutdown timeout after %v, closing connections", *shutdownTo)
+			obs.Log().Warn("shutdown_timeout", "grace", shutdownTo.String())
 			httpSrv.Close()
 		} else {
-			log.Printf("irserver: shutdown: %v", err)
+			obs.Log().Warn("shutdown_error", "error", err.Error())
 		}
 	}
 	shutdown()
 	fmt.Println("irserver: bye")
+}
+
+// servePprof exposes net/http/pprof on its own listener, so the
+// profiling surface never shares a port with the public API. Explicit
+// registrations on a private mux — a blank import of net/http/pprof
+// would mutate http.DefaultServeMux for the whole process.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		obs.Log().Error("pprof_listen_failed", "addr", addr, "error", err.Error())
+	}
 }
 
 // splitPeers parses the -cluster flag's comma-separated peer list.

@@ -35,3 +35,7 @@ func TestDetCore(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.DetCore,
 		"detcore/internal/core", "detcore/internal/util")
 }
+
+func TestObsReg(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.ObsReg, "obsreg/internal/app")
+}

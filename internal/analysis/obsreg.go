@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ObsReg enforces the observability registry discipline documented in
+// internal/obs and docs/observability.md. The registry panics on a
+// duplicate or malformed name, so a registration reached twice (a
+// constructor, a request handler) crashes the process at an arbitrary
+// later time; and a label minted from request data grows one child
+// series per distinct value — an unbounded-cardinality leak that no
+// test catches before production. Three rules, checked everywhere
+// outside internal/obs itself:
+//
+//   - obs.New* metric constructors may appear only in package-level
+//     var declarations or init functions (once-per-process, at load);
+//   - the metric name argument must be a string literal matching
+//     ^ir_[a-z][a-z0-9_]*$ (the catalogue namespace docscheck
+//     cross-checks against docs/observability.md);
+//   - the label-value argument of CounterVec.Inc/Add/Value and
+//     HistogramVec.Observe/Count must be a compile-time constant. A
+//     provably bounded runtime value (an enum's String, a fixed route
+//     table) is a deliberate exception: suppress with
+//     //lint:allow obsreg <reason>.
+//
+// It also bans bare log.Print/Printf/Println (std log) outside
+// internal/obs: the daemons log structured JSON through obs.Log, and a
+// stray Printf bypasses the request-ID correlation. log.Fatal* stays
+// legal — it is process-abort control flow, not logging.
+var ObsReg = &Analyzer{
+	Name: "obsreg",
+	Doc:  "metrics registered once at init under constant ir_ names, no request-derived label values, no bare log.Print outside internal/obs",
+	Run:  runObsReg,
+}
+
+// obsConstructors are the registering constructors of internal/obs;
+// the value is the index of the metric-name argument.
+var obsConstructors = map[string]int{
+	"NewCounter":          0,
+	"NewCounterVec":       0,
+	"NewGauge":            0,
+	"NewGaugeFunc":        0,
+	"NewLabeledGaugeFunc": 0,
+	"NewHistogram":        0,
+	"NewHistogramVec":     0,
+}
+
+// obsLabeledMethods maps metric-vec method names to the index of their
+// label-value argument.
+var obsLabeledMethods = map[string]int{
+	"Inc":     0,
+	"Add":     0,
+	"Value":   0,
+	"Observe": 0,
+	"Count":   0,
+}
+
+// obsMetricName is the namespace contract of the registry.
+var obsMetricName = regexp.MustCompile(`^ir_[a-z][a-z0-9_]*$`)
+
+// bannedLogFuncs are the std-log printers obs.Log replaces.
+var bannedLogFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func runObsReg(pass *Pass) error {
+	if pathIs(pass.Pkg, "internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Registration sites allowed in this file: package-level var
+		// declarations and init bodies.
+		var allowed []ast.Node
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok == token.VAR {
+					allowed = append(allowed, d)
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.Name == "init" {
+					allowed = append(allowed, d)
+				}
+			}
+		}
+		inAllowed := func(pos token.Pos) bool {
+			for _, n := range allowed {
+				if n.Pos() <= pos && pos <= n.End() {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "log" && bannedLogFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil:
+				pass.Reportf(call.Pos(), "bare log.%s: use the structured obs logger (obs.Log / obs.LogWith) so the line is JSON and carries the request ID", fn.Name())
+
+			case strings.HasSuffix(fn.Pkg().Path(), "internal/obs") && fn.Type().(*types.Signature).Recv() == nil:
+				nameArg, isCtor := obsConstructors[fn.Name()]
+				if !isCtor {
+					return true
+				}
+				if !inAllowed(call.Pos()) {
+					pass.Reportf(call.Pos(), "obs.%s outside a package-level var declaration or init: the registry panics on re-registration, so construction must happen exactly once at load", fn.Name())
+				}
+				if nameArg < len(call.Args) {
+					if lit, ok := call.Args[nameArg].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						if name, err := strconv.Unquote(lit.Value); err == nil && !obsMetricName.MatchString(name) {
+							pass.Reportf(lit.Pos(), "metric name %q must match ^ir_[a-z][a-z0-9_]*$ (the catalogue namespace of docs/observability.md)", name)
+						}
+					} else {
+						pass.Reportf(call.Args[nameArg].Pos(), "metric name must be a string literal, not a computed value: the catalogue and docscheck cross-check names statically")
+					}
+				}
+
+			case obsMetricRecv(fn):
+				argIdx, isLabeled := obsLabeledMethods[fn.Name()]
+				if !isLabeled || argIdx >= len(call.Args) {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[call.Args[argIdx]]; !ok || tv.Value == nil {
+					pass.Reportf(call.Args[argIdx].Pos(), "non-constant label value in %s.%s: request-derived labels create unbounded series cardinality (suppress with a reason when the value set is provably bounded)", recvTypeName(fn), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// obsMetricRecv reports whether fn is a method of obs.CounterVec or
+// obs.HistogramVec — the labeled metric types whose update methods
+// take a label value.
+func obsMetricRecv(fn *types.Func) bool {
+	name := recvTypeName(fn)
+	return name == "CounterVec" || name == "HistogramVec"
+}
+
+// recvTypeName returns the bare type name of fn's receiver when fn is
+// a method of a type declared in an internal/obs package, "" otherwise.
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs") {
+		return ""
+	}
+	return named.Obj().Name()
+}

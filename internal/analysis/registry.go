@@ -10,6 +10,7 @@ var Registry = []*Analyzer{
 	ErrMap,
 	TagParity,
 	DetCore,
+	ObsReg,
 }
 
 // ByName returns the registered analyzer with the given name, nil when

@@ -1,0 +1,80 @@
+// Fixture for the obsreg analyzer: registration placement, name
+// discipline, label-value constness and the bare-log ban.
+package app
+
+import (
+	"log"
+	"net/http"
+
+	"obsreg/internal/obs"
+)
+
+// Legal registrations: package-level var declarations with literal,
+// well-formed names.
+var (
+	mRequests = obs.NewCounterVec("ir_app_requests_total", "requests", "endpoint")
+	mLatency  = obs.NewHistogramVec("ir_app_seconds", "latency", "endpoint", obs.LatencyBuckets)
+	mDepth    = obs.NewHistogram("ir_app_depth", "depth", obs.LatencyBuckets)
+)
+
+// Legal: init is a once-per-process site too.
+var mBoot *obs.Counter
+
+func init() {
+	mBoot = obs.NewCounter("ir_app_boots_total", "boots")
+}
+
+// Bad names, still at package level.
+var (
+	mBadPrefix = obs.NewCounter("app_requests_total", "no ir_ prefix") // want `must match \^ir_`
+	mBadChars  = obs.NewGauge("ir_App-Temp", "bad characters")         // want `must match \^ir_`
+)
+
+var metricName = "ir_app_dynamic"
+
+var mComputed = obs.NewCounter(metricName, "computed name") // want `must be a string literal`
+
+// Registration inside a request path: the registry panics on the
+// second call.
+func handle(w http.ResponseWriter, r *http.Request) {
+	c := obs.NewCounter("ir_app_lazy_total", "lazy") // want `outside a package-level var declaration or init`
+	c.Inc()
+}
+
+// Constant label values are fine; so are plain counters and
+// histograms, which carry no label at all.
+func observe(d float64) {
+	mRequests.Inc("topk")
+	mLatency.Observe("topk", d)
+	mDepth.Observe(d)
+	mBoot.Inc()
+}
+
+// Request-derived label values explode series cardinality.
+func observePath(r *http.Request, d float64) {
+	mRequests.Inc(r.URL.Path)          // want `non-constant label value in CounterVec.Inc`
+	mLatency.Observe(r.URL.Path, d)    // want `non-constant label value in HistogramVec.Observe`
+	_ = mRequests.Value(r.URL.RawPath) // want `non-constant label value in CounterVec.Value`
+}
+
+// A provably bounded runtime value may be suppressed with a reason.
+func observeBounded(endpoint string) {
+	//lint:allow obsreg endpoint comes from the fixed route table
+	mRequests.Inc(endpoint) // want:suppressed `non-constant label value`
+}
+
+// Bare std-log printers bypass the structured JSON logger.
+func logthings(err error) {
+	log.Printf("boom: %v", err) // want `bare log.Printf`
+	log.Println("started")      // want `bare log.Println`
+	if err != nil {
+		log.Fatalf("fatal: %v", err) // Fatal* is process-abort control flow, allowed.
+	}
+}
+
+// A local logger instance's Printf is not the package printer.
+var custom = log.New(nil, "", 0)
+
+func logCustom() {
+	custom.Printf("fine")
+}

@@ -1,0 +1,39 @@
+// Stub of the real internal/obs surface, just enough for the obsreg
+// fixture to type-check. The analyzer matches this package by the
+// internal/obs path suffix, exactly like the real one.
+package obs
+
+type Counter struct{}
+
+func (c *Counter) Inc()        {}
+func (c *Counter) Add(n int64) {}
+
+type CounterVec struct{}
+
+func (c *CounterVec) Inc(value string)          {}
+func (c *CounterVec) Add(value string, n int64) {}
+func (c *CounterVec) Value(value string) int64  { return 0 }
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type HistogramVec struct{}
+
+func (h *HistogramVec) Observe(value string, v float64) {}
+func (h *HistogramVec) Count(value string) int64        { return 0 }
+
+func NewCounter(name, help string) *Counter                        { return &Counter{} }
+func NewCounterVec(name, help, label string) *CounterVec           { return &CounterVec{} }
+func NewGauge(name, help string) *Gauge                            { return &Gauge{} }
+func NewGaugeFunc(name, help string, fn func() float64) *Gauge     { return &Gauge{} }
+func NewHistogram(name, help string, buckets []float64) *Histogram { return &Histogram{} }
+func NewHistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	return &HistogramVec{}
+}
+
+var LatencyBuckets = []float64{0.001, 1}

@@ -288,9 +288,15 @@ func sortedKeys(m map[string]replication.ClusterInfo) []string {
 // returned response's body.
 func (c *Client) Do(ctx context.Context, method, path, rawQuery string, header http.Header, body []byte) (*http.Response, error) {
 	write := WritePath(path)
+	if write {
+		mRequests.Inc("write")
+	} else {
+		mRequests.Inc("read")
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			mRetries.Inc()
 			if err := c.sleep(ctx, attempt); err != nil {
 				return nil, err
 			}
@@ -300,7 +306,14 @@ func (c *Client) Do(ctx context.Context, method, path, rawQuery string, header h
 			lastErr = err
 			continue
 		}
+		sendStart := time.Now()
 		resp, err := c.send(ctx, base, method, path, rawQuery, header, body)
+		if err == nil {
+			// The target set is the cluster membership discovered from
+			// /cluster beacons — a closed set, not request data.
+			//lint:allow obsreg per-target latency over the bounded cluster membership
+			mUpstreamSeconds.Observe(base, time.Since(sendStart).Seconds())
+		}
 		if err != nil {
 			// Transport failure: the node died or the connection broke.
 			// Re-resolve and retry (at-least-once for writes; see the
@@ -316,6 +329,7 @@ func (c *Client) Do(ctx context.Context, method, path, rawQuery string, header h
 			loc := resp.Header.Get("Location")
 			drain(resp)
 			if base := baseOf(loc); base != "" {
+				mRedirects.Inc()
 				c.setPrimary(base)
 			} else {
 				c.Invalidate()

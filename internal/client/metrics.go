@@ -1,0 +1,19 @@
+// Observability: the routing client's and proxy's obs registrations.
+package client
+
+import "repro/internal/obs"
+
+var (
+	mRequests = obs.NewCounterVec("ir_client_requests_total",
+		"requests entering the routing loop, by path kind (write goes to the primary, read to the least-lagged ready standby)",
+		"kind")
+	mRetries = obs.NewCounter("ir_client_retries_total",
+		"routing-loop retries (transport failure, 502, retryable 503, or a 409 primary move)")
+	mRedirects = obs.NewCounter("ir_client_redirects_total",
+		"409 Location referrals followed to a new primary")
+	mUpstreamSeconds = obs.NewHistogramVec("ir_client_upstream_seconds",
+		"latency of one upstream attempt, by target node address",
+		"target", obs.LatencyBuckets)
+	mProxyRequests = obs.NewCounter("ir_proxy_requests_total",
+		"requests the proxy forwarded into the routing loop")
+)

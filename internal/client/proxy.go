@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // maxProxyBodyBytes bounds a buffered request body. Bodies are buffered
@@ -23,11 +25,15 @@ type Proxy struct {
 // NewProxy wraps a Client as a routing proxy.
 func NewProxy(c *Client) *Proxy { return &Proxy{c: c} }
 
-// Handler returns the proxy's http.Handler. /healthz and /topology are
-// answered by the proxy itself; everything else is routed to the
-// cluster (writes → primary, reads → least-lagged ready standby).
+// Handler returns the proxy's http.Handler. /healthz, /topology and
+// /metrics are answered by the proxy itself; everything else is routed
+// to the cluster (writes → primary, reads → least-lagged ready
+// standby). The whole mux runs behind the request-ID middleware: the
+// adopted-or-minted X-Request-ID is rewritten into the inbound header,
+// so forward's header relay propagates the same ID to the backend.
 func (p *Proxy) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// The proxy's own liveness, deliberately independent of the
 		// cluster's health: a proxy with zero reachable nodes is still
@@ -40,7 +46,7 @@ func (p *Proxy) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, p.c.Topology())
 	})
 	mux.HandleFunc("/", p.forward)
-	return mux
+	return obs.RequestID(mux)
 }
 
 // forward buffers the request, routes it through the Client's retry
@@ -61,13 +67,21 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	mProxyRequests.Inc()
 	resp, err := p.c.Do(r.Context(), r.Method, r.URL.Path, r.URL.RawQuery, r.Header, body)
 	if err != nil {
+		obs.LogWith(r.Context()).Warn("proxy_route_failed",
+			"method", r.Method, "path", r.URL.Path, "error", err.Error())
 		httpError(w, http.StatusBadGateway, fmt.Errorf("no node could serve the request: %v", err))
 		return
 	}
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
+		if k == obs.RequestIDHeader {
+			// Already set by the request-ID middleware (the backend
+			// echoes the same propagated ID); Add would duplicate it.
+			continue
+		}
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}

@@ -145,6 +145,7 @@ func (c *cache) lookupAnalyze(q vec.Query, k int, opts core.Options) (*core.Outp
 			c.lru.MoveToFront(en.elem)
 			c.mu.Unlock()
 			c.hits.Add(1)
+			mCacheEvents.Inc("hit")
 			return &core.Output{
 				Query:   en.out.Query,
 				K:       en.out.K,
@@ -155,6 +156,7 @@ func (c *cache) lookupAnalyze(q vec.Query, k int, opts core.Options) (*core.Outp
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
+	mCacheEvents.Inc("miss")
 	return nil, false
 }
 
@@ -173,10 +175,12 @@ func (c *cache) lookupTopK(q vec.Query, k int) ([]topk.Scored, bool) {
 		out := en.out
 		c.mu.Unlock()
 		c.regionHits.Add(1)
+		mCacheEvents.Inc("hit-region")
 		return rescore(out.Result, q.Weights), true
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
+	mCacheEvents.Inc("miss")
 	return nil, false
 }
 
@@ -265,6 +269,7 @@ func (c *cache) evictOldest() {
 	}
 	c.remove(back.Value.(*entry))
 	c.evictions.Add(1)
+	mCacheEvents.Inc("evict")
 }
 
 // remove unlinks an entry from both structures. Caller holds mu.

@@ -47,6 +47,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lists"
 	"repro/internal/storage"
@@ -456,6 +457,8 @@ func (e *Engine) checkpoint(force bool) error {
 	if !force && !e.checkpointDue() {
 		return nil // another trigger compacted while we queued
 	}
+	ckptStart := time.Now()
+	defer func() { mCheckpointSeconds.Observe(time.Since(ckptStart).Seconds()) }()
 	hook := func(step string) error {
 		if d.ckptHook != nil {
 			return d.ckptHook(step)

@@ -59,6 +59,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lists"
@@ -317,10 +318,12 @@ func (s Source) String() string {
 
 // Analysis is one answered analysis. The embedded Output is shared with
 // the cache on hits and must be treated as read-only; on cache hits its
-// Metrics are zero (no work was done).
+// Metrics are zero (no work was done). Timings is the engine envelope
+// around the computation (zero for batch-deduped items).
 type Analysis struct {
 	*core.Output
-	Source Source
+	Source  Source
+	Timings Timings
 }
 
 // maxQueryDims is the hard qlen ceiling: the candidate-partition masks
@@ -419,17 +422,26 @@ func (e *Engine) Analyze(ctx context.Context, q vec.Query, k int, opts Options) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	mQueries.Inc("analyze")
+	var tm Timings
+	t0 := time.Now()
 	if err := e.validate(q, k, opts.Phi); err != nil {
 		return nil, err
 	}
+	tm.Validate = time.Since(t0)
 	useCache := e.cache != nil && !opts.NoCache
 	if useCache {
-		if out, ok := e.cache.lookupAnalyze(q, k, opts.Options); ok {
-			return &Analysis{Output: out, Source: SourceCache}, nil
+		t0 = time.Now()
+		out, ok := e.cache.lookupAnalyze(q, k, opts.Options)
+		tm.Cache = time.Since(t0)
+		if ok {
+			return &Analysis{Output: out, Source: SourceCache, Timings: tm}, nil
 		}
 	} else if e.cache != nil {
 		e.cache.bypasses.Add(1)
+		mCacheEvents.Inc("bypass")
 	}
+	t0 = time.Now()
 	release, err := e.acquire(ctx)
 	if err != nil {
 		return nil, err
@@ -440,6 +452,7 @@ func (e *Engine) Analyze(ctx context.Context, q vec.Query, k int, opts Options) 
 	// invalidation pass has run.
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	tm.Queue = time.Since(t0)
 	out, err := e.compute(ctx, q, k, opts)
 	if err != nil {
 		return nil, err
@@ -447,9 +460,11 @@ func (e *Engine) Analyze(ctx context.Context, q vec.Query, k int, opts Options) 
 	src := SourceBypass
 	if useCache {
 		src = SourceComputed
+		t0 = time.Now()
 		e.cache.admit(q, k, opts.Options, out)
+		tm.Admit = time.Since(t0)
 	}
-	return &Analysis{Output: out, Source: src}, nil
+	return &Analysis{Output: out, Source: src, Timings: tm}, nil
 }
 
 // compute runs the full pipeline: TA over a child meter, then
@@ -460,7 +475,11 @@ func (e *Engine) compute(ctx context.Context, q vec.Query, k int, opts Options) 
 		copts.Parallelism = e.cfg.Parallelism
 	}
 	ta := topk.New(e.queryIndex(), q, k, opts.policy())
-	return core.Compute(ctx, ta, copts)
+	out, err := core.Compute(ctx, ta, copts)
+	if err == nil {
+		observeCompute(out.Metrics.Phase1, out.Metrics.Phase2, out.Metrics.Phase3, ta.SortedAccesses())
+	}
+	return out, err
 }
 
 // TopK answers the query with the threshold algorithm. Before touching
@@ -471,29 +490,65 @@ func (e *Engine) compute(ctx context.Context, q vec.Query, k int, opts Options) 
 // Source=SourceCacheRegion). Top-k results alone carry no regions, so
 // misses are not admitted — the cache fills from Analyze traffic.
 func (e *Engine) TopK(ctx context.Context, q vec.Query, k int) ([]topk.Scored, Source, error) {
+	res, info, err := e.TopKMetered(ctx, q, k)
+	return res, info.Source, err
+}
+
+// TopKInfo meters one TopK execution: how it was answered, the engine
+// envelope timings, the TA stopping depth, and this query's own I/O
+// counts from its child meter (all zero on region-certified hits — no
+// index work was done).
+type TopKInfo struct {
+	Source         Source
+	Timings        Timings
+	SortedAccesses int
+	SeqPages       int64
+	RandReads      int64
+}
+
+// TopKMetered is TopK with the per-query cost accounting exposed; the
+// HTTP layer uses it to feed the slow-query log. Same semantics as
+// TopK otherwise.
+func (e *Engine) TopKMetered(ctx context.Context, q vec.Query, k int) ([]topk.Scored, TopKInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	mQueries.Inc("topk")
+	info := TopKInfo{Source: SourceComputed}
+	t0 := time.Now()
 	if err := e.validate(q, k, 0); err != nil {
-		return nil, SourceComputed, err
+		return nil, info, err
 	}
+	info.Timings.Validate = time.Since(t0)
 	if e.cache != nil {
-		if res, ok := e.cache.lookupTopK(q, k); ok {
-			return res, SourceCacheRegion, nil
+		t0 = time.Now()
+		res, ok := e.cache.lookupTopK(q, k)
+		info.Timings.Cache = time.Since(t0)
+		if ok {
+			info.Source = SourceCacheRegion
+			return res, info, nil
 		}
 	}
+	t0 = time.Now()
 	release, err := e.acquire(ctx)
 	if err != nil {
-		return nil, SourceComputed, err
+		return nil, info, err
 	}
 	defer release()
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	ta := topk.New(e.queryIndex(), q, k, topk.BestList)
+	info.Timings.Queue = time.Since(t0)
+	ix := e.queryIndex()
+	ta := topk.New(ix, q, k, topk.BestList)
 	if err := ta.RunContext(ctx); err != nil {
-		return nil, SourceComputed, fmt.Errorf("engine: query canceled: %w", err)
+		return nil, info, fmt.Errorf("engine: query canceled: %w", err)
 	}
-	return ta.Result(), SourceComputed, nil
+	info.SortedAccesses = ta.SortedAccesses()
+	mSortedAccesses.Observe(float64(info.SortedAccesses))
+	if st := ix.Stats(); st != nil {
+		info.SeqPages, info.RandReads, _ = st.Snapshot()
+	}
+	return ta.Result(), info, nil
 }
 
 // TopKTrace answers the query while recording every sorted access,

@@ -1,0 +1,58 @@
+// Observability: the engine's obs registrations and the per-query
+// timing envelope. Metrics are package-level vars (registered once at
+// init — the obsreg analyzer enforces it) and process-wide: several
+// engines in one process (tests, a demoted-then-promoted node) share
+// them, which is the Prometheus-normal aggregation.
+//
+// The deterministic core stays clock-free: everything here is timed in
+// the engine envelope (time.Now is legal in this package) or read back
+// from core.Metrics, whose phases the core filled through its single
+// stopwatch seam.
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	mQueries = obs.NewCounterVec("ir_engine_queries_total",
+		"queries answered by the engine, by kind", "kind")
+	mSortedAccesses = obs.NewHistogram("ir_engine_ta_sorted_accesses",
+		"TA sorted accesses per computed query (the paper's stopping depth)",
+		obs.CountBuckets)
+	mPhaseSeconds = obs.NewHistogramVec("ir_engine_phase_seconds",
+		"per-phase computation time of one analysis: scan is the TA phase, evaluate the must-appear region pass, pulls the best-k-bounds deepening",
+		"phase", obs.LatencyBuckets)
+	mApplySeconds = obs.NewHistogram("ir_engine_apply_seconds",
+		"wall time of one Apply mutation batch (WAL append + replication gate + index mutation + invalidation)",
+		obs.LatencyBuckets)
+	mCheckpointSeconds = obs.NewHistogram("ir_engine_checkpoint_seconds",
+		"wall time of one durable checkpoint (snapshot, rewrite, publish)",
+		obs.LatencyBuckets)
+	mCacheEvents = obs.NewCounterVec("ir_engine_cache_events_total",
+		"answer-cache outcomes: hit (exact-weight analysis), hit-region (region-certified top-k), miss, bypass (NoCache request), evict",
+		"event")
+)
+
+// Timings is the engine envelope around one query, complementing the
+// core's own phase metering: how long validation, the cache probe, the
+// worker-pool queue and cache admission took. Scan/region time lives
+// in core.Metrics (Phase1 vs Phase2+Phase3); I/O counts in
+// Metrics.SeqPages/RandReads. All fields are wall-clock durations.
+type Timings struct {
+	Validate time.Duration
+	Cache    time.Duration
+	Queue    time.Duration
+	Admit    time.Duration
+}
+
+// observeCompute records the per-phase histograms and the stopping
+// depth of one full computation.
+func observeCompute(phase1, phase2, phase3 time.Duration, sortedAccesses int) {
+	mPhaseSeconds.Observe("scan", phase1.Seconds())
+	mPhaseSeconds.Observe("evaluate", phase2.Seconds())
+	mPhaseSeconds.Observe("pulls", phase3.Seconds())
+	mSortedAccesses.Observe(float64(sortedAccesses))
+}

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"time"
 
 	"repro/internal/vec"
 )
@@ -158,6 +159,8 @@ func (e *Engine) Apply(ops []Op) (ApplyResult, error) {
 	if len(ops) == 0 {
 		return ApplyResult{}, fmt.Errorf("engine: empty op batch: %w", ErrInvalid)
 	}
+	applyStart := time.Now()
+	defer func() { mApplySeconds.Observe(time.Since(applyStart).Seconds()) }()
 	res, seq, gate, err := e.lockAndApply(ops)
 	if err != nil {
 		return res, err

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Version and Commit are stamped by the linker:
+//
+//	go build -ldflags "-X repro/internal/obs.Version=v9 -X repro/internal/obs.Commit=$(git rev-parse --short HEAD)"
+//
+// (the Makefile build target does exactly that). Unstamped builds —
+// plain `go build`, `go test` — report dev/unknown.
+var (
+	Version = "dev"
+	Commit  = "unknown"
+)
+
+// processStart anchors uptime; counters reset on restart, and the
+// start-time gauge is what makes those resets visible to a scraper.
+var processStart = time.Now()
+
+// StartTime returns when this process initialized obs.
+func StartTime() time.Time { return processStart }
+
+// Uptime returns the time since process start.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// Build-info exposition: the constant-label value-1 gauge convention,
+// plus start time (unix seconds) and a live uptime gauge.
+var (
+	_ = NewLabeledGaugeFunc("ir_build_info",
+		"build metadata; value is constant 1, the labels carry version and commit",
+		map[string]string{"version": Version, "commit": Commit, "go": runtime.Version()},
+		func() float64 { return 1 })
+	_ = NewGaugeFunc("ir_process_start_time_seconds",
+		"unix time the process started; a drop in counters without a change here is impossible",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+	_ = NewGaugeFunc("ir_process_uptime_seconds",
+		"seconds since process start",
+		func() float64 { return Uptime().Seconds() })
+)

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition parses a Prometheus text exposition (version 0.0.4)
+// and returns every grammar violation it finds: samples without HELP
+// or TYPE, malformed metric or label names, duplicate series,
+// non-monotonic or +Inf-less histogram buckets, histogram _count
+// disagreeing with the +Inf bucket, unparseable values. The /metrics
+// conformance tests run every daemon's exposition through it; an
+// empty slice means conformant.
+func LintExposition(r io.Reader) []string {
+	var problems []string
+	addf := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type familyInfo struct {
+		help, typ string
+		helpLine  int
+	}
+	families := map[string]*familyInfo{}
+	// seriesSeen keys are "name{sortedlabels}"; duplicates are illegal.
+	seriesSeen := map[string]int{}
+	// histogram bucket tracking: family -> non-le label signature ->
+	// ordered (le, cumulative count) pairs, plus _count samples.
+	type bucketSeq struct {
+		lastLe    float64
+		lastCum   float64
+		sawInf    bool
+		infCum    float64
+		firstLine int
+	}
+	buckets := map[string]map[string]*bucketSeq{}
+	counts := map[string]map[string]float64{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, kind, rest, ok := parseMeta(line)
+			if !ok {
+				if strings.HasPrefix(line, "# HELP") || strings.HasPrefix(line, "# TYPE") {
+					addf(lineNo, "malformed %s line: %q", strings.Fields(line)[1], line)
+				}
+				continue
+			}
+			fam := families[name]
+			if fam == nil {
+				fam = &familyInfo{}
+				families[name] = fam
+			}
+			switch kind {
+			case "HELP":
+				if fam.help != "" {
+					addf(lineNo, "duplicate HELP for %s", name)
+				}
+				fam.help, fam.helpLine = rest, lineNo
+			case "TYPE":
+				if fam.typ != "" {
+					addf(lineNo, "duplicate TYPE for %s", name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					fam.typ = rest
+				default:
+					addf(lineNo, "unknown TYPE %q for %s", rest, name)
+					fam.typ = "untyped"
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf(lineNo, "%v", err)
+			continue
+		}
+		if !metricNameRe.MatchString(name) {
+			addf(lineNo, "metric name %q does not match [a-z_][a-z0-9_]*", name)
+		}
+		base := name
+		suffix := ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) {
+				if f := families[strings.TrimSuffix(name, s)]; f != nil && f.typ == "histogram" {
+					base, suffix = strings.TrimSuffix(name, s), s
+				}
+				break
+			}
+		}
+		fam := families[base]
+		if fam == nil {
+			addf(lineNo, "sample %s has no HELP/TYPE metadata", name)
+			continue
+		}
+		if fam.help == "" {
+			addf(lineNo, "sample %s missing HELP", name)
+		}
+		if fam.typ == "" {
+			addf(lineNo, "sample %s missing TYPE", name)
+		}
+
+		key := name + "{" + canonicalLabels(labels) + "}"
+		if prev, dup := seriesSeen[key]; dup {
+			addf(lineNo, "duplicate series %s (first at line %d)", key, prev)
+		}
+		seriesSeen[key] = lineNo
+
+		if fam.typ == "histogram" && suffix != "" {
+			sig := canonicalLabelsExcept(labels, "le")
+			switch suffix {
+			case "_bucket":
+				le, hasLe := labelValue(labels, "le")
+				if !hasLe {
+					addf(lineNo, "%s bucket without le label", base)
+					continue
+				}
+				bm := buckets[base]
+				if bm == nil {
+					bm = map[string]*bucketSeq{}
+					buckets[base] = bm
+				}
+				seq := bm[sig]
+				if seq == nil {
+					seq = &bucketSeq{lastLe: math.Inf(-1), lastCum: -1, firstLine: lineNo}
+					bm[sig] = seq
+				}
+				if le == "+Inf" {
+					seq.sawInf = true
+					seq.infCum = value
+					if value < seq.lastCum {
+						addf(lineNo, "%s +Inf bucket count %v below previous bucket %v", base, value, seq.lastCum)
+					}
+					continue
+				}
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					addf(lineNo, "%s bucket has unparseable le=%q", base, le)
+					continue
+				}
+				if seq.sawInf {
+					addf(lineNo, "%s bucket le=%q after +Inf", base, le)
+				}
+				if bound <= seq.lastLe {
+					addf(lineNo, "%s bucket bounds not ascending (le=%q after %v)", base, le, seq.lastLe)
+				}
+				if value < seq.lastCum {
+					addf(lineNo, "%s bucket counts not cumulative (%v after %v)", base, value, seq.lastCum)
+				}
+				seq.lastLe, seq.lastCum = bound, value
+			case "_count":
+				cm := counts[base]
+				if cm == nil {
+					cm = map[string]float64{}
+					counts[base] = cm
+				}
+				cm[sig] = value
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf(lineNo, "read: %v", err)
+	}
+
+	// Post-pass: every histogram series must end at +Inf and agree
+	// with its _count.
+	bases := make([]string, 0, len(buckets))
+	for b := range buckets {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		sigs := make([]string, 0, len(buckets[base]))
+		for s := range buckets[base] {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			seq := buckets[base][sig]
+			if !seq.sawInf {
+				addf(seq.firstLine, "histogram %s{%s} has no +Inf bucket", base, sig)
+				continue
+			}
+			if cm := counts[base]; cm != nil {
+				if c, ok := cm[sig]; ok && c != seq.infCum {
+					addf(seq.firstLine, "histogram %s{%s}: _count %v != +Inf bucket %v", base, sig, c, seq.infCum)
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// parseMeta splits a `# HELP name text` / `# TYPE name kind` line.
+func parseMeta(line string) (name, kind, rest string, ok bool) {
+	for _, k := range []string{"# HELP ", "# TYPE "} {
+		if strings.HasPrefix(line, k) {
+			body := line[len(k):]
+			sp := strings.IndexByte(body, ' ')
+			if sp < 0 {
+				// TYPE requires a kind; HELP with no text is legal but
+				// our registry never emits it — treat as malformed.
+				return "", "", "", false
+			}
+			return body[:sp], strings.TrimSpace(k[2:7]), body[sp+1:], true
+		}
+	}
+	return "", "", "", false
+}
+
+var labelRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
+
+// parseSample parses `name{k="v",...} value` into parts; labels keep
+// their escaped form (escaping is validated by labelRe).
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if len(rest) == 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			m := labelRe.FindStringSubmatch(rest)
+			if m == nil {
+				return "", nil, 0, fmt.Errorf("malformed label in %q", line)
+			}
+			labels = append(labels, [2]string{m[1], m[2]})
+			rest = rest[len(m[0]):]
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal in the format; we never
+	// emit one, but tolerate it by taking the first field.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("malformed value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", fields[0], line)
+	}
+	return name, labels, value, nil
+}
+
+// canonicalLabels renders a label set sorted by key for dedup keys.
+func canonicalLabels(labels [][2]string) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels [][2]string, drop string) string {
+	kv := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l[0] == drop {
+			continue
+		}
+		kv = append(kv, l[0]+`="`+l[1]+`"`)
+	}
+	sort.Strings(kv)
+	return strings.Join(kv, ",")
+}
+
+// labelValue fetches one label's (escaped) value.
+func labelValue(labels [][2]string, key string) (string, bool) {
+	for _, l := range labels {
+		if l[0] == key {
+			return l[1], true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,40 @@
+// Package obs is the repo's observability kernel: a concurrency-safe
+// metrics registry with Prometheus text exposition, a structured
+// (slog/JSON) logger, request-ID propagation middleware, and a
+// ring-buffer slow-query log. It is stdlib-only by design — the same
+// constraint the rest of the tree lives under — and every other layer
+// (server, engine, replication, client, the daemons) instruments
+// itself through this package rather than growing private counters.
+//
+// # Registry discipline
+//
+// Metrics are package-level vars registered exactly once at package
+// init with constant `ir_`-prefixed names:
+//
+//	var mApplied = obs.NewCounter("ir_engine_apply_total", "mutation batches applied")
+//
+// Registration panics on a duplicate or malformed name — misuse is a
+// programming error, not a runtime condition — and the obsreg irlint
+// analyzer enforces the same rules statically (init-time registration,
+// literal names, no request-derived label values). Label values on the
+// Vec types must come from closed sets (endpoint names, phase names,
+// cluster member IDs), never from request payloads: a label value is a
+// new time series forever.
+//
+// # Exposition
+//
+// Handler serves the default registry in the Prometheus text format
+// (version 0.0.4): one HELP and one TYPE line per family, samples
+// sorted by name then label value, histogram buckets cumulative with a
+// trailing +Inf. LintExposition checks that grammar and is the basis
+// of the conformance tests that run against every daemon's /metrics.
+//
+// # Tracing
+//
+// RequestID accepts or mints an X-Request-ID per request and threads
+// it through the context, the response header, and (because it mutates
+// the inbound header) any proxy hop to a backend; Log() emits JSON
+// lines carrying the same ID, and the SlowLog records over-threshold
+// queries with the paper's cost model attached — per-phase timings and
+// sequential/random I/O counts, per offending request.
+package obs

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseMillis is the per-phase breakdown of one slow query, in
+// milliseconds — the paper's cost accounting attached to a single
+// offending request. Scan is the TA sorted/random access phase
+// (Metrics.Phase1); Region covers must-appear + best-k-bounds region
+// computation (Phase2+Phase3); Validate/Queue/Cache/Admit are the
+// engine envelope around the compute.
+type PhaseMillis struct {
+	Validate float64 `json:"validate"`
+	Queue    float64 `json:"queue"`
+	Cache    float64 `json:"cache"`
+	Scan     float64 `json:"scan"`
+	Region   float64 `json:"region"`
+	Admit    float64 `json:"admit"`
+}
+
+// SlowEntry is one over-threshold query as served by /debug/slowlog.
+type SlowEntry struct {
+	Time       time.Time   `json:"time"`
+	RequestID  string      `json:"request_id,omitempty"`
+	Endpoint   string      `json:"endpoint"`
+	Dims       []int       `json:"dims,omitempty"`
+	K          int         `json:"k,omitempty"`
+	Method     string      `json:"method,omitempty"`
+	Cache      string      `json:"cache,omitempty"`
+	DurationMs float64     `json:"duration_ms"`
+	PhaseMs    PhaseMillis `json:"phase_ms"`
+	SeqPages   int64       `json:"seq_pages"`
+	RandReads  int64       `json:"rand_reads"`
+}
+
+// SlowLog is a fixed-capacity ring of the most recent over-threshold
+// queries. A nil or disabled (threshold <= 0) log records nothing.
+type SlowLog struct {
+	mu    sync.Mutex
+	thr   time.Duration
+	buf   []SlowEntry
+	next  int
+	full  bool
+	total int64
+}
+
+// NewSlowLog returns a ring of the given capacity (minimum 1) that
+// records queries at or over threshold; threshold <= 0 disables it.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{thr: threshold, buf: make([]SlowEntry, capacity)}
+}
+
+// Threshold returns the recording threshold (<= 0 when disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.thr
+}
+
+// Record stores e if its duration is at or over the threshold,
+// reporting whether it was kept.
+func (l *SlowLog) Record(e SlowEntry) bool {
+	if l == nil || l.thr <= 0 {
+		return false
+	}
+	if time.Duration(e.DurationMs*float64(time.Millisecond)) < l.thr {
+		return false
+	}
+	l.mu.Lock()
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.total++
+	l.mu.Unlock()
+	return true
+}
+
+// Snapshot returns the retained entries, newest first, plus the
+// all-time count of recorded queries (the ring only keeps the tail).
+func (l *SlowLog) Snapshot() ([]SlowEntry, int64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]SlowEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		// Walk backwards from the slot before next, wrapping.
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out, l.total
+}

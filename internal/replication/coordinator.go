@@ -592,6 +592,7 @@ func (n *Node) maybePromote(ctx context.Context, views []ClusterInfo) {
 		return
 	}
 	n.elections.Add(1)
+	mElections.Inc()
 	if winID != myID {
 		n.setErr(fmt.Sprintf("election: waiting for %s (seq %d) to promote", winID, winSeq))
 		return
@@ -652,6 +653,7 @@ func (n *Node) promote(ctx context.Context, newEpoch uint64) error {
 	n.lastErr = ""
 	n.mu.Unlock()
 	n.promotions.Add(1)
+	mPromotions.Inc()
 	return nil
 }
 
@@ -686,6 +688,7 @@ func (n *Node) demote(ctx context.Context, successor ClusterInfo, haveSuccessor 
 		eng.SetCommitGate(nil)
 	}
 	n.demotions.Add(1)
+	mDemotions.Inc()
 	if haveSuccessor {
 		n.retarget(ctx, successor)
 	}

@@ -91,7 +91,9 @@ func NewFollower(cfg FollowerConfig) *Follower {
 	if cfg.ID == "" {
 		cfg.ID = cfg.Dir
 	}
-	return &Follower{cfg: cfg, done: make(chan struct{}), jitter: jitterFraction(cfg.ID)}
+	f := &Follower{cfg: cfg, done: make(chan struct{}), jitter: jitterFraction(cfg.ID)}
+	gaugeFollower.Store(f)
+	return f
 }
 
 // jitterFraction maps a follower ID to a backoff jitter fraction in
@@ -188,6 +190,7 @@ func (f *Follower) Run(ctx context.Context) {
 			f.mu.Unlock()
 		}
 		f.reconnects.Add(1)
+		mReconnects.Inc()
 		// Jittered exponential backoff: the deterministic per-follower
 		// fraction desynchronizes a herd of standbys reconnecting after a
 		// primary restart without making test timing nondeterministic.
@@ -558,6 +561,7 @@ func (f *Follower) loadSnapshot(conn net.Conn, datasetID string) error {
 	f.mu.Unlock()
 	f.lastApplied.Store(man.LastSeq)
 	f.snapshots.Add(1)
+	mSnapshotsLoaded.Inc()
 	return nil
 }
 

@@ -1,0 +1,83 @@
+// Observability: the replication layer's obs registrations. Counters
+// increment at the exact sites the /stats atomics do, and the lag
+// gauges read through the most recently started follower (processes
+// host one follower outside of tests), so /stats and /metrics cannot
+// drift apart.
+package replication
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+var (
+	mElections = obs.NewCounter("ir_repl_elections_total",
+		"coordinator elections that reached a quorum verdict (whoever won)")
+	mPromotions = obs.NewCounter("ir_repl_promotions_total",
+		"follower-to-primary promotions completed by this process")
+	mDemotions = obs.NewCounter("ir_repl_demotions_total",
+		"primary-to-follower demotions (fenced or outbid) by this process")
+	mQuorumSeconds = obs.NewHistogram("ir_repl_quorum_ack_seconds",
+		"primary-side wait for the follower ack quorum of one Apply batch",
+		obs.LatencyBuckets)
+	mQuorumFailures = obs.NewCounter("ir_repl_quorum_failures_total",
+		"quorum gates that timed out before a majority of followers acked")
+	mSessionsReaped = obs.NewCounter("ir_repl_sessions_reaped_total",
+		"streaming sessions killed for acking nothing through a whole quorum window")
+	mSnapshotsServed = obs.NewCounter("ir_repl_snapshots_served_total",
+		"full-dataset snapshot transfers served by this primary")
+	mSnapshotBytes = obs.NewCounter("ir_repl_snapshot_bytes_total",
+		"bytes of generation files shipped in snapshot transfers")
+	mSnapshotsLoaded = obs.NewCounter("ir_repl_snapshots_loaded_total",
+		"snapshot transfers this follower installed (stream resume was impossible)")
+	mReconnects = obs.NewCounter("ir_repl_reconnects_total",
+		"follower reconnect attempts to its primary")
+)
+
+// gaugeFollower is the follower whose lag the bridge gauges report:
+// the most recently started one. A process hosts one follower outside
+// of multi-node tests, where last-wins is an acceptable tiebreak (the
+// per-node /stats remains exact either way).
+var gaugeFollower atomic.Pointer[Follower]
+
+// followerStat samples one field of the live follower's stats, zero
+// when no follower runs in this process.
+func followerStat(field func(FollowerStats) float64) func() float64 {
+	return func() float64 {
+		f := gaugeFollower.Load()
+		if f == nil {
+			return 0
+		}
+		return field(f.Stats())
+	}
+}
+
+var (
+	_ = obs.NewGaugeFunc("ir_repl_lag_seq",
+		"follower replication lag in WAL sequence numbers (primary tail minus last applied)",
+		followerStat(func(st FollowerStats) float64 { return float64(st.SeqDelta) }))
+	_ = obs.NewGaugeFunc("ir_repl_lag_seconds",
+		"age of the last frame the follower received from its primary",
+		followerStat(func(st FollowerStats) float64 { return float64(st.LastFrameAgeMs) / 1000 }))
+	_ = obs.NewGaugeFunc("ir_repl_bytes_received",
+		"bytes of frames and snapshots this follower has received since start",
+		followerStat(func(st FollowerStats) float64 { return float64(st.BytesReceived) }))
+	_ = obs.NewGaugeFunc("ir_repl_connected",
+		"1 when the follower's stream to its primary is up",
+		followerStat(func(st FollowerStats) float64 {
+			if st.Connected {
+				return 1
+			}
+			return 0
+		}))
+	_ = obs.NewGaugeFunc("ir_repl_fencing_epoch",
+		"the follower engine's fencing epoch (promotions advance it; a stale primary is fenced below it)",
+		followerStat(func(st FollowerStats) float64 { return float64(st.Epoch) }))
+)
+
+// observeQuorum records one gate wait.
+func observeQuorum(start time.Time) {
+	mQuorumSeconds.Observe(time.Since(start).Seconds())
+}

@@ -210,6 +210,7 @@ func (p *Primary) CheckpointEvent(man wal.Manifest, logTruncated bool) {
 // every subsequent quorum-mode Apply into a guaranteed AckTimeout
 // stall. A live-but-slow follower just reconnects and resumes.
 func (p *Primary) Gate(seq uint64) error {
+	defer observeQuorum(time.Now())
 	deadline := time.Now().Add(p.cfg.AckTimeout)
 	// The deadline broadcast must hold p.mu: an unlocked Broadcast can
 	// fire in the window between the waiter's deadline check and its
@@ -252,6 +253,7 @@ func (p *Primary) Gate(seq uint64) error {
 		}
 		if !time.Now().Before(deadline) {
 			p.quorumFailures.Add(1)
+			mQuorumFailures.Inc()
 			reaped := 0
 			for s := range p.sessions {
 				if !s.streaming || s.killed || s.acked >= seq {
@@ -264,6 +266,7 @@ func (p *Primary) Gate(seq uint64) error {
 			}
 			if reaped > 0 {
 				p.sessionsReaped.Add(int64(reaped))
+				mSessionsReaped.Add(int64(reaped))
 				p.cond.Broadcast()
 			}
 			return fmt.Errorf("replication: %d of the required %d follower acks for seq %d within %v (%d connected, %d reaped as silent)",
@@ -471,6 +474,7 @@ func (p *Primary) handle(conn net.Conn) {
 		}
 		resumeSeq = man.LastSeq
 		p.snapshots.Add(1)
+		mSnapshotsServed.Inc()
 	}
 
 	// Position the stream: the first retained event past resumeSeq.
@@ -619,6 +623,7 @@ func (p *Primary) sendFile(s *session, name string, f *os.File) error {
 			if err := s.send(msgFileChunk, data[off:end]); err != nil {
 				return err
 			}
+			mSnapshotBytes.Add(end - off)
 		}
 		return nil
 	}
@@ -645,6 +650,7 @@ func (p *Primary) sendFile(s *session, name string, f *os.File) error {
 		if err := s.send(msgFileChunk, buf[:n]); err != nil {
 			return err
 		}
+		mSnapshotBytes.Add(n)
 		sent += n
 	}
 	return nil

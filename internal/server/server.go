@@ -62,10 +62,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/lists"
+	"repro/internal/obs"
 	"repro/internal/topk"
 	"repro/internal/vec"
 )
@@ -114,6 +116,10 @@ type Server struct {
 	clusterInfo func() any
 	// promote, when set, backs POST /promote (404 when unset).
 	promote func() (epoch uint64, err error)
+	// slow is the slow-query ring behind GET /debug/slowlog. Handler()
+	// installs the default (DefaultSlowQuery, 128 entries) unless
+	// SetSlowQuery configured it first.
+	slow *obs.SlowLog
 }
 
 // New builds a Server over an index with default engine settings.
@@ -175,6 +181,15 @@ func (s *Server) SetPromote(fn func() (epoch uint64, err error)) { s.promote = f
 // traffic.
 func (s *Server) SetReplicationStats(fn func() any) { s.replStats = fn }
 
+// SetSlowQuery configures the slow-query log: single queries slower
+// than threshold are retained in GET /debug/slowlog with per-phase
+// timings and I/O counts (threshold <= 0 disables recording). Must be
+// called before the server handles traffic; cmd/irserver maps the
+// -slow-query flag here.
+func (s *Server) SetSlowQuery(threshold time.Duration) {
+	s.slow = obs.NewSlowLog(threshold, slowLogCapacity)
+}
+
 // Engine exposes the underlying engine (nil while a standby re-seeds).
 func (s *Server) Engine() *engine.Engine { return s.get() }
 
@@ -189,26 +204,38 @@ func (s *Server) engine(w http.ResponseWriter) (*engine.Engine, bool) {
 	return eng, true
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler. Every endpoint runs inside
+// the instrumentation wrapper (request/error counters, latency
+// histogram, in-flight gauge) and the whole mux behind the request-ID
+// middleware, so each response carries an X-Request-ID that the
+// structured logs and the slow-query log share.
 func (s *Server) Handler() http.Handler {
+	if s.slow == nil {
+		s.slow = obs.NewSlowLog(DefaultSlowQuery, slowLogCapacity)
+	}
+	liveServer.Store(s)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/topk", s.handleTopK)
-	mux.HandleFunc("/analyze", s.handleAnalyze)
-	mux.HandleFunc("/batchanalyze", s.handleBatchAnalyze)
-	mux.HandleFunc("/batchtopk", s.handleBatchTopK)
-	mux.HandleFunc("/update", s.handleUpdate)
-	mux.HandleFunc("/delete", s.handleDelete)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/topk", s.instrument("topk", s.handleTopK))
+	mux.HandleFunc("/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("/batchanalyze", s.instrument("batchanalyze", s.handleBatchAnalyze))
+	mux.HandleFunc("/batchtopk", s.instrument("batchtopk", s.handleBatchTopK))
+	mux.HandleFunc("/update", s.instrument("update", s.handleUpdate))
+	mux.HandleFunc("/delete", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness only: the process is up and serving. Routing and
-		// restart decisions belong to /readyz.
+		// restart decisions belong to /readyz. Deliberately outside the
+		// instrumentation wrapper — a liveness probe that allocates
+		// metrics labels under memory pressure defeats its purpose.
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/readyz", s.handleReadyz)
-	mux.HandleFunc("/cluster", s.handleCluster)
-	mux.HandleFunc("/promote", s.handlePromote)
-	return mux
+	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("/cluster", s.instrument("cluster", s.handleCluster))
+	mux.HandleFunc("/promote", s.instrument("promote", s.handlePromote))
+	mux.Handle("/metrics", obs.Handler())
+	mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	return obs.RequestID(mux)
 }
 
 // handleReadyz reports whether this node should receive traffic: 200
@@ -444,14 +471,24 @@ type OverlayStatsJSON struct {
 	Bytes         int64 `json:"bytes"`
 }
 
+// BuildJSON identifies the running binary: the -ldflags-injected
+// version and commit plus process start time and uptime.
+type BuildJSON struct {
+	Version       string  `json:"version"`
+	Commit        string  `json:"commit"`
+	StartTimeUnix int64   `json:"start_time_unix"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 // StatsResponse is the body of /stats. Replication carries a
 // replication.PrimaryStats or replication.FollowerStats when this
 // server is part of a replication pair (see docs/operations.md for the
 // field glossary).
 type StatsResponse struct {
-	SeqPages  int64 `json:"seq_pages"`
-	RandReads int64 `json:"rand_reads"`
-	BytesRead int64 `json:"bytes_read"`
+	Build     BuildJSON `json:"build"`
+	SeqPages  int64     `json:"seq_pages"`
+	RandReads int64     `json:"rand_reads"`
+	BytesRead int64     `json:"bytes_read"`
 	// PoolBypass counts page-equivalent accesses served straight from
 	// the mmap'd region, bypassing the buffer pool (always 0 on nommap
 	// builds or pread-backed stores).
@@ -472,12 +509,24 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, src, err := eng.TopK(r.Context(), q, req.K)
+	t0 := time.Now()
+	res, info, err := eng.TopKMetered(r.Context(), q, req.K)
 	if err != nil {
 		engineError(w, err)
 		return
 	}
-	w.Header().Set("X-Cache", src.String())
+	total := time.Since(t0)
+	observeDisposition(info.Source)
+	// TopK has no region phase; the scan phase is what remains of the
+	// total once the envelope (validate, cache probe, queue wait) is
+	// taken out.
+	scan := total - info.Timings.Validate - info.Timings.Cache - info.Timings.Queue
+	if scan < 0 {
+		scan = 0
+	}
+	s.recordSlow(r, "topk", req, info.Source, total, info.Timings,
+		scan, 0, info.SeqPages, info.RandReads)
+	w.Header().Set("X-Cache", info.Source.String())
 	writeJSON(w, http.StatusOK, toEntries(res))
 }
 
@@ -539,11 +588,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	t0 := time.Now()
 	a, err := eng.Analyze(r.Context(), q, req.K, opts)
 	if err != nil {
 		engineError(w, err)
 		return
 	}
+	total := time.Since(t0)
+	observeDisposition(a.Source)
+	// Scan is the TA phase-1 walk; region is the perturbation sweep
+	// (phases 2 and 3 of §5). Both are zero on cache hits.
+	s.recordSlow(r, "analyze", req, a.Source, total, a.Timings,
+		a.Metrics.Phase1, a.Metrics.Phase2+a.Metrics.Phase3,
+		a.Metrics.SeqPages, a.Metrics.RandReads)
 	writeJSON(w, http.StatusOK, toAnalyzeResponse(a))
 }
 
@@ -767,6 +824,12 @@ func (s *Server) applyOps(w http.ResponseWriter, r *http.Request, ops []engine.O
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp StatsResponse
+	resp.Build = BuildJSON{
+		Version:       obs.Version,
+		Commit:        obs.Commit,
+		StartTimeUnix: obs.StartTime().Unix(),
+		UptimeSeconds: obs.Uptime().Seconds(),
+	}
 	if s.replStats != nil {
 		resp.Replication = s.replStats()
 	}
@@ -872,6 +935,7 @@ func (s *Server) decodeQuery(w http.ResponseWriter, r *http.Request) (QueryReque
 	}
 	q, err := vec.NewQuery(req.Dims, req.Weights)
 	if err != nil {
+		mValidationFailures.Inc()
 		httpError(w, http.StatusBadRequest, err)
 		return req, vec.Query{}, false
 	}
@@ -899,6 +963,7 @@ func httpError(w http.ResponseWriter, code int, err error) {
 func engineError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrInvalid):
+		mValidationFailures.Inc()
 		httpError(w, http.StatusBadRequest, err)
 	case errors.Is(err, engine.ErrImmutable):
 		httpError(w, http.StatusConflict, err)

@@ -193,6 +193,11 @@ func TestStandbyHTTP(t *testing.T) {
 	if conn, _ := blk["connected"].(bool); !conn {
 		t.Fatalf("standby not connected: %v", blk)
 	}
+
+	// /metrics on both roles stays exposition-conformant with the
+	// replication families (lag gauges, quorum counters) registered.
+	lintMetrics(t, rp.primTS.URL)
+	lintMetrics(t, rp.folTS.URL)
 }
 
 // TestNilEngine503: a server whose engine provider yields nil (a
