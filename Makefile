@@ -10,7 +10,7 @@ VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS := -X repro/internal/obs.Version=$(VERSION) -X repro/internal/obs.Commit=$(COMMIT)
 
-.PHONY: all build test race vet lint fuzz-smoke vuln bench-smoke bench-compare test-fallback test-wal test-replication test-failover test-obs check-docs ci
+.PHONY: all build test race vet lint fuzz-smoke vuln bench-smoke bench-compare test-fallback test-wal test-replication test-failover test-obs test-shard check-docs ci
 
 all: ci
 
@@ -107,6 +107,13 @@ test-failover:
 test-obs:
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -race -run 'TestProxy|TestStatsBuild|TestMetrics|TestRequestID|TestSlowlog|TestObservability' ./internal/server/ ./internal/client/
+
+# Sharding focus: the scatter-gather coordinator suite — bit-identity
+# to a single node across shard counts 1/2/4/8 with mutations, the
+# region-certificate property, the retry double-count guard, and the
+# shard-killed fault-injection e2e — all under -race.
+test-shard:
+	$(GO) test -race -count=1 ./internal/shard/
 
 # Docs drift check: markdown cross-references must resolve and every
 # flag the docs mention must exist in the binaries.

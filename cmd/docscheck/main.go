@@ -287,9 +287,12 @@ func main() {
 	// The static-analysis doc documents irlint (and the go test fuzz
 	// flags), not the daemons; check it against every command's flags.
 	targets[filepath.Join(*root, "docs", "static-analysis.md")] = union
+	// The sharding doc walks the full deployment — irgen partitioning
+	// and irbench measurement included — so it too gets the union.
+	targets[filepath.Join(*root, "docs", "sharding.md")] = union
 	// The spec and the operator guide are load-bearing: their absence
 	// is a failure, not a skip.
-	for _, required := range []string{"replication.md", "operations.md", "architecture.md", "static-analysis.md", "observability.md"} {
+	for _, required := range []string{"replication.md", "operations.md", "architecture.md", "static-analysis.md", "observability.md", "sharding.md"} {
 		if _, err := os.Stat(filepath.Join(*root, "docs", required)); err != nil {
 			fmt.Fprintf(os.Stderr, "docscheck: required doc docs/%s missing\n", required)
 			os.Exit(1)

@@ -34,8 +34,21 @@ func main() {
 		jsonOut  = flag.String("json", "", "measure selected figures (wall-time medians, allocs) and write JSON here instead of tables")
 		baseline = flag.String("baseline", "", "prior -json file to print a per-figure delta table against (never fails the run)")
 		reps     = flag.Int("benchreps", 5, "timed repetitions per figure in -json mode")
+		shards   = flag.Int("shards", 0, "sharded mode: benchmark the scatter-gather coordinator over this many shards on a 10x ST dataset against single-node baselines, writing -json (default BENCH_10.json)")
 	)
 	flag.Parse()
+
+	if *shards > 0 {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_10.json"
+		}
+		if err := runShardBench(*shards, *scale, *queries, *seed, out); err != nil {
+			fmt.Fprintf(os.Stderr, "irbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := exp.NewRunner(exp.Config{Queries: *queries, Scale: *scale, Seed: *seed})
 	want := map[string]bool{}

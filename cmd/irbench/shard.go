@@ -1,0 +1,214 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/shard"
+	"repro/internal/vec"
+)
+
+// ShardBenchFile is the -shards payload (BENCH_10.json): per-query p50
+// /analyze latency of a single node over a base ST dataset, a single
+// node over the 10× dataset, and the scatter-gather coordinator over
+// the same 10× dataset split across -shards in-process engines.
+//
+// Two sharded numbers are recorded. SerialP50Ns is the coordinator's
+// raw wall time on THIS host: with fewer cores than shards the fan-out
+// time-slices, so it sums the per-shard compute and says nothing about
+// the deployed latency. ShardP50Ns is the critical path — the latency
+// the deployment model actually promises (one core or machine per
+// shard): each shard's two rounds are timed in isolation, and the
+// per-query figure is max(round-1) + max(round-2). The coordinator's
+// own merge work is excluded; it is O(shards·k) score comparisons plus
+// per-dimension min/max and BenchmarkMergeTopK/BenchmarkMergeClassic
+// (internal/shard) pin it at microseconds against these millisecond
+// rounds. MaxProcs records how many cores the serialized number had to
+// share.
+//
+// RatioVs10x compares the critical path to a single node over the SAME
+// 10× data: under 1 means sharding beats one big node even per query.
+// RatioVsBase is the ROADMAP scale-out target — 10× the data at
+// comparable latency to the base single node.
+type ShardBenchFile struct {
+	Dataset     string  `json:"dataset"`
+	Shards      int     `json:"shards"`
+	NBase       int     `json:"n_base"`
+	NBig        int     `json:"n_big"`
+	Queries     int     `json:"queries"`
+	K           int     `json:"k"`
+	QLen        int     `json:"qlen"`
+	Seed        int64   `json:"seed"`
+	Go          string  `json:"go"`
+	MaxProcs    int     `json:"maxprocs"`
+	BaseP50Ns   int64   `json:"single_base_p50_ns"`
+	Big1P50Ns   int64   `json:"single_10x_p50_ns"`
+	SerialP50Ns int64   `json:"sharded_10x_serialized_p50_ns"`
+	ShardP50Ns  int64   `json:"sharded_10x_critical_path_p50_ns"`
+	RatioVs10x  float64 `json:"ratio_vs_single_10x"`
+	RatioVsBase float64 `json:"ratio_vs_single_base"`
+}
+
+// runShardBench measures the sharded /analyze path against single-node
+// baselines and writes the JSON payload to out.
+func runShardBench(shards int, scale float64, queries int, seed int64, out string) error {
+	const k, qlen = 10, 4
+	ctx := context.Background()
+	nBase := int(50000 * scale)
+	if nBase < 1000 {
+		nBase = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	fmt.Printf("== sharded scatter-gather vs single node (ST, k=%d, qlen=%d, %d queries) ==\n", k, qlen, queries)
+	ecfg := engine.Config{CacheEntries: -1} // measure computation, not the answer cache
+
+	// ST queries draw from the fixed 20-dim space, so they can be
+	// sampled from the small dataset and reused everywhere.
+	base := dataset.GenerateST(dataset.STConfig{N: nBase, Seed: seed})
+	qs := make([]vec.Query, queries)
+	for i := range qs {
+		q, err := base.SampleQuery(rng, qlen, 1)
+		if err != nil {
+			return err
+		}
+		qs[i] = q
+	}
+
+	// Each configuration is built, measured and released before the next
+	// one exists: with three 10×-sized engines resident at once, GC over
+	// the combined heap dominates single-core p50s and swamps the signal.
+	measure := func(run func(vec.Query) error) (int64, error) {
+		runtime.GC()
+		// One untimed pass warms every engine's pools and pages.
+		if err := run(qs[0]); err != nil {
+			return 0, err
+		}
+		wall := make([]int64, len(qs))
+		for i, q := range qs {
+			t0 := time.Now()
+			if err := run(q); err != nil {
+				return 0, err
+			}
+			wall[i] = time.Since(t0).Nanoseconds()
+		}
+		sort.Slice(wall, func(i, j int) bool { return wall[i] < wall[j] })
+		return wall[len(wall)/2], nil
+	}
+
+	singleBase := engine.New(base.Index(), ecfg)
+	basep50, err := measure(func(q vec.Query) error {
+		_, err := singleBase.Analyze(ctx, q, k, engine.Options{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	singleBase, base = nil, nil
+
+	big := dataset.GenerateST(dataset.STConfig{N: 10 * nBase, Seed: seed})
+	singleBig := engine.New(big.Index(), ecfg)
+	bigp50, err := measure(func(q vec.Query) error {
+		_, err := singleBig.Analyze(ctx, q, k, engine.Options{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	singleBig = nil
+
+	// The coordinator and the per-shard probes run over the SAME
+	// engines, so critical-path timings measure exactly the work the
+	// serialized wall sums.
+	bases := shard.EvenBases(len(big.Tuples), shards)
+	engs, err := engine.NewLocalShards(big.Tuples, big.M, bases, ecfg)
+	if err != nil {
+		return err
+	}
+	backends := make([]shard.Backend, len(engs))
+	for i, e := range engs {
+		backends[i] = shard.Local{E: e}
+	}
+	mp, err := shard.NewMap(bases)
+	if err != nil {
+		return err
+	}
+	coord, err := shard.New(mp, backends, shard.Config{})
+	if err != nil {
+		return err
+	}
+	big = nil // the shard engines own copies of their ranges
+
+	serialp50, err := measure(func(q vec.Query) error {
+		_, err := coord.Analyze(ctx, q, k, engine.Options{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	// Critical path: each shard's two rounds timed in isolation, against
+	// the global result the coordinator merges for the same query.
+	runtime.GC()
+	modelW := make([]int64, len(qs))
+	for i, q := range qs {
+		res, err := coord.TopK(ctx, q, k)
+		if err != nil {
+			return err
+		}
+		var r1max, r2max int64
+		for s, eng := range engs {
+			t := time.Now()
+			if _, err := eng.TopKScored(ctx, q, k); err != nil {
+				return err
+			}
+			if r1 := time.Since(t).Nanoseconds(); r1 > r1max {
+				r1max = r1
+			}
+			t = time.Now()
+			if _, _, err := eng.AnalyzeImposed(ctx, q, k, bases[s], res.Result, engine.Options{}); err != nil {
+				return err
+			}
+			if r2 := time.Since(t).Nanoseconds(); r2 > r2max {
+				r2max = r2
+			}
+		}
+		modelW[i] = r1max + r2max
+	}
+	sort.Slice(modelW, func(i, j int) bool { return modelW[i] < modelW[j] })
+	shardp50 := modelW[len(modelW)/2]
+
+	res := ShardBenchFile{
+		Dataset: "st", Shards: shards, NBase: nBase, NBig: 10 * nBase,
+		Queries: queries, K: k, QLen: qlen, Seed: seed,
+		Go: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0),
+		BaseP50Ns: basep50, Big1P50Ns: bigp50,
+		SerialP50Ns: serialp50, ShardP50Ns: shardp50,
+		RatioVs10x:  float64(shardp50) / float64(bigp50),
+		RatioVsBase: float64(shardp50) / float64(basep50),
+	}
+	fmt.Printf("single %7d tuples : p50 %v\n", nBase, time.Duration(basep50))
+	fmt.Printf("single %7d tuples : p50 %v\n", 10*nBase, time.Duration(bigp50))
+	fmt.Printf("%2d shards, %7d tuples: p50 %v critical path (%v serialized on %d core(s))\n",
+		shards, 10*nBase, time.Duration(shardp50), time.Duration(serialp50), res.MaxProcs)
+	fmt.Printf("ratio vs single on 10x : %.2fx\n", res.RatioVs10x)
+	fmt.Printf("ratio vs single on base: %.2fx (scale-out target)\n", res.RatioVsBase)
+
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -7,6 +7,8 @@
 //
 //	irgen -dataset wsj -out /tmp/wsj -scale 1
 //	irgen -dataset st -n 1000000        # paper-scale ST
+//	irgen -dataset st -out /tmp/st -shards 4
+//	                 # range-partitioned: shard-<i>/ dirs + shards.json
 package main
 
 import (
@@ -17,16 +19,19 @@ import (
 	"path/filepath"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/shard"
 )
 
 func main() {
 	var (
-		which = flag.String("dataset", "wsj", "dataset to generate: wsj | kb | st")
-		out   = flag.String("out", ".", "output directory for tuples.dat and lists.dat")
-		scale = flag.Float64("scale", 1, "cardinality multiplier over laptop defaults")
-		n     = flag.Int("n", 0, "explicit cardinality (overrides -scale)")
-		m     = flag.Int("m", 0, "explicit dimensionality (overrides -scale; st is fixed at 20)")
-		seed  = flag.Int64("seed", 1, "generator seed")
+		which  = flag.String("dataset", "wsj", "dataset to generate: wsj | kb | st")
+		out    = flag.String("out", ".", "output directory for tuples.dat and lists.dat")
+		scale  = flag.Float64("scale", 1, "cardinality multiplier over laptop defaults")
+		n      = flag.Int("n", 0, "explicit cardinality (overrides -scale)")
+		m      = flag.Int("m", 0, "explicit dimensionality (overrides -scale; st is fixed at 20)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		shards = flag.Int("shards", 0, "range-partition the output into this many shard-<i>/ directories plus a shards.json manifest (0 = single dataset)")
 	)
 	flag.Parse()
 
@@ -68,11 +73,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "irgen: %v\n", err)
 		os.Exit(1)
 	}
-	tp := filepath.Join(*out, "tuples.dat")
-	lp := filepath.Join(*out, "lists.dat")
-	if err := d.Save(tp, lp); err != nil {
-		fmt.Fprintf(os.Stderr, "irgen: %v\n", err)
-		os.Exit(1)
+	var written string
+	if *shards > 1 {
+		// Range-partitioned layout: shard i owns global ids
+		// [bases[i], bases[i+1]) renumbered from 0, exactly the split
+		// engine.OpenShard and the coordinator's Map expect.
+		bases := shard.EvenBases(d.N(), *shards)
+		for i := 0; i < *shards; i++ {
+			lo := bases[i]
+			hi := d.N()
+			if i+1 < *shards {
+				hi = bases[i+1]
+			}
+			sd := filepath.Join(*out, engine.ShardDirName(i))
+			if err := os.MkdirAll(sd, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "irgen: %v\n", err)
+				os.Exit(1)
+			}
+			part := dataset.New(d.Name, d.Tuples[lo:hi], d.M)
+			if err := part.Save(filepath.Join(sd, "tuples.dat"), filepath.Join(sd, "lists.dat")); err != nil {
+				fmt.Fprintf(os.Stderr, "irgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		mp := filepath.Join(*out, "shards.json")
+		if err := shard.WriteManifest(mp, shard.Manifest{Shards: *shards, N: d.N(), M: d.M, Bases: bases}); err != nil {
+			fmt.Fprintf(os.Stderr, "irgen: %v\n", err)
+			os.Exit(1)
+		}
+		written = fmt.Sprintf("%d shard dirs under %s, %s", *shards, *out, mp)
+	} else {
+		tp := filepath.Join(*out, "tuples.dat")
+		lp := filepath.Join(*out, "lists.dat")
+		if err := d.Save(tp, lp); err != nil {
+			fmt.Fprintf(os.Stderr, "irgen: %v\n", err)
+			os.Exit(1)
+		}
+		written = tp + ", " + lp
 	}
 
 	st := dataset.ComputeStats(d, rand.New(rand.NewSource(*seed)), 16)
@@ -81,5 +118,5 @@ func main() {
 	fmt.Printf("postings  : %d  (mean nnz %.1f)\n", st.Postings, st.MeanNNZ)
 	fmt.Printf("lists     : max %d, median %d, gini %.2f\n", st.MaxListLen, st.MedListLen, st.GiniListLen)
 	fmt.Printf("pair corr : %.3f\n", st.MeanPairCorr)
-	fmt.Printf("written   : %s, %s\n", tp, lp)
+	fmt.Printf("written   : %s\n", written)
 }

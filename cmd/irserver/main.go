@@ -67,6 +67,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/wal"
 )
 
@@ -98,6 +99,8 @@ func main() {
 		failoverTo   = flag.Duration("failover-timeout", 2*time.Second, "heartbeat silence a follower tolerates before suspecting the primary dead")
 		probeIvl     = flag.Duration("probe-interval", 500*time.Millisecond, "coordination step period (peer probing, election checks)")
 		readyLag     = flag.Uint64("ready-lag", 1024, "max replication lag (in sequence numbers) for /readyz to report ready on a standby")
+		shardDir     = flag.String("shard-dir", "", "serve ONE shard of a range-partitioned dataset (irgen -shards layout: shard-<i>/ dirs under this root); requires -shard-id")
+		shardID      = flag.Int("shard-id", -1, "which shard of -shard-dir this server owns")
 		slowQuery    = flag.Duration("slow-query", server.DefaultSlowQuery, "record queries slower than this in GET /debug/slowlog (0 disables)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 		version      = flag.Bool("version", false, "print version and exit")
@@ -252,6 +255,38 @@ func main() {
 			}
 		}
 		fmt.Printf("irserver: standby of %s (dataset %s), lag %d\n", *follow, *data, fol.Stats().SeqDelta)
+
+	case *shardDir != "":
+		// One shard of a range-partitioned dataset (irgen -shards). The
+		// server is an ordinary standalone primary over the shard's own
+		// files; it additionally advertises a single-member /cluster
+		// beacon so a coordinator (irproxy -shard-map) can route to it
+		// through internal/client exactly as it would to an HA group.
+		if *shardID < 0 {
+			log.Fatal("irserver: -shard-dir needs -shard-id")
+		}
+		if *demo || *data != "" || *follow != "" || *useWAL || *cluster != "" || *clusterPrim {
+			log.Fatal("irserver: -shard-dir is exclusive with -data, -demo, -follow, -wal and -cluster")
+		}
+		eng, err = engine.OpenShard(*shardDir, *shardID, *pool, cfg)
+		if err != nil {
+			log.Fatalf("irserver: %v", err)
+		}
+		srv = server.FromEngine(eng)
+		adv := *advertise
+		if adv == "" {
+			host, port, err := net.SplitHostPort(*addr)
+			if err != nil {
+				log.Fatalf("irserver: cannot derive -advertise from -addr %q: %v", *addr, err)
+			}
+			if host == "" {
+				host = "127.0.0.1"
+			}
+			adv = "http://" + net.JoinHostPort(host, port)
+		}
+		srv.SetClusterInfo(shard.SelfBeacon(fmt.Sprintf("shard-%d", *shardID), adv))
+		shutdown = func() { eng.Close() }
+		fmt.Printf("irserver: shard %d of %s, advertised at %s\n", *shardID, *shardDir, adv)
 
 	case *demo:
 		tuples, _, _ := fixture.RunningExample()

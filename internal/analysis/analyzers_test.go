@@ -19,7 +19,7 @@ func TestLockSafe(t *testing.T) {
 
 func TestMetered(t *testing.T) {
 	analysistest.Run(t, "testdata/src", analysis.Metered,
-		"metered/internal/engine", "metered/internal/core")
+		"metered/internal/engine", "metered/internal/core", "metered/internal/shard")
 }
 
 func TestErrMap(t *testing.T) {

@@ -11,20 +11,24 @@ import (
 // The paper's Fig. 10/Fig. 12 evaluation counts — and the property
 // tests asserting "evaluated/op bit-identical" across cache hits,
 // parallelism levels and replicas — are only meaningful if no read
-// slips past the meter. Concretely, in internal/core, internal/topk
-// and internal/engine:
+// slips past the meter. Concretely, in internal/core, internal/topk,
+// internal/engine and internal/shard:
 //
 //   - (*storage.TupleFile).Get and (*storage.ListFile).Cursor charge
 //     the file-wide meter, not the query's; the *With variants (or a
 //     lists.Index WithStats view) are required;
 //   - (*storage.Pager).ReadRange and .Slice sit below the logical
 //     meter entirely and are storage-internal;
-//   - in internal/engine, a TA constructor (topk.New / NewMulti /
-//     NewNRA) must receive an index derived from Engine.queryIndex()
-//     or a .WithStats(...) view, never the raw engine index.
+//   - in internal/engine and internal/shard, a TA constructor
+//     (topk.New / NewMulti / NewNRA) must receive an index derived
+//     from Engine.queryIndex() or a .WithStats(...) view, never a raw
+//     index. The shard coordinator merges per-shard metrics into the
+//     distributed answer's cost report, so a coordinator-side read
+//     outside a child meter would silently undercount exactly like an
+//     engine-side one.
 var Metered = &Analyzer{
 	Name: "metered",
-	Doc:  "index reads in core/topk/engine must flow through an IOStats child meter",
+	Doc:  "index reads in core/topk/engine/shard must flow through an IOStats child meter",
 	Run:  runMetered,
 }
 
@@ -44,21 +48,21 @@ var unmeteredMethods = map[string]map[string]string{
 var taConstructors = map[string]bool{"New": true, "NewMulti": true, "NewNRA": true}
 
 func runMetered(pass *Pass) error {
-	if !pathIsAny(pass.Pkg, "internal/core", "internal/topk", "internal/engine") {
+	if !pathIsAny(pass.Pkg, "internal/core", "internal/topk", "internal/engine", "internal/shard") {
 		return nil
 	}
-	inEngine := pathIs(pass.Pkg, "internal/engine")
+	checkTA := pathIsAny(pass.Pkg, "internal/engine", "internal/shard")
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				meteredFunc(pass, fn, inEngine)
+				meteredFunc(pass, fn, checkTA)
 			}
 		}
 	}
 	return nil
 }
 
-func meteredFunc(pass *Pass, fn *ast.FuncDecl, inEngine bool) {
+func meteredFunc(pass *Pass, fn *ast.FuncDecl, checkTA bool) {
 	// Locals assigned from queryIndex()/.WithStats(...) are metered
 	// views; collected first so later uses anywhere in the body count
 	// (assignment order is checked by the compiler, not us).
@@ -94,7 +98,7 @@ func meteredFunc(pass *Pass, fn *ast.FuncDecl, inEngine bool) {
 			}
 			return true
 		}
-		if inEngine {
+		if checkTA {
 			if obj := calleeObject(pass, call); obj != nil && obj.Pkg() != nil &&
 				pathIs(obj.Pkg(), "internal/topk") && taConstructors[obj.Name()] && len(call.Args) > 0 {
 				if !isMeteredIndexExpr(pass, call.Args[0], meteredVars) {

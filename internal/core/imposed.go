@@ -1,0 +1,229 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/lists"
+	"repro/internal/storage"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// This file is the shard-side and coordinator-side machinery of the
+// scatter-gather deployment (docs/sharding.md). A dataset partitioned
+// by id range answers a global analysis in two rounds: the coordinator
+// first merges the per-shard top-k lists into the global result R, then
+// asks every shard for the region constraints ITS tuples impose on that
+// result. The shard computation is the unmodified pipeline of this
+// package run over a translated view: Result() reports the imposed
+// global lines, Candidates()/Resume() report the shard's own tuples
+// under their global ids, and the k-th result line may belong to
+// another shard entirely — Lemma 1 and the §6 envelope only consume the
+// line coefficients (score, coordinate), never the backing tuple, so
+// the phases work unchanged.
+//
+// Correctness of the decomposition: the global immutable region is the
+// set of deviations under which (a) no two result lines reorder and
+// (b) no non-result line climbs above the k-th envelope. Constraint (a)
+// is a function of R alone and is replayed identically by every shard
+// (or by the coordinator); constraint (b) decomposes over the partition
+// because every non-result tuple lives in exactly one shard and its
+// line's crossings are pure functions of (score, coordinate) pairs that
+// shard computes bit-identically to a single node. See
+// docs/sharding.md for the full argument, and TestShardedBitIdentical
+// for the machine-checked version.
+
+// WithImposed wraps a shard-local Runner for an imposed-result region
+// computation. base offsets the shard's local tuple ids into the global
+// id space (global id = base + local id). imposed is the merged global
+// result R, carrying global ids; result members owned by this shard are
+// recognized by their id range and excluded from the candidate stream
+// (a shard's local top-k always contains its global-result members, so
+// they would otherwise be double-reported as candidates).
+//
+// The wrapped runner must be used with sequential region computation
+// (Options.Parallelism <= 0): Phase-3 pulls must land in the shared
+// candidate list so ContributedLines can report every line offered to
+// the boundaries.
+func WithImposed(r Runner, base int, imposed []topk.Scored) Runner {
+	return &imposedRunner{inner: r, base: base, imposed: imposed}
+}
+
+// imposedRunner translates a shard-local Runner into the global id
+// space and substitutes the imposed result for the local one.
+type imposedRunner struct {
+	inner   Runner
+	base    int
+	imposed []topk.Scored
+
+	// cands is the translated candidate view: the shard's local result
+	// and candidate lists minus imposed members, rebuilt when the inner
+	// lists grow (Resume only ever appends).
+	cands    []topk.Scored
+	innerLen int
+}
+
+func (v *imposedRunner) Query() vec.Query { return v.inner.Query() }
+func (v *imposedRunner) K() int           { return v.inner.K() }
+
+// Result returns the imposed global result, not the shard-local one.
+func (v *imposedRunner) Result() []topk.Scored { return v.imposed }
+
+// ownsImposed reports whether the given global id is an imposed result
+// member (k is small, so a linear probe beats a map here).
+func (v *imposedRunner) ownsImposed(gid int) bool {
+	for i := range v.imposed {
+		if v.imposed[i].ID == gid {
+			return true
+		}
+	}
+	return false
+}
+
+// Candidates returns every shard tuple that may constrain the imposed
+// result — the local top-k members that did not make the global result,
+// plus the local candidate list — under global ids. The concatenation
+// preserves the decreasing-score contract: local result scores dominate
+// local candidate scores.
+func (v *imposedRunner) Candidates() []topk.Scored {
+	res, cs := v.inner.Result(), v.inner.Candidates()
+	if n := len(res) + len(cs); n != v.innerLen || (v.cands == nil && n > 0) {
+		v.innerLen = n
+		v.cands = v.cands[:0]
+		for _, part := range [2][]topk.Scored{res, cs} {
+			for _, sc := range part {
+				sc.ID += v.base
+				if v.ownsImposed(sc.ID) {
+					continue
+				}
+				v.cands = append(v.cands, sc)
+			}
+		}
+	}
+	return v.cands
+}
+
+// Resume pulls the shard scan and translates the id. Imposed members
+// can never surface here — they are in the local top-k, which the scan
+// saw before terminating — but the filter guards the invariant anyway.
+func (v *imposedRunner) Resume() (topk.Scored, bool) {
+	for {
+		sc, ok := v.inner.Resume()
+		if !ok {
+			return topk.Scored{}, false
+		}
+		sc.ID += v.base
+		if v.ownsImposed(sc.ID) {
+			continue
+		}
+		return sc, true
+	}
+}
+
+func (v *imposedRunner) Thresholds() []float64        { return v.inner.Thresholds() }
+func (v *imposedRunner) ThresholdsInto(dst []float64) { v.inner.ThresholdsInto(dst) }
+
+// WasSortedAccessed answers for shard-owned tuples only. A foreign id —
+// typically the imposed d_k living on another shard — reports false,
+// which makes Phase 3 keep the upper-bound resume active: conservative
+// in work, exact in the produced region.
+func (v *imposedRunner) WasSortedAccessed(i, id int, val float64) bool {
+	local := id - v.base
+	if local < 0 || local >= v.inner.Index().NumTuples() {
+		return false
+	}
+	return v.inner.WasSortedAccessed(i, local, val)
+}
+
+func (v *imposedRunner) Index() lists.Index {
+	return &offsetIndex{Index: v.inner.Index(), base: v.base}
+}
+
+func (v *imposedRunner) RunContext(ctx context.Context) error { return v.inner.RunContext(ctx) }
+
+// ForkView panics: imposed computations are sequential by contract (see
+// WithImposed), so the forked per-dimension path never runs.
+func (v *imposedRunner) ForkView() topk.View {
+	panic("core: imposed runner cannot fork; use Parallelism <= 0")
+}
+
+// ContributedLines returns every shard line the computation offered to
+// the result boundaries — the candidate view after all phases ran,
+// including Phase-3 pulls — under global ids. The coordinator replays
+// these through ReplayRegions for φ > 0 merges; the set is a superset
+// of the boundary-accepted lines, which is all replay exactness needs.
+func (v *imposedRunner) ContributedLines() []topk.Scored {
+	return append([]topk.Scored(nil), v.Candidates()...)
+}
+
+// offsetIndex presents a shard-local index under global tuple ids:
+// random access subtracts the shard base, the cardinality covers the
+// global id range [0, base+n) so id-indexed structures (the evaluation
+// memo) size correctly, and sorted-access cursors translate posting ids
+// on the way out.
+type offsetIndex struct {
+	lists.Index
+	base int
+}
+
+func (o *offsetIndex) NumTuples() int          { return o.base + o.Index.NumTuples() }
+func (o *offsetIndex) Tuple(id int) vec.Sparse { return o.Index.Tuple(id - o.base) }
+
+func (o *offsetIndex) Cursor(dim int) lists.Cursor {
+	return &offsetCursor{Cursor: o.Index.Cursor(dim), base: o.base}
+}
+
+func (o *offsetIndex) WithStats(st *storage.IOStats) lists.Index {
+	return &offsetIndex{Index: o.Index.WithStats(st), base: o.base}
+}
+
+// offsetCursor translates posting ids of a shard-local cursor.
+type offsetCursor struct {
+	lists.Cursor
+	base int
+}
+
+func (c *offsetCursor) Peek() (storage.Posting, bool) {
+	p, ok := c.Cursor.Peek()
+	p.ID += c.base
+	return p, ok
+}
+
+func (c *offsetCursor) Next() (storage.Posting, bool) {
+	p, ok := c.Cursor.Next()
+	p.ID += c.base
+	return p, ok
+}
+
+func (c *offsetCursor) Clone() lists.Cursor {
+	return &offsetCursor{Cursor: c.Cursor.Clone(), base: c.base}
+}
+
+// ReplayRegions is the coordinator-side φ > 0 (and envelope-path) merge:
+// it reruns the §6 boundary machinery per dimension over the imposed
+// result lines, offering every shard-contributed line. Because a line
+// rejected by boundary.consider provably never touches the k-th
+// envelope within the horizon, offering a superset of the relevant
+// lines yields exactly the arrangement — and therefore exactly the
+// perturbation sequence — a single node computes over the union.
+// k is the requested result size; len(res) < k degenerates to the full
+// weight domain exactly as ComputeView's |R| < k branch does.
+func ReplayRegions(q vec.Query, k int, res, extra []topk.Scored, opts Options) []Regions {
+	out := make([]Regions, q.Len())
+	for jx := range q.Dims {
+		if len(res) < k {
+			c := &computer{q: q, k: k}
+			out[jx] = c.fullDomainRegions(jx)
+			continue
+		}
+		qj := q.Weights[jx]
+		right := newBoundary(res, jx, opts.Phi, 1-qj, false, opts.CompositionOnly)
+		left := newBoundary(res, jx, opts.Phi, qj, true, opts.CompositionOnly)
+		for _, sc := range extra {
+			right.consider(sc.ID, sc.Score, sc.Proj[jx])
+			left.consider(sc.ID, sc.Score, -sc.Proj[jx])
+		}
+		out[jx] = assembleRegions(q.Dims[jx], jx, qj, right, left)
+	}
+	return out
+}

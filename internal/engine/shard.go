@@ -1,0 +1,117 @@
+// Shard-side execution surface of the scatter-gather deployment
+// (internal/shard, docs/sharding.md). A shard engine is an ordinary
+// Engine over the shard's own id-renumbered dataset; what this file
+// adds is the second round of a distributed analysis — computing the
+// region constraints this shard's tuples impose on a coordinator-merged
+// global result — plus the openers for range-partitioned datasets.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/lists"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// lineContributor is the accessor core.WithImposed's runner exposes for
+// the lines the computation offered to the result boundaries.
+type lineContributor interface {
+	ContributedLines() []topk.Scored
+}
+
+// AnalyzeImposed computes the immutable-region constraints this
+// engine's tuples impose on an externally merged global result. base is
+// this shard's id offset (global id = base + local id); imposed is the
+// coordinator's merged top-k under global ids, whose lines stand in for
+// the local result throughout the region phases. The returned Output
+// carries the shard's constraint regions (global ids everywhere) and
+// lines is every shard tuple line the phases offered to the result
+// boundaries — the raw material of the coordinator's φ > 0 replay
+// merge.
+//
+// Imposed analyses bypass the answer cache in both directions: the
+// output certifies the imposed result, not a local answer, so it can
+// neither be served from nor admitted to the cache. The computation is
+// forced sequential (core Parallelism ≤ 0) so every Phase-3 pull lands
+// in the shared candidate list the contributed-line report reads.
+func (e *Engine) AnalyzeImposed(ctx context.Context, q vec.Query, k, base int, imposed []topk.Scored, opts Options) (*core.Output, []topk.Scored, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mQueries.Inc("analyze-imposed")
+	if err := e.validate(q, k, opts.Phi); err != nil {
+		return nil, nil, err
+	}
+	if len(imposed) > k {
+		return nil, nil, fmt.Errorf("engine: imposed result has %d entries for k=%d: %w", len(imposed), k, ErrInvalid)
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	copts := opts.Options
+	copts.Parallelism = -1
+	ta := topk.New(e.queryIndex(), q, k, opts.policy())
+	runner := core.WithImposed(ta, base, imposed)
+	out, err := core.ComputeView(ctx, runner, copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	observeCompute(out.Metrics.Phase1, out.Metrics.Phase2, out.Metrics.Phase3, ta.SortedAccesses())
+	return out, runner.(lineContributor).ContributedLines(), nil
+}
+
+// TopKScored answers the query with the full Scored view — ids, exact
+// scores AND query-subspace projections — the coordinator needs to
+// merge per-shard lists and build the imposed result. Same execution
+// path as TopKMetered.
+func (e *Engine) TopKScored(ctx context.Context, q vec.Query, k int) ([]topk.Scored, error) {
+	res, _, err := e.TopKMetered(ctx, q, k)
+	return res, err
+}
+
+// ShardDirName returns the conventional subdirectory of shard i inside
+// a range-partitioned dataset directory (cmd/irgen -shards).
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// OpenShard opens shard i of a range-partitioned dataset directory —
+// the layout cmd/irgen -shards writes: <dir>/shard-<i>/tuples.dat and
+// lists.dat. Every shard gets its own buffer pool of poolPages pages.
+func OpenShard(dir string, i, poolPages int, cfg Config) (*Engine, error) {
+	sd := filepath.Join(dir, ShardDirName(i))
+	return Open(filepath.Join(sd, "tuples.dat"), filepath.Join(sd, "lists.dat"), poolPages, cfg)
+}
+
+// NewLocalShards partitions a dataset by id range and builds one
+// in-memory engine per shard — the local multi-shard mode the property
+// suite runs the coordinator against. bases are the ascending partition
+// starts (bases[0] must be 0); shard i owns global ids
+// [bases[i], bases[i+1]) and renumbers them from 0, with the last shard
+// extending to len(tuples). m is the dataset dimensionality.
+func NewLocalShards(tuples []vec.Sparse, m int, bases []int, cfg Config) ([]*Engine, error) {
+	if len(bases) == 0 || bases[0] != 0 {
+		return nil, fmt.Errorf("engine: shard bases must start at 0, have %v", bases)
+	}
+	engines := make([]*Engine, len(bases))
+	for i := range bases {
+		lo := bases[i]
+		hi := len(tuples)
+		if i+1 < len(bases) {
+			hi = bases[i+1]
+		}
+		if lo > hi || hi > len(tuples) {
+			return nil, fmt.Errorf("engine: shard %d range [%d,%d) outside dataset of %d", i, lo, hi, len(tuples))
+		}
+		part := make([]vec.Sparse, hi-lo)
+		copy(part, tuples[lo:hi])
+		engines[i] = New(lists.NewMemIndex(part, m), cfg)
+	}
+	return engines, nil
+}

@@ -219,6 +219,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/analyze", s.instrument("analyze", s.handleAnalyze))
 	mux.HandleFunc("/batchanalyze", s.instrument("batchanalyze", s.handleBatchAnalyze))
 	mux.HandleFunc("/batchtopk", s.instrument("batchtopk", s.handleBatchTopK))
+	mux.HandleFunc("/shard/topk", s.instrument("shard-topk", s.handleShardTopK))
+	mux.HandleFunc("/shard/analyze", s.instrument("shard-analyze", s.handleShardAnalyze))
 	mux.HandleFunc("/update", s.instrument("update", s.handleUpdate))
 	mux.HandleFunc("/delete", s.instrument("delete", s.handleDelete))
 	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
@@ -331,6 +333,11 @@ type AnalyzeResponse struct {
 	Regions []RegionJSON  `json:"regions"`
 	Metrics MetricsJSON   `json:"metrics"`
 	Cache   string        `json:"cache,omitempty"`
+	// Partial marks a degraded scatter-gather answer merged without
+	// every shard (coordinator deployments with -allow-partial only).
+	// A partial region is NOT a certificate — the missing shards'
+	// constraints are absent.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // MetricsJSON carries the metering of one analysis.

@@ -1,0 +1,162 @@
+// Shard-side HTTP surface of the scatter-gather deployment: the two
+// internal RPCs a coordinator (internal/shard) drives against each
+// shard's primary. They expose the full Scored wire form — score AND
+// subspace projections — because the coordinator's merge needs the
+// exact floats the shard computed; JSON float64 round-trips are exact,
+// so transport does not break the bit-identity contract.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// ScoredJSON is the wire form of one scored tuple line: the id, the
+// exact score, and the projections onto the query dimensions in query
+// order. NZMask carries the candidate-class bitset of §5.1.
+type ScoredJSON struct {
+	ID     int       `json:"id"`
+	Score  float64   `json:"score"`
+	Proj   []float64 `json:"proj"`
+	NZMask uint64    `json:"nzmask,omitempty"`
+}
+
+// ToScoredJSON converts scored lines to the wire form.
+func ToScoredJSON(res []topk.Scored) []ScoredJSON {
+	out := make([]ScoredJSON, len(res))
+	for i, sc := range res {
+		out[i] = ScoredJSON{ID: sc.ID, Score: sc.Score, Proj: sc.Proj, NZMask: sc.NZMask}
+	}
+	return out
+}
+
+// FromScoredJSON converts wire lines back to scored form.
+func FromScoredJSON(res []ScoredJSON) []topk.Scored {
+	out := make([]topk.Scored, len(res))
+	for i, sc := range res {
+		out[i] = topk.Scored{ID: sc.ID, Score: sc.Score, Proj: sc.Proj, NZMask: sc.NZMask}
+	}
+	return out
+}
+
+// ShardTopKResponse is the body of a successful /shard/topk.
+type ShardTopKResponse struct {
+	Result []ScoredJSON `json:"result"`
+}
+
+// ShardAnalyzeRequest is the body of /shard/analyze — round 2 of a
+// distributed analysis. Base is this shard's id offset; Imposed is the
+// coordinator-merged global result the shard computes constraints
+// against. The option fields mirror core.Options; unlike the public
+// /analyze they include the cross-validation toggles, because the
+// coordinator must mirror whatever dispatch the caller asked for.
+type ShardAnalyzeRequest struct {
+	Dims            []int        `json:"dims"`
+	Weights         []float64    `json:"weights"`
+	K               int          `json:"k"`
+	Base            int          `json:"base"`
+	Imposed         []ScoredJSON `json:"imposed"`
+	Phi             int          `json:"phi"`
+	Method          string       `json:"method"`
+	CompositionOnly bool         `json:"composition_only,omitempty"`
+	ForceEnvelope   bool         `json:"force_envelope,omitempty"`
+	Iterative       bool         `json:"iterative,omitempty"`
+}
+
+// ShardAnalyzeResponse is the body of a successful /shard/analyze: the
+// constraint regions the shard's tuples impose on the imposed result
+// (in query-dimension order, global ids), and every shard line the
+// phases offered to the boundaries — the coordinator's φ > 0 replay
+// input.
+type ShardAnalyzeResponse struct {
+	Regions []RegionJSON `json:"regions"`
+	Lines   []ScoredJSON `json:"lines"`
+	Metrics MetricsJSON  `json:"metrics"`
+}
+
+// handleShardTopK answers the coordinator's round-1 scatter: the local
+// top-k with projections, under local ids.
+func (s *Server) handleShardTopK(w http.ResponseWriter, r *http.Request) {
+	req, q, ok := s.decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	eng, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	res, err := eng.TopKScored(r.Context(), q, req.K)
+	if err != nil {
+		engineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ShardTopKResponse{Result: ToScoredJSON(res)})
+}
+
+// handleShardAnalyze answers the coordinator's round-2 scatter: the
+// imposed-result region computation over this shard's tuples.
+func (s *Server) handleShardAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req ShardAnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %v", err))
+		return
+	}
+	q, err := vec.NewQuery(req.Dims, req.Weights)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := engine.Options{Options: core.Options{
+		Method:          method,
+		Phi:             req.Phi,
+		CompositionOnly: req.CompositionOnly,
+		ForceEnvelope:   req.ForceEnvelope,
+		Iterative:       req.Iterative,
+	}}
+	eng, ok := s.engine(w)
+	if !ok {
+		return
+	}
+	out, lines, err := eng.AnalyzeImposed(r.Context(), q, req.K, req.Base, FromScoredJSON(req.Imposed), opts)
+	if err != nil {
+		engineError(w, err)
+		return
+	}
+	resp := ShardAnalyzeResponse{
+		Lines: ToScoredJSON(lines),
+		Metrics: MetricsJSON{
+			Evaluated:    out.Metrics.Evaluated,
+			EvaluatedAvg: out.Metrics.EvaluatedPerDimAvg(),
+			SeqPages:     out.Metrics.SeqPages,
+			RandReads:    out.Metrics.RandReads,
+			CPUMicros:    out.Metrics.CPU().Microseconds(),
+			MemBytes:     out.Metrics.MemBytes,
+		},
+	}
+	for _, reg := range out.Regions {
+		rj := RegionJSON{Dim: reg.Dim, Lo: reg.Lo, Hi: reg.Hi}
+		for _, p := range reg.Left {
+			rj.Left = append(rj.Left, PerturbationJSON(p))
+		}
+		for _, p := range reg.Right {
+			rj.Right = append(rj.Right, PerturbationJSON(p))
+		}
+		resp.Regions = append(resp.Regions, rj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

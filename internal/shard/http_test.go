@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/fixture"
+	"repro/internal/server"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// httpCluster is a full scatter-gather deployment in-process: one real
+// HTTP server per shard (standalone, self-beaconing), one internal/client
+// per shard group, a coordinator over them, and the coordinator's own
+// public HTTP front.
+type httpCluster struct {
+	shards []*httptest.Server
+	coord  *Coordinator
+	front  *httptest.Server
+}
+
+func newHTTPCluster(t *testing.T, tuples []vec.Sparse, m, shards int, ccfg Config) *httpCluster {
+	t.Helper()
+	bases := EvenBases(len(tuples), shards)
+	engines, err := engine.NewLocalShards(tuples, m, bases, engine.Config{CacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := &httpCluster{shards: make([]*httptest.Server, shards)}
+	backends := make([]Backend, shards)
+	for i, eng := range engines {
+		srv := server.FromEngine(eng)
+		ts := httptest.NewServer(srv.Handler())
+		// The beacon needs the listener's URL, so it is set right after
+		// start — before any request can hit /cluster.
+		srv.SetClusterInfo(SelfBeacon(fmt.Sprintf("shard-%d", i), ts.URL))
+		t.Cleanup(ts.Close) // idempotent; tests may Close earlier to kill a shard
+		cl, err := client.New(client.Config{
+			Seeds:       []string{ts.URL},
+			ID:          fmt.Sprintf("%s-shard-%d", t.Name(), i),
+			MaxRetries:  2,
+			RetryBase:   2 * time.Millisecond,
+			RetryCap:    10 * time.Millisecond,
+			TopologyTTL: 100 * time.Millisecond,
+			HTTPClient:  &http.Client{Timeout: 5 * time.Second},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = HTTPBackend{C: cl}
+		hc.shards[i] = ts
+	}
+	mp, err := NewMap(bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.coord, err = New(mp, backends, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.front = httptest.NewServer(NewHandler(hc.coord))
+	t.Cleanup(hc.front.Close)
+	return hc
+}
+
+// postJSON posts v to the cluster front and decodes into out, returning
+// the response status and headers.
+func (hc *httpCluster) postJSON(t *testing.T, path string, v, out any) (int, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hc.front.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: decode %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// scrapeMetric reads one sample (exact name, or name{label="v"}) from
+// the front's /metrics exposition; absent samples read as 0.
+func (hc *httpCluster) scrapeMetric(t *testing.T, sample string) float64 {
+	t.Helper()
+	resp, err := http.Get(hc.front.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, sample+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, sample+" ")), 64)
+		if err != nil {
+			t.Fatalf("parse sample %q from %q: %v", sample, line, err)
+		}
+		return v
+	}
+	return 0
+}
+
+// TestHTTPShardedBitIdentical runs the bit-identity contract through
+// the real wire: standalone shard servers, internal/client routing
+// (beacon discovery included), JSON round-trips, and the coordinator's
+// public front — against a single-node engine over the union, before
+// and after mutations shipped over /update and /delete.
+func TestHTTPShardedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4301))
+	ctx := context.Background()
+	cs := fixture.RandCase(rng, 60, 6, 2, 3)
+	single := singleNode(cs.Tuples, cs.M)
+	hc := newHTTPCluster(t, cs.Tuples, cs.M, 3, Config{})
+
+	check := func(tag string) {
+		t.Helper()
+		got, err := hc.coord.TopK(ctx, cs.Q, cs.K)
+		if err != nil {
+			t.Fatalf("%s: http topk: %v", tag, err)
+		}
+		want, err := single.TopKScored(ctx, cs.Q, cs.K)
+		if err != nil {
+			t.Fatalf("%s: single topk: %v", tag, err)
+		}
+		diffScored(t, tag+"/topk", got.Result, want)
+		if got.Partial {
+			t.Fatalf("%s: healthy cluster answered Partial", tag)
+		}
+		for vi, opts := range optsVariants(rng) {
+			an, err := hc.coord.Analyze(ctx, cs.Q, cs.K, opts)
+			if err != nil {
+				t.Fatalf("%s: http analyze variant %d: %v", tag, vi, err)
+			}
+			ref, err := single.Analyze(ctx, cs.Q, cs.K, opts)
+			if err != nil {
+				t.Fatalf("%s: single analyze variant %d: %v", tag, vi, err)
+			}
+			diffOutputs(t, fmt.Sprintf("%s/variant-%d", tag, vi), an.Output, ref.Output)
+		}
+	}
+	check("pre-mutation")
+
+	ops := randOps(rng, cs.Q, cs.M, len(cs.Tuples), 12)
+	gotRes, err := hc.coord.Apply(ops)
+	if err != nil {
+		t.Fatalf("http apply: %v", err)
+	}
+	wantRes, err := single.Apply(ops)
+	if err != nil {
+		t.Fatalf("single apply: %v", err)
+	}
+	if gotRes.Applied != wantRes.Applied {
+		t.Fatalf("applied %d ops over http, single node applied %d", gotRes.Applied, wantRes.Applied)
+	}
+	for i := range wantRes.Results {
+		g, w := gotRes.Results[i], wantRes.Results[i]
+		if (g.Err == nil) != (w.Err == nil) {
+			t.Fatalf("op %d error = %v over http, %v single-node", i, g.Err, w.Err)
+		}
+		if g.Err == nil && g.ID != w.ID {
+			t.Fatalf("op %d id = %d over http, %d single-node", i, g.ID, w.ID)
+		}
+	}
+	check("post-mutation")
+
+	// The public front speaks the single-node JSON dialect.
+	var entries []server.ResultEntry
+	code, hdr := hc.postJSON(t, "/topk", server.QueryRequest{
+		Dims: cs.Q.Dims, Weights: cs.Q.Weights, K: cs.K,
+	}, &entries)
+	if code != http.StatusOK {
+		t.Fatalf("front /topk status %d", code)
+	}
+	if hdr.Get("X-Partial") != "" {
+		t.Fatal("healthy front set X-Partial")
+	}
+	want, err := single.TopKScored(ctx, cs.Q, cs.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("front /topk returned %d entries, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		if e.ID != want[i].ID || e.Score != want[i].Score {
+			t.Fatalf("front /topk[%d] = %+v, want (id %d, score %v)", i, e, want[i].ID, want[i].Score)
+		}
+	}
+	var an server.AnalyzeResponse
+	code, _ = hc.postJSON(t, "/analyze", server.QueryRequest{
+		Dims: cs.Q.Dims, Weights: cs.Q.Weights, K: cs.K,
+	}, &an)
+	if code != http.StatusOK {
+		t.Fatalf("front /analyze status %d", code)
+	}
+	ref, err := single.Analyze(ctx, cs.Q, cs.K, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Partial {
+		t.Fatal("healthy front flagged /analyze partial")
+	}
+	if len(an.Regions) != len(ref.Regions) {
+		t.Fatalf("front /analyze returned %d regions, want %d", len(an.Regions), len(ref.Regions))
+	}
+	for jx, rj := range an.Regions {
+		if rj.Lo != ref.Regions[jx].Lo || rj.Hi != ref.Regions[jx].Hi {
+			t.Fatalf("front /analyze region[%d] = [%v, %v], want [%v, %v]",
+				jx, rj.Lo, rj.Hi, ref.Regions[jx].Lo, ref.Regions[jx].Hi)
+		}
+	}
+	if hc.scrapeMetric(t, `ir_shard_fanout_total{op="topk"}`) == 0 {
+		t.Fatal("/metrics exposes no topk fan-out samples")
+	}
+}
+
+// TestHTTPShardKilledFailsClosed is the satellite fault-injection e2e:
+// killing a shard's server mid-run makes every read and the routed
+// mutation fail closed (502 at the front), with the fan-out error
+// counters visible in the /metrics exposition.
+func TestHTTPShardKilledFailsClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4302))
+	ctx := context.Background()
+	cs := fixture.RandCase(rng, 60, 6, 2, 3)
+	hc := newHTTPCluster(t, cs.Tuples, cs.M, 3, Config{})
+
+	// Healthy first: the failure below must be the kill, not setup.
+	if _, err := hc.coord.TopK(ctx, cs.Q, cs.K); err != nil {
+		t.Fatalf("healthy topk: %v", err)
+	}
+	fanoutBefore := hc.scrapeMetric(t, `ir_shard_fanout_total{op="topk"}`)
+	errsBefore := hc.scrapeMetric(t, `ir_shard_fanout_errors_total{op="topk"}`)
+
+	hc.shards[1].Close()
+
+	code, _ := hc.postJSON(t, "/topk", server.QueryRequest{
+		Dims: cs.Q.Dims, Weights: cs.Q.Weights, K: cs.K,
+	}, nil)
+	if code != http.StatusBadGateway {
+		t.Fatalf("front /topk with dead shard: status %d, want 502", code)
+	}
+	if _, err := hc.coord.Analyze(ctx, cs.Q, cs.K, engine.Options{}); err == nil {
+		t.Fatal("analyze with dead shard succeeded")
+	}
+	// A delete owned by the dead shard fails closed, with no retry.
+	victim := hc.coord.Map().Base(1)
+	if _, err := hc.coord.Apply([]engine.Op{{Kind: engine.OpDelete, ID: victim}}); err == nil {
+		t.Fatal("apply routed to dead shard succeeded")
+	}
+
+	if got := hc.scrapeMetric(t, `ir_shard_fanout_total{op="topk"}`); got <= fanoutBefore {
+		t.Fatalf("ir_shard_fanout_total{op=topk} did not grow: %v -> %v", fanoutBefore, got)
+	}
+	if got := hc.scrapeMetric(t, `ir_shard_fanout_errors_total{op="topk"}`); got <= errsBefore {
+		t.Fatalf("ir_shard_fanout_errors_total{op=topk} did not grow: %v -> %v", errsBefore, got)
+	}
+}
+
+// TestHTTPAllowPartialDegraded pins the -allow-partial posture end to
+// end: with a shard dead the front still answers, flags the degradation
+// (X-Partial header, partial field), serves the surviving shards' merge,
+// and ticks the partial-merge counter.
+func TestHTTPAllowPartialDegraded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4303))
+	cs := fixture.RandCase(rng, 60, 6, 2, 3)
+	hc := newHTTPCluster(t, cs.Tuples, cs.M, 3, Config{AllowPartial: true})
+
+	partialBefore := hc.scrapeMetric(t, "ir_shard_partial_total")
+	hc.shards[1].Close()
+
+	var entries []server.ResultEntry
+	code, hdr := hc.postJSON(t, "/topk", server.QueryRequest{
+		Dims: cs.Q.Dims, Weights: cs.Q.Weights, K: cs.K,
+	}, &entries)
+	if code != http.StatusOK {
+		t.Fatalf("degraded front /topk status %d, want 200", code)
+	}
+	if hdr.Get("X-Partial") != "true" {
+		t.Fatal("degraded front /topk did not set X-Partial")
+	}
+
+	// The degraded answer is a single node over the union minus the dead
+	// shard's range (ids renumbered in the oracle, so scores only).
+	var surviving []vec.Sparse
+	lo, hi := hc.coord.Map().Base(1), hc.coord.Map().Base(2)
+	for id, tu := range cs.Tuples {
+		if id < lo || id >= hi {
+			surviving = append(surviving, tu)
+		}
+	}
+	naive := topk.TopKNaive(surviving, cs.Q, cs.K)
+	if len(entries) != len(naive) {
+		t.Fatalf("degraded /topk has %d entries, want %d", len(entries), len(naive))
+	}
+	for i, e := range entries {
+		if e.Score != naive[i].Score {
+			t.Fatalf("degraded /topk score[%d] = %v, want %v", i, e.Score, naive[i].Score)
+		}
+	}
+
+	var an server.AnalyzeResponse
+	code, hdr = hc.postJSON(t, "/analyze", server.QueryRequest{
+		Dims: cs.Q.Dims, Weights: cs.Q.Weights, K: cs.K,
+	}, &an)
+	if code != http.StatusOK {
+		t.Fatalf("degraded front /analyze status %d, want 200", code)
+	}
+	if !an.Partial || hdr.Get("X-Partial") != "true" {
+		t.Fatal("degraded front /analyze did not flag partial")
+	}
+
+	if got := hc.scrapeMetric(t, "ir_shard_partial_total"); got <= partialBefore {
+		t.Fatalf("ir_shard_partial_total did not grow: %v -> %v", partialBefore, got)
+	}
+}

@@ -1,0 +1,162 @@
+// The merge half of scatter-gather: per-shard top-k lists into the
+// global result, per-shard region constraints into the global immutable
+// regions. Everything here is pure float/slice manipulation over
+// numbers the shards computed — no arithmetic is introduced that a
+// single node would not perform on the identical operands, which is
+// what keeps the merge bit-identical (docs/sharding.md).
+package shard
+
+import (
+	"container/heap"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/topk"
+	"repro/internal/vec"
+)
+
+// scoredLess is the global result order: score descending, id
+// ascending — the same total order internal/topk maintains, so the
+// k-way merge of per-shard lists reproduces a single node's result
+// list exactly, ties included.
+func scoredLess(a, b topk.Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// headHeap is a k-way merge heap over the per-shard lists' heads.
+type headHeap struct {
+	lists [][]topk.Scored
+	pos   []int
+	order []int // heap of list indices
+}
+
+func (h *headHeap) Len() int { return len(h.order) }
+func (h *headHeap) Less(i, j int) bool {
+	a, b := h.order[i], h.order[j]
+	return scoredLess(h.lists[a][h.pos[a]], h.lists[b][h.pos[b]])
+}
+func (h *headHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *headHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *headHeap) Pop() any {
+	x := h.order[len(h.order)-1]
+	h.order = h.order[:len(h.order)-1]
+	return x
+}
+
+// mergeTopK heap-merges per-shard top-k lists (each already in the
+// global order, under global ids) and cuts to k. Failed shards pass
+// nil lists, which merge as empty.
+func mergeTopK(lists [][]topk.Scored, k int) []topk.Scored {
+	h := &headHeap{lists: lists, pos: make([]int, len(lists))}
+	for i, l := range lists {
+		if len(l) > 0 {
+			h.order = append(h.order, i)
+		}
+	}
+	heap.Init(h)
+	out := make([]topk.Scored, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		i := h.order[0]
+		out = append(out, h.lists[i][h.pos[i]])
+		h.pos[i]++
+		if h.pos[i] < len(h.lists[i]) {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out
+}
+
+// mergeRegions combines the shards' per-dimension constraint regions,
+// mirroring core's computeDim dispatch: the envelope paths (φ > 0,
+// iterative, forced envelope, composition-only) merge by replaying the
+// union of shard-contributed lines against the imposed result; the
+// classic φ = 0 path merges by strict min/max of the per-shard bounds.
+func mergeRegions(q vec.Query, k int, res []topk.Scored, outs []*core.Output, lines []topk.Scored, opts engine.Options) []core.Regions {
+	if opts.Phi > 0 || opts.ForceEnvelope || opts.CompositionOnly {
+		// Shards contribute disjoint tuple sets (imposed members are
+		// excluded shard-side), so the union needs no dedup. The replay
+		// is offer-order independent; sorting into the canonical
+		// candidate order just makes the merge deterministic.
+		lines = sortScoredGlobal(lines)
+		return core.ReplayRegions(q, k, res, lines, opts.Options)
+	}
+	return mergeClassic(outs)
+}
+
+// sortScoredGlobal returns the lines in (score desc, id asc) order.
+func sortScoredGlobal(lines []topk.Scored) []topk.Scored {
+	out := append([]topk.Scored(nil), lines...)
+	slices.SortFunc(out, func(a, b topk.Scored) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		default:
+			return a.ID - b.ID
+		}
+	})
+	return out
+}
+
+// mergeClassic merges φ = 0 regions by per-dimension strict min/max.
+// Every shard's bounds already include the result-reordering (Phase 1)
+// constraints — computed from the identical imposed-result floats — so
+// the strict min over shards of the upper bounds equals the single
+// node's min over all constraints, exactly: each bound is the same
+// Lemma-1 quotient of the same (score, coordinate) operands. The
+// winning shard's perturbation rides along; a cross-shard exact tie
+// resolves to the earlier shard, as the single node's strict-<
+// first-seen rule resolves it to the earlier candidate.
+func mergeClassic(outs []*core.Output) []core.Regions {
+	merged := append([]core.Regions(nil), outs[0].Regions...)
+	for _, out := range outs[1:] {
+		for jx := range merged {
+			s := out.Regions[jx]
+			if s.Hi < merged[jx].Hi {
+				merged[jx].Hi = s.Hi
+				merged[jx].Right = s.Right
+			}
+			if s.Lo > merged[jx].Lo {
+				merged[jx].Lo = s.Lo
+				merged[jx].Left = s.Left
+			}
+		}
+	}
+	return merged
+}
+
+// mergeMetrics sums the shards' work counters in shard order. Merged
+// metrics describe the distributed computation's total cost — they are
+// NOT comparable to a single node's (shards evaluate conservatively
+// near their boundaries), which is why the property suite compares
+// results and regions, never metrics.
+func mergeMetrics(outs []*core.Output) core.Metrics {
+	m := core.Metrics{}
+	if len(outs) > 0 && len(outs[0].Metrics.EvaluatedPerDim) > 0 {
+		m.EvaluatedPerDim = make([]int, len(outs[0].Metrics.EvaluatedPerDim))
+	}
+	for _, out := range outs {
+		om := out.Metrics
+		m.Evaluated += om.Evaluated
+		for i := range om.EvaluatedPerDim {
+			if i < len(m.EvaluatedPerDim) {
+				m.EvaluatedPerDim[i] += om.EvaluatedPerDim[i]
+			}
+		}
+		m.Phase1 += om.Phase1
+		m.Phase2 += om.Phase2
+		m.Phase3 += om.Phase3
+		m.Phase3Pulled += om.Phase3Pulled
+		m.SeqPages += om.SeqPages
+		m.RandReads += om.RandReads
+		m.MemBytes += om.MemBytes
+	}
+	return m
+}
